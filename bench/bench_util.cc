@@ -1,0 +1,39 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+namespace xnuma {
+
+void PrintBanner(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("(simulated AMD48; shapes comparable to the paper, not absolute"
+              " values — see EXPERIMENTS.md)\n");
+  std::printf("==============================================================\n");
+}
+
+std::vector<AppProfile> ScaledApps(double seconds_per_app) {
+  std::vector<AppProfile> apps = AllApps();
+  for (AppProfile& app : apps) {
+    const double scale = seconds_per_app / app.nominal_seconds;
+    app.nominal_seconds = seconds_per_app;
+    app.disk_read_mb *= scale;
+  }
+  return apps;
+}
+
+double ImprovementPct(double baseline_seconds, double candidate_seconds) {
+  return 100.0 * (baseline_seconds / candidate_seconds - 1.0);
+}
+
+double OverheadPct(double baseline_seconds, double candidate_seconds) {
+  return 100.0 * (candidate_seconds / baseline_seconds - 1.0);
+}
+
+RunOptions BenchOptions() {
+  RunOptions opts;
+  opts.engine.max_sim_seconds = 300.0;
+  return opts;
+}
+
+}  // namespace xnuma

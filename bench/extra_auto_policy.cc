@@ -1,0 +1,41 @@
+// §7 extension: automatic NUMA policy selection in the hypervisor.
+//
+// For each application, compares Xen+ with (a) the default round-1G policy,
+// (b) the best statically-chosen policy (oracle: what an administrator who
+// ran the full sweep would pick), and (c) the automatic selector, which
+// boots on round-4K and adapts from the hardware counters alone.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("§7 extension", "Automatic policy selection vs oracle best static policy");
+
+  std::printf("\n%-14s %10s %10s %10s %9s   auto's final policy\n", "app", "r1g(s)", "oracle(s)",
+              "auto(s)", "auto gap");
+  double worst_gap = 0.0;
+  int within10 = 0;
+  int apps = 0;
+  for (const AppProfile& app : ScaledApps(5.0)) {
+    const auto sweep = SweepPolicies(app, XenPlusStack(), XenPolicyCandidates(), BenchOptions());
+    const double r1g = sweep[0].result.completion_seconds;
+    const PolicySweepEntry& oracle = BestEntry(sweep);
+    const JobResult auto_run = RunSingleApp(app, XenAutoStack(), BenchOptions());
+
+    const double gap = OverheadPct(oracle.result.completion_seconds, auto_run.completion_seconds);
+    worst_gap = std::max(worst_gap, gap);
+    ++apps;
+    if (gap <= 10.0) {
+      ++within10;
+    }
+    std::printf("%-14s %10.2f %10.2f %10.2f %+8.0f%%   %s (%d switches)\n", app.name.c_str(),
+                r1g, oracle.result.completion_seconds, auto_run.completion_seconds, gap,
+                ToString(auto_run.final_policy), auto_run.policy_switches);
+  }
+  std::printf("\napps within 10%% of the oracle: %d / %d (worst gap %.0f%%)\n", within10, apps,
+              worst_gap);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation of the Carrefour port's design knobs (DESIGN.md §5.3):
+//   * heuristic selection — migration-only vs interleave-only vs both;
+//   * migration budget per tick;
+//   * trigger thresholds.
+// Evaluated on one application per imbalance class (§3.5.2).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+xnuma::JobResult RunWith(const xnuma::AppProfile& app, xnuma::CarrefourConfig carrefour) {
+  xnuma::RunOptions opts = xnuma::BenchOptions();
+  opts.engine.carrefour = carrefour;
+  return RunSingleApp(app, xnuma::XenPlusStack({xnuma::StaticPolicy::kRound4k, true}), opts);
+}
+
+}  // namespace
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("Ablation", "Carrefour heuristics, budget and thresholds (round-4K/Carrefour)");
+
+  const char* class_apps[] = {"cg.C", "sp.C", "kmeans"};  // low / moderate / high
+
+  std::printf("\nHeuristic selection (completion seconds):\n");
+  std::printf("  %-10s %10s %12s %12s %10s\n", "app", "both", "locality", "interleave", "none");
+  for (const char* name : class_apps) {
+    AppProfile app = *FindApp(name);
+    const double scale = 4.0 / app.nominal_seconds;
+    app.nominal_seconds = 4.0;
+    app.disk_read_mb *= scale;
+
+    CarrefourConfig both;
+    CarrefourConfig locality_only;
+    locality_only.mc_overload_util = 10.0;  // never triggers interleave
+    CarrefourConfig interleave_only;
+    interleave_only.link_saturation_util = 10.0;  // never triggers locality
+    CarrefourConfig none;
+    none.mc_overload_util = 10.0;
+    none.link_saturation_util = 10.0;
+
+    std::printf("  %-10s %10.2f %12.2f %12.2f %10.2f\n", name,
+                RunWith(app, both).completion_seconds,
+                RunWith(app, locality_only).completion_seconds,
+                RunWith(app, interleave_only).completion_seconds,
+                RunWith(app, none).completion_seconds);
+  }
+
+  std::printf("\nMigration budget per tick (sp.C, completion seconds):\n  ");
+  for (int budget : {8, 32, 96, 256}) {
+    AppProfile app = *FindApp("sp.C");
+    app.nominal_seconds = 4.0;
+    CarrefourConfig cfg;
+    cfg.max_migrations_per_tick = budget;
+    std::printf("budget %3d: %6.2f   ", budget, RunWith(app, cfg).completion_seconds);
+  }
+  std::printf("\n");
+
+  std::printf("\nLink-saturation trigger threshold (sp.C, completion seconds):\n  ");
+  for (double thr : {0.15, 0.30, 0.60, 0.90}) {
+    AppProfile app = *FindApp("sp.C");
+    app.nominal_seconds = 4.0;
+    CarrefourConfig cfg;
+    cfg.link_saturation_util = thr;
+    std::printf("thr %.2f: %6.2f   ", thr, RunWith(app, cfg).completion_seconds);
+  }
+  std::printf("\n");
+  return 0;
+}

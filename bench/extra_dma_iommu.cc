@@ -1,0 +1,60 @@
+// §2.2.2 + §4.4.1: DMA read latency on the three I/O paths, its dependence
+// on request size, and the first-touch / IOMMU incompatibility.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/hv/iommu.h"
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("§2.2.2 / §4.4.1", "DMA latency by I/O path; first-touch vs IOMMU");
+
+  const IoModel io;
+  std::printf("\n4 KiB block read latency (paper: 74 / 307 / 186 us):\n");
+  for (IoPath path : {IoPath::kNative, IoPath::kPvSplitDriver, IoPath::kPciPassthrough}) {
+    std::printf("  %-18s %7.0f us\n", ToString(path), io.ReadLatencySeconds(path, 4096) * 1e6);
+  }
+
+  std::printf("\nRead latency vs request size (us) — overhead fades as transfers grow:\n");
+  std::printf("  %10s %10s %12s %14s\n", "size", "native", "pv-driver", "passthrough");
+  for (int64_t kb : {4, 16, 64, 256, 1024, 4096}) {
+    const int64_t bytes = kb * 1024;
+    std::printf("  %8lld K %10.0f %12.0f %14.0f\n", static_cast<long long>(kb),
+                io.ReadLatencySeconds(IoPath::kNative, bytes) * 1e6,
+                io.ReadLatencySeconds(IoPath::kPvSplitDriver, bytes) * 1e6,
+                io.ReadLatencySeconds(IoPath::kPciPassthrough, bytes) * 1e6);
+  }
+
+  // §4.4.1: a DMA transfer into a page whose P2M entry was invalidated (as
+  // first-touch does on every release) fails asynchronously.
+  const Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  Iommu iommu(hv);
+  DomainConfig dc;
+  dc.num_vcpus = 4;
+  dc.memory_pages = 64;
+  dc.policy.placement = StaticPolicy::kRound4k;
+  dc.pci_passthrough = true;
+  const DomainId dom = hv.CreateDomain(dc);
+
+  std::printf("\nIOMMU + invalidated P2M entries (first-touch traps):\n");
+  int errors = 0;
+  for (Pfn p = 0; p < 16; ++p) {
+    hv.backend(dom).Invalidate(p);  // what first-touch does on page release
+    if (iommu.DeviceWrite(dom, p).status == DmaStatus::kAsyncIoError) {
+      ++errors;
+    }
+  }
+  std::printf("  16 DMA transfers into invalidated pages -> %d asynchronous I/O errors\n",
+              errors);
+  std::printf("  (the guest already failed the I/O by the time the hypervisor reacts,\n"
+              "   hence the paper disables the IOMMU whenever first-touch is active)\n");
+
+  DomainConfig ft = dc;
+  ft.policy.placement = StaticPolicy::kFirstTouch;
+  std::printf("  creating a first-touch domain with PCI passthrough: %s\n",
+              hv.TryCreateDomain(ft) == kInvalidDomain ? "refused (guard in place)"
+                                                       : "ACCEPTED (bug!)");
+  return 0;
+}

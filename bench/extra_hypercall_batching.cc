@@ -1,0 +1,88 @@
+// §4.2.3-4.2.4: the cost of the page-release hypercall.
+//
+// A wrmem-like workload (a page released every 15 us per core) runs under
+// first-touch with three queue configurations:
+//   1. hypercall per release (batch = 1, single queue)  — the naive design,
+//      which the paper measured to divide wrmem's performance by ~3;
+//   2. batched, single global queue                     — fixes the
+//      hypercall rate but serializes on one lock;
+//   3. batched, 4-way partitioned queues                — the paper's final
+//      design (two LSBs of the frame number).
+// Also reports the flush-time split (sending vs invalidating), which the
+// paper measured as 12.5% / 87.5%.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("§4.2.3-4.2.4", "Page-release hypercall batching (wrmem-like workload)");
+
+  AppProfile app = *FindApp("wrmem");
+  const double scale = 4.0 / app.nominal_seconds;
+  app.nominal_seconds = 4.0;
+  app.disk_read_mb *= scale;
+
+  struct Config {
+    const char* label;
+    int batch;
+    int partition_bits;
+  };
+  const Config configs[] = {
+      {"no queue (hypercall per release)", 1, 0},
+      {"batched, single global queue", 64, 0},
+      {"batched, 4 partitioned queues", 64, 2},
+  };
+
+  // Baseline: the same workload without any allocator churn.
+  AppProfile calm = app;
+  calm.release_rate_per_s = 0.0;
+  StackConfig ft_stack = XenPlusStack({StaticPolicy::kFirstTouch, false});
+  const JobResult baseline = RunSingleApp(calm, ft_stack, BenchOptions());
+  std::printf("\nbaseline (no page releases):          %8.2f s\n", baseline.completion_seconds);
+
+  for (const Config& config : configs) {
+    StackConfig stack = ft_stack;
+    stack.queue_batch = config.batch;
+    stack.queue_partition_bits = config.partition_bits;
+    const JobResult r = RunSingleApp(app, stack, BenchOptions());
+    std::printf("%-37s %8.2f s  (x%.2f vs no-churn baseline)\n", config.label,
+                r.completion_seconds, r.completion_seconds / baseline.completion_seconds);
+  }
+  std::printf("(paper: the per-release hypercall alone divides wrmem's performance by ~3;\n"
+              " batching makes the overhead negligible)\n");
+
+  // Flush-time split, measured on the real queue/hypercall machinery.
+  {
+    Topology topo = Topology::Amd48();
+    Hypervisor hv(topo);
+    DomainConfig dc;
+    dc.num_vcpus = 4;
+    dc.memory_pages = 4096;
+    dc.policy.placement = StaticPolicy::kFirstTouch;
+    const DomainId dom = hv.CreateDomain(dc);
+    GuestOs::Options go;
+    go.queue_batch_size = 64;
+    go.queue_partition_bits = 2;
+    GuestOs guest(hv, dom, go);
+    const int pid = guest.CreateProcess(4096);
+    for (Vpn v = 0; v < 4096; ++v) {
+      guest.TouchPage(pid, v, 0);
+    }
+    for (Vpn v = 0; v < 4096; ++v) {
+      guest.ReleasePage(pid, v);
+    }
+    guest.pv_queue().FlushAll();
+    const DomainStats& stats = hv.domain(dom).stats();
+    const double total = stats.queue_send_seconds + stats.queue_invalidate_seconds;
+    std::printf("\nflush time split over %lld hypercalls (%lld entries):\n",
+                static_cast<long long>(stats.queue_flush_hypercalls),
+                static_cast<long long>(stats.queue_entries_seen));
+    std::printf("  invalidating entries: %5.1f%%  (paper: 87.5%%)\n",
+                100.0 * stats.queue_invalidate_seconds / total);
+    std::printf("  sending the queue:    %5.1f%%  (paper: 12.5%%)\n",
+                100.0 * stats.queue_send_seconds / total);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// §1 motivation, made executable: why hide the topology and put the NUMA
+// policy in the hypervisor instead of exposing the topology to the guest
+// (the Amazon EC2 approach)?
+//
+// When the hypervisor load-balances vCPUs across NUMA nodes, a guest that
+// placed its memory against the boot-time topology is left with stale
+// placement it cannot fix ("the hypervisor dynamically modifies the NUMA
+// topology of the virtual machine, which is not supported by any of the
+// current mainstream operating systems"). A hypervisor-level dynamic policy
+// (Carrefour) re-localizes pages after every migration.
+//
+// Three configurations of a thread-local application:
+//   1. pinned vCPUs                      — the paper's main setting;
+//   2. vCPU migrations, static placement — the "guest knew the topology
+//      once" situation: locality decays and never recovers;
+//   3. vCPU migrations + Carrefour       — the hypervisor repairs locality.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+#include "src/sim/engine.h"
+
+namespace {
+
+using namespace xnuma;
+
+JobResult RunCase(const AppProfile& app, double migration_period, bool carrefour) {
+  Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  LatencyModel latency;
+  EngineConfig ec;
+  Engine engine(hv, latency, ec);
+
+  DomainConfig dc;
+  dc.name = app.name;
+  dc.num_vcpus = 48;
+  dc.memory_pages = 25600;
+  for (int i = 0; i < 48; ++i) {
+    dc.pinned_cpus.push_back(i);
+  }
+  dc.policy = {StaticPolicy::kFirstTouch, carrefour};
+  const DomainId dom = hv.CreateDomain(dc);
+  GuestOs guest(hv, dom);
+
+  JobSpec spec;
+  spec.app = &app;
+  spec.domain = dom;
+  spec.guest = &guest;
+  spec.threads = 48;
+  spec.exec_mode = ExecMode::kGuest;
+  spec.io_path = IoPath::kPvSplitDriver;
+  spec.vcpu_migration_period_s = migration_period;
+  engine.AddJob(spec);
+  RunResult run = engine.Run();
+  return run.jobs[0];
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("§1 motivation", "vCPU load balancing vs guest-frozen NUMA placement");
+
+  // A strongly thread-local app (first-touch is ideal while vCPUs stand
+  // still): cg.C.
+  AppProfile app = *FindApp("cg.C");
+  app.nominal_seconds = 5.0;
+
+  const JobResult pinned = RunCase(app, /*migration_period=*/0.0, /*carrefour=*/false);
+  const JobResult frozen = RunCase(app, /*migration_period=*/0.4, /*carrefour=*/false);
+  const JobResult repaired = RunCase(app, /*migration_period=*/0.4, /*carrefour=*/true);
+
+  std::printf("\n%-44s %10s %14s\n", "configuration (cg.C, first-touch placement)", "time",
+              "avg latency");
+  std::printf("%-44s %8.2f s %11.0f cyc\n", "pinned vCPUs (paper's setting)",
+              pinned.completion_seconds, pinned.avg_latency_cycles);
+  std::printf("%-44s %8.2f s %11.0f cyc\n", "vCPU migrations, placement frozen (EC2-style)",
+              frozen.completion_seconds, frozen.avg_latency_cycles);
+  std::printf("%-44s %8.2f s %11.0f cyc  (%lld page migrations)\n",
+              "vCPU migrations + hypervisor Carrefour", repaired.completion_seconds,
+              repaired.avg_latency_cycles, static_cast<long long>(repaired.carrefour_migrations));
+
+  std::printf("\nfrozen-placement penalty: %+.0f%%; Carrefour recovers %+.0f%% of it\n",
+              100.0 * (frozen.completion_seconds / pinned.completion_seconds - 1.0),
+              100.0 * (frozen.completion_seconds - repaired.completion_seconds) /
+                  (frozen.completion_seconds - pinned.completion_seconds + 1e-9));
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 1: relative overhead of Xen compared to Linux (lower is better).
+//
+// Xen here is stock Xen 4.5: round-1G placement, PV split-driver I/O and
+// blocking pthread primitives; Linux is native with its default first-touch
+// policy. The paper reports overheads of up to 700%, >50% for 15 of 29
+// applications and >100% for 11.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("Figure 1", "Relative overhead of Xen compared to Linux");
+
+  std::printf("\n%-14s %10s %10s %10s\n", "app", "linux(s)", "xen(s)", "overhead");
+  int over50 = 0;
+  int over100 = 0;
+  double worst = 0.0;
+  // Stock Linux: default first-touch, stock pthread primitives.
+  StackConfig linux_stack = LinuxStack();
+  linux_stack.mcs_for_eligible = false;
+  for (const AppProfile& app : ScaledApps(5.0)) {
+    const JobResult linux_run = RunSingleApp(app, linux_stack, BenchOptions());
+    const JobResult xen_run = RunSingleApp(app, XenStack(), BenchOptions());
+    const double overhead = OverheadPct(linux_run.completion_seconds, xen_run.completion_seconds);
+    if (overhead > 50.0) {
+      ++over50;
+    }
+    if (overhead > 100.0) {
+      ++over100;
+    }
+    worst = std::max(worst, overhead);
+    std::printf("%-14s %10.2f %10.2f %+9.0f%%\n", app.name.c_str(),
+                linux_run.completion_seconds, xen_run.completion_seconds, overhead);
+  }
+  std::printf("\napps with overhead > 50%%: %d (paper: 15)\n", over50);
+  std::printf("apps with overhead > 100%%: %d (paper: 11)\n", over100);
+  std::printf("worst overhead: %.0f%% (paper: up to ~700%%)\n", worst);
+  return 0;
+}

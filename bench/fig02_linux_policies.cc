@@ -1,0 +1,48 @@
+// Figure 2: improvement of the completion time of the Linux NUMA policies
+// relative to the default first-touch policy, on native Linux with 48
+// threads (higher is better).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("Figure 2", "Linux NUMA policies vs first-touch (improvement, higher is better)");
+
+  std::printf("\n%-14s %9s %9s %9s %9s   best\n", "app", "ft", "ft/carr", "r4k", "r4k/carr");
+  int improved25 = 0;
+  int improved50 = 0;
+  int improved100 = 0;
+  for (const AppProfile& app : ScaledApps(5.0)) {
+    const auto sweep = SweepPolicies(app, LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
+    const double ft = sweep[0].result.completion_seconds;
+    std::printf("%-14s ", app.name.c_str());
+    double best_time = 1e18;
+    double worst_time = 0.0;
+    const PolicySweepEntry* best = nullptr;
+    for (const auto& entry : sweep) {
+      std::printf("%+8.0f%% ", ImprovementPct(ft, entry.result.completion_seconds));
+      best_time = std::min(best_time, entry.result.completion_seconds);
+      worst_time = std::max(worst_time, entry.result.completion_seconds);
+      if (best == nullptr || entry.result.completion_seconds < best->result.completion_seconds) {
+        best = &entry;
+      }
+    }
+    std::printf("  %s\n", ToString(best->policy));
+    const double spread = ImprovementPct(worst_time, best_time);
+    if (spread > 25.0) {
+      ++improved25;
+    }
+    if (spread > 50.0) {
+      ++improved50;
+    }
+    if (spread > 100.0) {
+      ++improved100;
+    }
+  }
+  std::printf("\nbest-vs-worst policy spread > 25%%: %d apps (paper: 17)\n", improved25);
+  std::printf("best-vs-worst policy spread > 50%%: %d apps (paper: 12)\n", improved50);
+  std::printf("best-vs-worst policy spread > 100%%: %d apps (paper: 5)\n", improved100);
+  return 0;
+}

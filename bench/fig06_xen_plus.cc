@@ -1,0 +1,51 @@
+// Figure 6: relative overhead of Linux, Xen and Xen+ as compared to
+// LinuxNUMA (lower is better).
+//
+// LinuxNUMA = native Linux with the best Linux policy per application (and
+// MCS locks for the lock-bound apps). Xen+ = Xen with PCI passthrough I/O
+// and MCS locks, still on the default round-1G placement.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("Figure 6", "Overhead of Linux, Xen, Xen+ vs LinuxNUMA (lower is better)");
+
+  std::printf("\n%-14s %12s | %9s %9s %9s   (best linux policy)\n", "app", "linuxNUMA(s)",
+              "linux", "xen", "xen+");
+  int xenplus_over25 = 0;
+  int xenplus_over50 = 0;
+  int xenplus_over100 = 0;
+  for (const AppProfile& app : ScaledApps(5.0)) {
+    const auto sweep = SweepPolicies(app, LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
+    const PolicySweepEntry& best = BestEntry(sweep);
+    const double linux_numa = best.result.completion_seconds;
+
+    StackConfig plain_linux = LinuxStack();
+    plain_linux.mcs_for_eligible = false;  // stock Linux
+    const JobResult linux_run = RunSingleApp(app, plain_linux, BenchOptions());
+    const JobResult xen_run = RunSingleApp(app, XenStack(), BenchOptions());
+    const JobResult xenplus_run = RunSingleApp(app, XenPlusStack(), BenchOptions());
+
+    const double xenplus_overhead = OverheadPct(linux_numa, xenplus_run.completion_seconds);
+    if (xenplus_overhead > 25.0) {
+      ++xenplus_over25;
+    }
+    if (xenplus_overhead > 50.0) {
+      ++xenplus_over50;
+    }
+    if (xenplus_overhead > 100.0) {
+      ++xenplus_over100;
+    }
+    std::printf("%-14s %12.2f | %+8.0f%% %+8.0f%% %+8.0f%%   (%s)\n", app.name.c_str(),
+                linux_numa, OverheadPct(linux_numa, linux_run.completion_seconds),
+                OverheadPct(linux_numa, xen_run.completion_seconds), xenplus_overhead,
+                ToString(best.policy));
+  }
+  std::printf("\nXen+ overhead > 25%%: %d apps (paper: 20)\n", xenplus_over25);
+  std::printf("Xen+ overhead > 50%%: %d apps (paper: 14)\n", xenplus_over50);
+  std::printf("Xen+ overhead > 100%%: %d apps (paper: 11)\n", xenplus_over100);
+  return 0;
+}

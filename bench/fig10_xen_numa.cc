@@ -1,0 +1,46 @@
+// Figure 10: relative overhead of Xen+ and Xen+NUMA as compared to
+// LinuxNUMA (lower is better). Xen+NUMA gives every application its best
+// Xen+ policy; LinuxNUMA its best Linux policy.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("Figure 10", "Overhead of Xen+ and Xen+NUMA vs LinuxNUMA (lower is better)");
+
+  std::printf("\n%-14s %12s | %9s %9s   (xen+ best policy)\n", "app", "linuxNUMA(s)", "xen+",
+              "xen+NUMA");
+  int plus_over50 = 0;
+  int numa_over50 = 0;
+  std::string remaining;
+  for (const AppProfile& app : ScaledApps(5.0)) {
+    const auto linux_sweep =
+        SweepPolicies(app, LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
+    const double linux_numa = BestEntry(linux_sweep).result.completion_seconds;
+
+    const JobResult xenplus = RunSingleApp(app, XenPlusStack(), BenchOptions());
+    const auto xen_sweep = SweepPolicies(app, XenPlusStack(), XenPolicyCandidates(), BenchOptions());
+    const PolicySweepEntry& xen_best = BestEntry(xen_sweep);
+
+    const double plus_overhead = OverheadPct(linux_numa, xenplus.completion_seconds);
+    const double numa_overhead = OverheadPct(linux_numa, xen_best.result.completion_seconds);
+    if (plus_overhead > 50.0) {
+      ++plus_over50;
+    }
+    if (numa_overhead > 50.0) {
+      ++numa_over50;
+      remaining += (remaining.empty() ? "" : ", ") + app.name;
+    }
+    std::printf("%-14s %12.2f | %+8.0f%% %+8.0f%%   (%s)\n", app.name.c_str(), linux_numa,
+                plus_overhead, numa_overhead, ToString(xen_best.policy));
+  }
+  std::printf("\nXen+ apps with overhead > 50%%: %d (paper: 14)\n", plus_over50);
+  std::printf("Xen+NUMA apps with overhead > 50%%: %d (paper: 4 — memcached, cassandra, "
+              "ua.C, psearchy)\n",
+              numa_over50);
+  std::printf("remaining degraded apps: %s\n", remaining.empty() ? "(none)" : remaining.c_str());
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Google-benchmark microbenches for the hot mechanisms: P2M updates, frame
+// allocation, page migration, PV-queue pushes, latency-model evaluation and
+// route lookups.
+
+#include <benchmark/benchmark.h>
+
+#include "src/guest/pv_queue.h"
+#include "src/hv/hypervisor.h"
+#include "src/mm/frame_allocator.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+
+namespace xnuma {
+namespace {
+
+void BM_P2mMapUnmap(benchmark::State& state) {
+  P2mTable p2m(4096);
+  Pfn pfn = 0;
+  for (auto _ : state) {
+    p2m.Map(pfn, pfn + 1);
+    benchmark::DoNotOptimize(p2m.Lookup(pfn));
+    p2m.Unmap(pfn);
+    pfn = (pfn + 1) % 4096;
+  }
+}
+BENCHMARK(BM_P2mMapUnmap);
+
+void BM_FrameAllocFree(benchmark::State& state) {
+  const Topology topo = Topology::Amd48();
+  FrameAllocator frames(topo);
+  NodeId node = 0;
+  for (auto _ : state) {
+    const Mfn mfn = frames.AllocOnNode(node);
+    benchmark::DoNotOptimize(mfn);
+    frames.Free(mfn);
+    node = (node + 1) % topo.num_nodes();
+  }
+}
+BENCHMARK(BM_FrameAllocFree);
+
+void BM_PageMigration(benchmark::State& state) {
+  const Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  DomainConfig dc;
+  dc.num_vcpus = 1;
+  dc.memory_pages = 1024;
+  const DomainId dom = hv.CreateDomain(dc);
+  NodeId target = 0;
+  Pfn pfn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv.backend(dom).Migrate(pfn, target));
+    pfn = (pfn + 1) % 1024;
+    if (pfn == 0) {
+      target = (target + 1) % topo.num_nodes();
+    }
+  }
+}
+BENCHMARK(BM_PageMigration);
+
+void BM_PvQueuePush(benchmark::State& state) {
+  PvPageQueue queue([](std::span<const PageQueueOp>) { return 0.0; },
+                    /*partition_bits=*/2, /*batch_size=*/64);
+  Pfn pfn = 0;
+  for (auto _ : state) {
+    queue.PushRelease(pfn++);
+  }
+}
+BENCHMARK(BM_PvQueuePush);
+
+void BM_QueueFlushReplay(benchmark::State& state) {
+  const Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  DomainConfig dc;
+  dc.num_vcpus = 1;
+  dc.memory_pages = 1024;
+  dc.policy.placement = StaticPolicy::kFirstTouch;
+  const DomainId dom = hv.CreateDomain(dc);
+  std::vector<PageQueueOp> ops;
+  for (Pfn p = 0; p < 64; ++p) {
+    ops.push_back({PageQueueOp::Kind::kRelease, p});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv.HypercallPageQueueFlush(dom, ops));
+  }
+}
+BENCHMARK(BM_QueueFlushReplay);
+
+void BM_LatencyModelEval(benchmark::State& state) {
+  const LatencyModel model;
+  double u = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.AccessCycles(2, u, u * 0.5));
+    u += 0.001;
+    if (u > 1.2) {
+      u = 0.0;
+    }
+  }
+}
+BENCHMARK(BM_LatencyModelEval);
+
+void BM_TopologyRoutes(benchmark::State& state) {
+  const Topology topo = Topology::Amd48();
+  NodeId a = 0;
+  NodeId b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&topo.Routes(a, b));
+    b = (b + 1) % topo.num_nodes();
+    if (b == 0) {
+      a = (a + 1) % topo.num_nodes();
+    }
+  }
+}
+BENCHMARK(BM_TopologyRoutes);
+
+void BM_GuestFaultPath(benchmark::State& state) {
+  const Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  DomainConfig dc;
+  dc.num_vcpus = 1;
+  dc.memory_pages = 8192;
+  dc.policy.placement = StaticPolicy::kFirstTouch;
+  const DomainId dom = hv.CreateDomain(dc);
+  Pfn pfn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv.HandleGuestFault(dom, pfn, 0));
+    hv.backend(dom).Invalidate(pfn);
+    pfn = (pfn + 1) % 8192;
+  }
+}
+BENCHMARK(BM_GuestFaultPath);
+
+}  // namespace
+}  // namespace xnuma
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table 1: effect of the static NUMA policies in Linux — per-application
+// memory-access imbalance and interconnect load under first-touch and
+// round-4K, plus the paper's imbalance classification.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+const char* Classify(double ft_imbalance) {
+  // §3.5.2: < 85% low, 85-130% moderate, > 130% high.
+  if (ft_imbalance < 85.0) {
+    return "low";
+  }
+  if (ft_imbalance <= 130.0) {
+    return "moderate";
+  }
+  return "high";
+}
+
+}  // namespace
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("Table 1", "Static NUMA policies in Linux: imbalance and interconnect load");
+
+  std::printf("\n%-14s | %9s %9s | %12s %12s | %s\n", "app", "imb(FT)", "imb(R4K)", "link(FT)",
+              "link(R4K)", "class");
+  int low = 0;
+  int moderate = 0;
+  int high = 0;
+  for (const AppProfile& app : ScaledApps(5.0)) {
+    const JobResult ft =
+        RunSingleApp(app, LinuxStack({StaticPolicy::kFirstTouch, false}), BenchOptions());
+    const JobResult r4k =
+        RunSingleApp(app, LinuxStack({StaticPolicy::kRound4k, false}), BenchOptions());
+    const char* cls = Classify(ft.imbalance_pct);
+    if (cls[0] == 'l') {
+      ++low;
+    } else if (cls[0] == 'm') {
+      ++moderate;
+    } else {
+      ++high;
+    }
+    std::printf("%-14s | %8.0f%% %8.0f%% | %11.0f%% %11.0f%% | %s\n", app.name.c_str(),
+                ft.imbalance_pct, r4k.imbalance_pct, ft.interconnect_pct, r4k.interconnect_pct,
+                cls);
+  }
+  std::printf("\nclass sizes: %d low / %d moderate / %d high (paper: 11 / 5 / 13)\n", low,
+              moderate, high);
+  return 0;
+}

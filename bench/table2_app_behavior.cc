@@ -1,0 +1,26 @@
+// Table 2: behaviour of the applications — hard-drive throughput,
+// intentional context switches and memory footprint, as observed by the
+// simulator on the native Linux stack.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("Table 2", "Behaviour of the applications (native Linux run)");
+
+  std::printf("\n%-10s %-14s %12s %14s %12s\n", "suite", "app", "disk MB/s", "ctx switch k/s",
+              "footprint MB");
+  // Plain Linux with stock pthread primitives (Table 2 was measured before
+  // any MCS substitution).
+  StackConfig stack = LinuxStack();
+  stack.mcs_for_eligible = false;
+  for (const AppProfile& app : ScaledApps(5.0)) {
+    const JobResult r = RunSingleApp(app, stack, BenchOptions());
+    std::printf("%-10s %-14s %12.0f %14.1f %12.0f\n", ToString(app.suite), app.name.c_str(),
+                r.observed_disk_mb_per_s, r.observed_ctx_switches_per_s / 1000.0,
+                app.TotalFootprintMb());
+  }
+  return 0;
+}

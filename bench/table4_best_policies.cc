@@ -1,0 +1,64 @@
+// Table 4: the best NUMA policy per application, for native Linux
+// (LinuxNUMA column) and for Xen+ (Xen+NUMA column), found by exhaustive
+// sweep as in the paper.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace xnuma;
+  PrintBanner("Table 4", "Best NUMA policies (exhaustive sweep)");
+
+  // The paper's Table 4, for side-by-side comparison.
+  struct PaperRow {
+    const char* app;
+    const char* linux_best;
+    const char* xen_best;
+  };
+  const PaperRow paper[] = {
+      {"bodytrack", "Round-4K / Carrefour", "Round-4K / Carrefour"},
+      {"facesim", "Round-4K", "Round-4K"},
+      {"fluidanimate", "Round-4K / Carrefour", "Round-4K / Carrefour"},
+      {"streamcluster", "Round-4K", "Round-4K"},
+      {"swaptions", "Round-4K", "Round-4K"},
+      {"x264", "First-Touch", "Round-4K"},
+      {"bt.C", "First-Touch / Carrefour", "First-Touch / Carrefour"},
+      {"cg.C", "First-Touch", "First-Touch"},
+      {"dc.B", "First-Touch", "Round-1G"},
+      {"ep.D", "Round-4K", "Round-4K"},
+      {"ft.C", "Round-4K", "Round-4K"},
+      {"lu.C", "Round-4K", "First-Touch"},
+      {"mg.D", "First-Touch", "First-Touch"},
+      {"sp.C", "Round-4K / Carrefour", "Round-4K / Carrefour"},
+      {"ua.C", "First-Touch", "First-Touch"},
+      {"wc", "First-Touch / Carrefour", "Round-4K"},
+      {"wr", "First-Touch", "Round-4K"},
+      {"wrmem", "First-Touch", "Round-4K"},
+      {"pca", "Round-4K", "Round-4K / Carrefour"},
+      {"kmeans", "Round-4K", "Round-4K"},
+      {"psearchy", "First-Touch", "Round-4K"},
+      {"memcached", "First-Touch", "Round-1G"},
+      {"belief", "Round-4K", "Round-4K / Carrefour"},
+      {"bfs", "Round-4K", "Round-4K"},
+      {"cc", "Round-4K / Carrefour", "Round-4K / Carrefour"},
+      {"pagerank", "Round-4K / Carrefour", "Round-4K / Carrefour"},
+      {"sssp", "Round-4K / Carrefour", "Round-4K / Carrefour"},
+      {"cassandra", "First-Touch / Carrefour", "Round-1G"},
+      {"mongodb", "First-Touch / Carrefour", "Round-1G"},
+  };
+
+  std::printf("\n%-14s | %-24s %-24s | %-24s %-24s\n", "app", "LinuxNUMA (ours)",
+              "LinuxNUMA (paper)", "Xen+NUMA (ours)", "Xen+NUMA (paper)");
+  int idx = 0;
+  for (const AppProfile& app : ScaledApps(5.0)) {
+    const auto linux_sweep =
+        SweepPolicies(app, LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
+    const auto xen_sweep = SweepPolicies(app, XenPlusStack(), XenPolicyCandidates(), BenchOptions());
+    std::printf("%-14s | %-24s %-24s | %-24s %-24s\n", app.name.c_str(),
+                ToString(BestEntry(linux_sweep).policy), paper[idx].linux_best,
+                ToString(BestEntry(xen_sweep).policy), paper[idx].xen_best);
+    ++idx;
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Implementing a *custom* NUMA policy against the paper's internal
+// interface — the whole point of the contribution is that the two-function
+// interface (map a physical page to a node / migrate it) is enough to build
+// arbitrary policies inside the hypervisor.
+//
+// The example policy, "local-alloc round-robin" (LARR), is a hybrid:
+// pages are placed lazily like first-touch, but every Nth placement is
+// deflected round-robin to spread allocation bursts from one thread (a
+// master initializing memory no longer floods its own node). It is wired
+// into a domain exactly like the built-in policies and evaluated on two
+// applications with opposite preferences.
+//
+//   ./build/examples/custom_policy
+
+#include <cstdio>
+#include <memory>
+
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+#include "src/policy/numa_policy.h"
+#include "src/sim/engine.h"
+#include "src/workload/app_profile.h"
+
+namespace {
+
+using namespace xnuma;
+
+// The custom policy: first-touch with periodic round-robin deflection.
+class LocalAllocRoundRobinPolicy : public NumaPolicy {
+ public:
+  explicit LocalAllocRoundRobinPolicy(int deflect_every = 4) : deflect_every_(deflect_every) {}
+
+  StaticPolicy kind() const override { return StaticPolicy::kFirstTouch; }  // closest built-in
+
+  void Initialize(PlacementBackend& backend) override { (void)backend; }
+
+  bool traps_releases() const override { return true; }
+
+  NodeId OnFirstTouch(PlacementBackend& backend, Pfn pfn, NodeId toucher_node) override {
+    ++placements_;
+    NodeId preferred = toucher_node;
+    if (placements_ % deflect_every_ == 0) {
+      const auto& homes = backend.home_nodes();
+      preferred = homes[rr_cursor_ % static_cast<int>(homes.size())];
+      ++rr_cursor_;
+    }
+    return MapWithFallback(backend, pfn, preferred, &rr_cursor_);
+  }
+
+ private:
+  int deflect_every_;
+  int64_t placements_ = 0;
+  int rr_cursor_ = 0;
+};
+
+JobResult RunWithPolicy(const AppProfile& app, std::unique_ptr<NumaPolicy> policy,
+                        const char* label) {
+  Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  LatencyModel latency;
+  EngineConfig ec;
+  Engine engine(hv, latency, ec);
+
+  DomainConfig dc;
+  dc.name = app.name;
+  dc.num_vcpus = 48;
+  dc.memory_pages = 25600;
+  for (int i = 0; i < 48; ++i) {
+    dc.pinned_cpus.push_back(i);
+  }
+  dc.policy = {StaticPolicy::kFirstTouch, false};
+  const DomainId dom = hv.CreateDomain(dc);
+  if (policy != nullptr) {
+    // Install the custom policy behind the same interface the built-ins use.
+    hv.domain(dom).SetPolicy({StaticPolicy::kFirstTouch, false}, std::move(policy));
+  }
+
+  GuestOs guest(hv, dom);
+  JobSpec spec;
+  spec.app = &app;
+  spec.domain = dom;
+  spec.guest = &guest;
+  spec.threads = 48;
+  spec.exec_mode = ExecMode::kGuest;
+  spec.io_path = IoPath::kPvSplitDriver;
+  const int job = engine.AddJob(spec);
+  (void)job;
+  RunResult run = engine.Run();
+  std::printf("  %-28s %8.2f s  (imbalance %4.0f%%)\n", label,
+              run.jobs[0].completion_seconds, run.jobs[0].imbalance_pct);
+  return run.jobs[0];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A custom policy through the paper's internal interface\n");
+  std::printf("(LARR: first-touch with every 4th placement deflected round-robin)\n\n");
+  for (const char* name : {"kmeans", "cg.C"}) {
+    const AppProfile* app = FindApp(name);
+    std::printf("%s:\n", name);
+    RunWithPolicy(*app, nullptr, "built-in First-Touch");
+    RunWithPolicy(*app, std::make_unique<LocalAllocRoundRobinPolicy>(), "custom LARR");
+    std::printf("\n");
+  }
+  std::printf("LARR trades a little locality (cg.C) for much better balance on\n"
+              "master-slave applications (kmeans) — all through the two-function\n"
+              "internal interface, with no hypervisor changes.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// A tour of the simulated machine: topology, routes, the calibrated latency
+// model, and the virtualization cost models. Useful as a first look at the
+// substrate the experiments run on.
+//
+//   ./build/examples/machine_tour
+
+#include <cstdio>
+
+#include "src/hv/io_model.h"
+#include "src/hv/ipi_model.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+
+int main() {
+  using namespace xnuma;
+  const Topology topo = Topology::Amd48();
+  std::printf("AMD48: %s\n\n", topo.DebugString().c_str());
+
+  std::printf("Hop distance matrix:\n    ");
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    std::printf("%3d", n);
+  }
+  std::printf("\n");
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    std::printf("%3d ", a);
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      std::printf("%3d", topo.Distance(a, b));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nEqual-cost shortest paths (node 0 -> node 3):\n");
+  for (const auto& path : topo.Routes(0, 3)) {
+    std::printf("  ");
+    NodeId at = 0;
+    for (LinkId l : path) {
+      const LinkDesc& link = topo.link(l);
+      const NodeId next = (link.a == at) ? link.b : link.a;
+      std::printf("%d -> %d  ", at, next);
+      at = next;
+    }
+    std::printf("\n");
+  }
+
+  const LatencyModel model;
+  std::printf("\nDRAM latency (cycles) vs destination-controller utilization:\n");
+  std::printf("  %6s %8s %8s %8s\n", "util", "local", "1 hop", "2 hops");
+  for (double u : {0.0, 0.5, 0.8, 0.9, 0.98, 1.1}) {
+    std::printf("  %6.2f %8.0f %8.0f %8.0f\n", u, model.AccessCycles(0, u, 0.0),
+                model.AccessCycles(1, u, u), model.AccessCycles(2, u, u));
+  }
+
+  const IoModel io;
+  std::printf("\nDisk read, 4 KiB (us): native %.0f, PV split driver %.0f, passthrough %.0f\n",
+              io.ReadLatencySeconds(IoPath::kNative, 4096) * 1e6,
+              io.ReadLatencySeconds(IoPath::kPvSplitDriver, 4096) * 1e6,
+              io.ReadLatencySeconds(IoPath::kPciPassthrough, 4096) * 1e6);
+
+  const IpiModel ipi;
+  std::printf("IPI (us): native %.1f, guest %.1f\n", ipi.TotalSeconds(ExecMode::kNative) * 1e6,
+              ipi.TotalSeconds(ExecMode::kGuest) * 1e6);
+  return 0;
+}

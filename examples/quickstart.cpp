@@ -1,0 +1,55 @@
+// Quickstart: create the AMD48 machine, run one application under Xen's
+// default placement and under a policy selected through the paper's
+// interface, and compare.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [app-name]
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/workload/app_profile.h"
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "cg.C";
+  const xnuma::AppProfile* app = xnuma::FindApp(name);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown application '%s'; known apps:\n", name.c_str());
+    for (const xnuma::AppProfile& a : xnuma::AllApps()) {
+      std::fprintf(stderr, "  %s\n", a.name.c_str());
+    }
+    return 1;
+  }
+
+  std::printf("Running %s (footprint %.0f MB) on the simulated AMD48...\n\n", app->name.c_str(),
+              app->TotalFootprintMb());
+
+  // 1. Native Linux baseline with its default first-touch policy.
+  const xnuma::JobResult linux_run = xnuma::RunSingleApp(*app, xnuma::LinuxStack());
+  std::printf("%-28s %8.2f s  (imbalance %5.0f%%, interconnect %4.1f%%)\n",
+              "Linux / First-Touch", linux_run.completion_seconds, linux_run.imbalance_pct,
+              linux_run.interconnect_pct);
+
+  // 2. Xen+ with its default round-1G placement.
+  const xnuma::JobResult xen_default = xnuma::RunSingleApp(*app, xnuma::XenPlusStack());
+  std::printf("%-28s %8.2f s  (imbalance %5.0f%%, interconnect %4.1f%%)\n",
+              "Xen+ / Round-1G (default)", xen_default.completion_seconds,
+              xen_default.imbalance_pct, xen_default.interconnect_pct);
+
+  // 3. Sweep the policies the paper implements through its two-hypercall
+  //    interface and pick the best one.
+  const auto sweep =
+      xnuma::SweepPolicies(*app, xnuma::XenPlusStack(), xnuma::XenPolicyCandidates());
+  for (const auto& entry : sweep) {
+    std::printf("%-28s %8.2f s\n", (std::string("Xen+ / ") + ToString(entry.policy)).c_str(),
+                entry.result.completion_seconds);
+  }
+  const auto& best = xnuma::BestEntry(sweep);
+  std::printf("\nBest Xen+ policy for %s: %s (%.2fx faster than round-1G, %.2fx of Linux)\n",
+              app->name.c_str(), ToString(best.policy),
+              xen_default.completion_seconds / best.result.completion_seconds,
+              best.result.completion_seconds / linux_run.completion_seconds);
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "src/carrefour/system_component.h"
+
+namespace xnuma {
+
+CarrefourSystemComponent::CarrefourSystemComponent(Hypervisor& hv, const PerfCounters& counters,
+                                                   PageAccessSource& sampler)
+    : hv_(&hv), counters_(&counters), sampler_(&sampler) {}
+
+const TrafficSnapshot& CarrefourSystemComponent::ReadMetrics() const {
+  return counters_->last_epoch();
+}
+
+std::vector<PageAccessSample> CarrefourSystemComponent::ReadHotPages(DomainId domain,
+                                                                     int max_pages) {
+  std::vector<PageAccessSample> samples;
+  sampler_->SampleHotPages(domain, max_pages, &samples);
+  for (PageAccessSample& s : samples) {
+    s.current_node = hv_->backend(domain).NodeOf(s.pfn);
+  }
+  return samples;
+}
+
+bool CarrefourSystemComponent::ReplicatePage(DomainId domain, Pfn pfn) {
+  if (hv_->backend(domain).Replicate(pfn)) {
+    ++replications_;
+    return true;
+  }
+  return false;
+}
+
+bool CarrefourSystemComponent::MigratePage(DomainId domain, Pfn pfn, NodeId node) {
+  if (hv_->backend(domain).Migrate(pfn, node)) {
+    ++migrations_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,105 @@
+#include "src/carrefour/user_component.h"
+
+#include <algorithm>
+
+namespace xnuma {
+
+CarrefourUserComponent::CarrefourUserComponent(CarrefourSystemComponent& system,
+                                               CarrefourConfig config, uint64_t seed)
+    : system_(&system), config_(config), rng_(seed) {}
+
+CarrefourTickStats CarrefourUserComponent::Tick(DomainId domain) {
+  CarrefourTickStats stats;
+  const TrafficSnapshot& metrics = system_->ReadMetrics();
+  if (metrics.mc_utilization.empty()) {
+    return stats;  // No epoch committed yet.
+  }
+
+  const int nodes = system_->num_nodes();
+  std::vector<NodeId> overloaded;
+  std::vector<NodeId> underloaded;
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (metrics.mc_utilization[n] >= config_.mc_overload_util) {
+      overloaded.push_back(n);
+    } else if (metrics.mc_utilization[n] <= config_.mc_underload_util) {
+      underloaded.push_back(n);
+    }
+  }
+  stats.mc_overloaded = !overloaded.empty() && !underloaded.empty();
+  stats.interconnect_saturated = metrics.MaxLinkUtilization() >= config_.link_saturation_util;
+
+  if (!stats.mc_overloaded && !stats.interconnect_saturated) {
+    return stats;
+  }
+
+  std::vector<PageAccessSample> hot =
+      system_->ReadHotPages(domain, config_.hot_pages_per_tick);
+
+  int budget = config_.max_migrations_per_tick;
+  // The migration (locality) heuristic runs first: a page with a single
+  // dominant source has an unambiguous best home, whereas interleaving is a
+  // last-resort pressure valve.
+  if (stats.interconnect_saturated) {
+    for (const PageAccessSample& page : hot) {
+      if (budget == 0) {
+        break;
+      }
+      double share = 0.0;
+      const NodeId source = page.DominantSource(&share);
+      if (source == kInvalidNode || share < config_.dominant_source_share) {
+        continue;
+      }
+      if (source == page.current_node) {
+        continue;
+      }
+      if (system_->MigratePage(domain, page.pfn, source)) {
+        ++stats.locality_migrations;
+        ++total_locality_;
+        --budget;
+      }
+    }
+  }
+
+  if (config_.enable_replication && stats.interconnect_saturated) {
+    for (const PageAccessSample& page : hot) {
+      if (budget == 0) {
+        break;
+      }
+      if (page.written) {
+        continue;  // only read-only pages are replication candidates
+      }
+      double share = 0.0;
+      page.DominantSource(&share);
+      if (share > config_.replication_max_dominant_share) {
+        continue;  // a single dominant reader: migration handles it better
+      }
+      if (system_->ReplicatePage(domain, page.pfn)) {
+        ++stats.replications;
+        ++total_replications_;
+        --budget;
+      }
+    }
+  }
+
+  if (stats.mc_overloaded) {
+    for (const PageAccessSample& page : hot) {
+      if (budget == 0) {
+        break;
+      }
+      const bool on_overloaded =
+          std::find(overloaded.begin(), overloaded.end(), page.current_node) != overloaded.end();
+      if (!on_overloaded) {
+        continue;
+      }
+      const NodeId target = underloaded[rng_.NextInt(static_cast<int64_t>(underloaded.size()))];
+      if (system_->MigratePage(domain, page.pfn, target)) {
+        ++stats.interleave_migrations;
+        ++total_interleave_;
+        --budget;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,82 @@
+// Carrefour user component (§3.4, §4.3): the decision loop.
+//
+// Runs as a dom0 process. Each tick it reads the machine metrics from the
+// system component and applies two heuristics to the hottest pages:
+//
+//  * interleave — when a memory controller is overloaded, randomly migrate
+//    hot pages from overloaded nodes to underloaded nodes;
+//  * migration  — when the interconnect saturates, migrate hot pages that
+//    are (almost) exclusively accessed from a single remote node to that
+//    node.
+//
+// The replication heuristic of the original Carrefour is deliberately
+// omitted: the paper discards it for its marginal effect and its deep
+// impact on the Xen memory manager (§3.4).
+
+#ifndef XENNUMA_SRC_CARREFOUR_USER_COMPONENT_H_
+#define XENNUMA_SRC_CARREFOUR_USER_COMPONENT_H_
+
+#include <vector>
+
+#include "src/carrefour/system_component.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace xnuma {
+
+struct CarrefourConfig {
+  // A controller is "overloaded" above this utilization while the least
+  // loaded one sits below mc_underload_util.
+  double mc_overload_util = 0.45;
+  double mc_underload_util = 0.35;
+  // The interconnect "saturates" when any link exceeds this utilization.
+  double link_saturation_util = 0.30;
+  // A page is a migration-heuristic candidate when one node issues at least
+  // this share of its accesses.
+  double dominant_source_share = 0.85;
+  int hot_pages_per_tick = 192;
+  int max_migrations_per_tick = 96;
+  // §3.4: the replication heuristic. The paper discards it ("marginal
+  // effect ... radical changes in the Xen memory manager"); it is
+  // implemented here as an opt-in extension. When enabled, hot *read-only*
+  // pages accessed from several nodes are replicated on every home node.
+  bool enable_replication = false;
+  // A page qualifies when no single node exceeds this share of its accesses.
+  double replication_max_dominant_share = 0.60;
+};
+
+struct CarrefourTickStats {
+  int interleave_migrations = 0;
+  int locality_migrations = 0;
+  int replications = 0;
+  bool mc_overloaded = false;
+  bool interconnect_saturated = false;
+};
+
+class CarrefourUserComponent {
+ public:
+  CarrefourUserComponent(CarrefourSystemComponent& system, CarrefourConfig config,
+                         uint64_t seed = 1234);
+
+  // One decision period over `domain`. The caller (simulation engine or
+  // dom0 loop) invokes this on every domain with Carrefour enabled.
+  CarrefourTickStats Tick(DomainId domain);
+
+  const CarrefourConfig& config() const { return config_; }
+
+  int64_t total_interleave_migrations() const { return total_interleave_; }
+  int64_t total_locality_migrations() const { return total_locality_; }
+  int64_t total_replications() const { return total_replications_; }
+
+ private:
+  CarrefourSystemComponent* system_;
+  CarrefourConfig config_;
+  Rng rng_;
+  int64_t total_interleave_ = 0;
+  int64_t total_locality_ = 0;
+  int64_t total_replications_ = 0;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_CARREFOUR_USER_COMPONENT_H_

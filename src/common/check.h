@@ -1,0 +1,37 @@
+// Lightweight invariant checking.
+//
+// XNUMA_CHECK aborts with a message on violated invariants in all build
+// types; the simulator is a research tool, so failing fast beats limping on
+// with corrupted state. XNUMA_DCHECK compiles out in NDEBUG builds.
+
+#ifndef XENNUMA_SRC_COMMON_CHECK_H_
+#define XENNUMA_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xnuma {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "XNUMA_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace xnuma
+
+#define XNUMA_CHECK(expr)                              \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      ::xnuma::CheckFail(#expr, __FILE__, __LINE__);   \
+    }                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define XNUMA_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define XNUMA_DCHECK(expr) XNUMA_CHECK(expr)
+#endif
+
+#endif  // XENNUMA_SRC_COMMON_CHECK_H_

@@ -1,0 +1,72 @@
+#include "src/common/flags.h"
+
+#include <cstdlib>
+
+namespace xnuma {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself a flag; else boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& key) const {
+  read_[key] = true;
+  return values_.count(key) > 0;
+}
+
+std::string Flags::GetString(const std::string& key, const std::string& fallback) const {
+  read_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  read_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
+  read_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  read_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::vector<std::string> Flags::UnusedKeys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (read_.find(key) == read_.end()) {
+      unused.push_back(key);
+    }
+  }
+  return unused;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing for the CLI tools: supports
+// `--key=value`, `--key value`, boolean `--flag`, and positional arguments.
+
+#ifndef XENNUMA_SRC_COMMON_FLAGS_H_
+#define XENNUMA_SRC_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xnuma {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  double GetDouble(const std::string& key, double fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  // Keys that were provided but never read; useful for typo detection.
+  std::vector<std::string> UnusedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_COMMON_FLAGS_H_

@@ -1,0 +1,29 @@
+#include "src/common/types.h"
+
+namespace xnuma {
+
+const char* ToString(StaticPolicy policy) {
+  switch (policy) {
+    case StaticPolicy::kFirstTouch:
+      return "First-Touch";
+    case StaticPolicy::kRound4k:
+      return "Round-4K";
+    case StaticPolicy::kRound1g:
+      return "Round-1G";
+  }
+  return "?";
+}
+
+const char* ToString(const PolicyConfig& config) {
+  switch (config.placement) {
+    case StaticPolicy::kFirstTouch:
+      return config.carrefour ? "First-Touch / Carrefour" : "First-Touch";
+    case StaticPolicy::kRound4k:
+      return config.carrefour ? "Round-4K / Carrefour" : "Round-4K";
+    case StaticPolicy::kRound1g:
+      return config.carrefour ? "Round-1G / Carrefour" : "Round-1G";
+  }
+  return "?";
+}
+
+}  // namespace xnuma

@@ -1,0 +1,71 @@
+// Core identifier and unit types shared by every xennuma module.
+//
+// Terminology follows the paper (and Xen): a *machine* page is a page of the
+// real machine memory (identified by an Mfn); a *physical* page is a page of
+// the physical address space of a virtual machine (identified by a Pfn); a
+// *virtual* page belongs to a guest process address space (Vpn).
+
+#ifndef XENNUMA_SRC_COMMON_TYPES_H_
+#define XENNUMA_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace xnuma {
+
+using NodeId = int32_t;    // NUMA node index.
+using CpuId = int32_t;     // Physical CPU index.
+using VcpuId = int32_t;    // Virtual CPU index within a domain.
+using DomainId = int32_t;  // Hypervisor domain (virtual machine) handle.
+
+using Mfn = int64_t;  // Machine frame number.
+using Pfn = int64_t;  // Guest-physical frame number.
+using Vpn = int64_t;  // Guest-virtual page number.
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr CpuId kInvalidCpu = -1;
+inline constexpr DomainId kInvalidDomain = -1;
+inline constexpr Mfn kInvalidMfn = -1;
+inline constexpr Pfn kInvalidPfn = -1;
+
+// Simulated page size. One simulated page stands for `kPageScale` bytes of
+// real memory (see DESIGN.md §2): placement logic is scale-invariant, the
+// scale only bounds the number of page objects the simulator tracks.
+inline constexpr int64_t kPageSizeBytes = 4096;
+inline constexpr int64_t kCacheLineBytes = 64;
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// Page allocation orders used by the Xen allocator model (§3.3 of the paper):
+// round-1G tries 1 GiB regions, then 2 MiB, then 4 KiB.
+enum class PageOrder {
+  k4K,
+  k2M,
+  k1G,
+};
+
+// NUMA policies studied in the paper (§3). `kRound1g` is Xen's default;
+// Carrefour is a dynamic policy layered on top of a static one.
+enum class StaticPolicy {
+  kFirstTouch,
+  kRound4k,
+  kRound1g,
+};
+
+struct PolicyConfig {
+  StaticPolicy placement = StaticPolicy::kRound4k;
+  bool carrefour = false;
+
+  bool operator==(const PolicyConfig&) const = default;
+};
+
+const char* ToString(StaticPolicy policy);
+
+// Human-readable policy name, e.g. "First-Touch / Carrefour".
+const char* ToString(const PolicyConfig& config);
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_COMMON_TYPES_H_

@@ -1,0 +1,42 @@
+#include "src/guest/balloon.h"
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+BalloonDriver::BalloonDriver(GuestOs& guest, Hypervisor& hv) : guest_(&guest), hv_(&hv) {}
+
+int64_t BalloonDriver::Inflate(int64_t pages) {
+  XNUMA_CHECK(pages >= 0);
+  std::vector<Pfn> taken = guest_->TakeFreePages(pages);
+  HvPlacementBackend& be = hv_->backend(guest_->domain_id());
+  for (Pfn pfn : taken) {
+    // The machine frame goes back to the hypervisor; the guest keeps the
+    // physical page number but cannot touch it until deflation.
+    be.Invalidate(pfn);
+    ballooned_.push_back(pfn);
+  }
+  return static_cast<int64_t>(taken.size());
+}
+
+int64_t BalloonDriver::Deflate(int64_t pages) {
+  XNUMA_CHECK(pages >= 0);
+  std::vector<Pfn> returned;
+  Domain& dom = hv_->domain(guest_->domain_id());
+  HvPlacementBackend& be = hv_->backend(guest_->domain_id());
+  while (pages > 0 && !ballooned_.empty()) {
+    const Pfn pfn = ballooned_.back();
+    // Eager policies re-back the page immediately; first-touch leaves the
+    // entry invalid so the next access takes the usual placement fault.
+    if (!dom.policy()->traps_releases()) {
+      dom.policy()->OnFirstTouch(be, pfn, dom.vcpus().front().pinned_cpu);
+    }
+    returned.push_back(pfn);
+    ballooned_.pop_back();
+    --pages;
+  }
+  guest_->ReturnFreePages(returned);
+  return static_cast<int64_t>(returned.size());
+}
+
+}  // namespace xnuma

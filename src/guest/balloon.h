@@ -1,0 +1,46 @@
+// The ballooning driver — the alternative the paper considers and rejects
+// for first-touch release tracking (§4.2.3).
+//
+// Inflating the balloon makes the guest hand free physical pages back to
+// the hypervisor: their P2M entries are invalidated and their machine
+// frames freed (available to other domains). Crucially, the guest CANNOT
+// use a ballooned page again until it is explicitly deflated — whereas the
+// first-touch policy needs the guest to reallocate any free page to a new
+// process *at any time*. That mismatch is exactly why the paper introduces
+// the page-queue hypercall instead; this class exists to make the argument
+// executable (see balloon_test.cc).
+
+#ifndef XENNUMA_SRC_GUEST_BALLOON_H_
+#define XENNUMA_SRC_GUEST_BALLOON_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/guest/guest_os.h"
+
+namespace xnuma {
+
+class BalloonDriver {
+ public:
+  BalloonDriver(GuestOs& guest, Hypervisor& hv);
+
+  // Hands up to `pages` free guest-physical pages to the hypervisor.
+  // Returns the number actually ballooned (bounded by the free list).
+  int64_t Inflate(int64_t pages);
+
+  // Reclaims up to `pages` ballooned pages: the hypervisor re-backs them
+  // (through the domain's NUMA policy for eager policies, or lazily for
+  // first-touch) and they rejoin the guest free list.
+  int64_t Deflate(int64_t pages);
+
+  int64_t ballooned_pages() const { return static_cast<int64_t>(ballooned_.size()); }
+
+ private:
+  GuestOs* guest_;
+  Hypervisor* hv_;
+  std::vector<Pfn> ballooned_;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_GUEST_BALLOON_H_

@@ -1,0 +1,130 @@
+#include "src/guest/guest_os.h"
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+GuestOs::GuestOs(Hypervisor& hv, DomainId domain, Options options)
+    : hv_(&hv), domain_(domain), options_(options) {
+  const int64_t pages = hv.domain(domain).memory_pages();
+  for (Pfn pfn = 0; pfn < pages; ++pfn) {
+    free_list_.push_back(pfn);
+  }
+  queue_ = std::make_unique<PvPageQueue>(
+      [this](std::span<const PageQueueOp> ops) {
+        return hv_->HypercallPageQueueFlush(domain_, ops);
+      },
+      options_.queue_partition_bits, options_.queue_batch_size);
+}
+
+int GuestOs::CreateProcess(int64_t num_vpages) {
+  XNUMA_CHECK(num_vpages > 0);
+  Process p;
+  p.vpage_to_pfn.assign(num_vpages, kInvalidPfn);
+  processes_.push_back(std::move(p));
+  return static_cast<int>(processes_.size()) - 1;
+}
+
+Pfn GuestOs::AllocPhysPage() {
+  XNUMA_CHECK(!free_list_.empty());
+  const Pfn pfn = free_list_.back();
+  free_list_.pop_back();
+  if (options_.mode == KernelMode::kParavirt) {
+    queue_->PushAlloc(pfn);
+  }
+  return pfn;
+}
+
+TouchResult GuestOs::TouchPage(int pid, Vpn vpn, CpuId cpu) {
+  XNUMA_CHECK(pid >= 0 && pid < num_processes());
+  Process& proc = processes_[pid];
+  XNUMA_CHECK(vpn >= 0 && vpn < static_cast<Vpn>(proc.vpage_to_pfn.size()));
+
+  TouchResult result;
+  Pfn pfn = proc.vpage_to_pfn[vpn];
+  if (pfn == kInvalidPfn) {
+    // Lazy allocation (§3.1): the guest kernel intercepts the invalid access
+    // and maps the virtual page to a physical page from its free list.
+    pfn = AllocPhysPage();
+    proc.vpage_to_pfn[vpn] = pfn;
+    result.guest_alloc = true;
+    ++stats_.guest_minor_faults;
+  }
+
+  HvPlacementBackend& be = hv_->backend(domain_);
+  if (!be.IsMapped(pfn)) {
+    // The access traps into the hypervisor, which resolves placement
+    // through the domain's NUMA policy.
+    result.hv_fault = true;
+    result.node = hv_->HandleGuestFault(domain_, pfn, cpu);
+  } else {
+    result.node = be.NodeOf(pfn);
+  }
+  return result;
+}
+
+void GuestOs::ReleasePage(int pid, Vpn vpn) {
+  XNUMA_CHECK(pid >= 0 && pid < num_processes());
+  Process& proc = processes_[pid];
+  XNUMA_CHECK(vpn >= 0 && vpn < static_cast<Vpn>(proc.vpage_to_pfn.size()));
+  const Pfn pfn = proc.vpage_to_pfn[vpn];
+  if (pfn == kInvalidPfn) {
+    return;
+  }
+  proc.vpage_to_pfn[vpn] = kInvalidPfn;
+  if (options_.zero_on_free) {
+    ++stats_.pages_zeroed;
+  }
+  free_list_.push_back(pfn);
+  ++stats_.releases;
+
+  if (options_.mode == KernelMode::kParavirt) {
+    queue_->PushRelease(pfn);
+  } else {
+    // Native kernel: a freed page is unmapped synchronously, so the next
+    // allocation takes a fresh first-touch fault. Only meaningful when the
+    // active policy traps releases.
+    Domain& dom = hv_->domain(domain_);
+    if (dom.policy()->traps_releases()) {
+      HvPlacementBackend& be = hv_->backend(domain_);
+      if (be.IsMapped(pfn)) {
+        be.Invalidate(pfn);
+        dom.policy()->OnRelease(be, pfn);
+      }
+    }
+  }
+}
+
+std::vector<Pfn> GuestOs::TakeFreePages(int64_t count) {
+  std::vector<Pfn> taken;
+  while (static_cast<int64_t>(taken.size()) < count && !free_list_.empty()) {
+    // Take from the front (cold end): recently-freed pages at the back are
+    // about to be reallocated.
+    taken.push_back(free_list_.front());
+    free_list_.pop_front();
+  }
+  return taken;
+}
+
+void GuestOs::ReturnFreePages(const std::vector<Pfn>& pages) {
+  for (Pfn pfn : pages) {
+    free_list_.push_front(pfn);
+  }
+}
+
+NodeId GuestOs::NodeOfVpage(int pid, Vpn vpn) const {
+  const Pfn pfn = PfnOfVpage(pid, vpn);
+  if (pfn == kInvalidPfn) {
+    return kInvalidNode;
+  }
+  return hv_->backend(domain_).NodeOf(pfn);
+}
+
+Pfn GuestOs::PfnOfVpage(int pid, Vpn vpn) const {
+  XNUMA_CHECK(pid >= 0 && pid < num_processes());
+  const Process& proc = processes_[pid];
+  XNUMA_CHECK(vpn >= 0 && vpn < static_cast<Vpn>(proc.vpage_to_pfn.size()));
+  return proc.vpage_to_pfn[vpn];
+}
+
+}  // namespace xnuma

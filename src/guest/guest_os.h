@@ -1,0 +1,103 @@
+// Guest operating system model: processes with lazily-populated address
+// spaces, a physical-page free list, zero-on-free, and the paravirtualized
+// hook that reports allocations/releases to the hypervisor (§4.2).
+//
+// The same class also models the *native* kernel (no hypervisor costs, no
+// PV queue): in that mode a release synchronously re-arms the first-touch
+// trap, exactly like Linux unmapping a freed page.
+
+#ifndef XENNUMA_SRC_GUEST_GUEST_OS_H_
+#define XENNUMA_SRC_GUEST_GUEST_OS_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/guest/pv_queue.h"
+#include "src/hv/hypervisor.h"
+
+namespace xnuma {
+
+enum class KernelMode {
+  kParavirt,      // domU kernel: releases go through the batched hypercall
+  kNativeKernel,  // native Linux: releases handled in-kernel, synchronously
+};
+
+struct TouchResult {
+  NodeId node = kInvalidNode;  // node now backing the touched page
+  bool guest_alloc = false;    // guest minor fault: vpage was unmapped
+  bool hv_fault = false;       // hypervisor fault: P2M entry was invalid
+};
+
+struct GuestOsStats {
+  int64_t guest_minor_faults = 0;
+  int64_t releases = 0;
+  int64_t pages_zeroed = 0;
+};
+
+class GuestOs {
+ public:
+  struct Options {
+    KernelMode mode = KernelMode::kParavirt;
+    int queue_partition_bits = 2;  // §4.2.4: two LSBs of the frame number
+    int queue_batch_size = 64;
+    // Before releasing, Linux fills the page with zeros (§4.4.2), which is
+    // what makes all free pages interchangeable for first-touch.
+    bool zero_on_free = true;
+  };
+
+  GuestOs(Hypervisor& hv, DomainId domain, Options options);
+  GuestOs(Hypervisor& hv, DomainId domain) : GuestOs(hv, domain, Options{}) {}
+
+  DomainId domain_id() const { return domain_; }
+  KernelMode mode() const { return options_.mode; }
+
+  // Creates a process with `num_vpages` virtual pages; returns its pid.
+  int CreateProcess(int64_t num_vpages);
+  int num_processes() const { return static_cast<int>(processes_.size()); }
+
+  // A thread on `cpu` accesses virtual page `vpn` of process `pid`:
+  //  - unmapped vpage -> guest minor fault, allocate a physical page from
+  //    the free list (reporting the allocation through the PV queue);
+  //  - invalid P2M entry -> hypervisor fault, resolved by the NUMA policy.
+  TouchResult TouchPage(int pid, Vpn vpn, CpuId cpu);
+
+  // The process unmaps `vpn`; its physical page is zeroed and returned to
+  // the free list (reported through the PV queue, or handled synchronously
+  // in native mode).
+  void ReleasePage(int pid, Vpn vpn);
+
+  // Current backing node of a virtual page, or kInvalidNode.
+  NodeId NodeOfVpage(int pid, Vpn vpn) const;
+  Pfn PfnOfVpage(int pid, Vpn vpn) const;
+
+  int64_t free_pages() const { return static_cast<int64_t>(free_list_.size()); }
+
+  // Ballooning support: removes up to `count` pages from the free list (the
+  // guest loses the ability to allocate them) / returns pages to it.
+  std::vector<Pfn> TakeFreePages(int64_t count);
+  void ReturnFreePages(const std::vector<Pfn>& pages);
+
+  PvPageQueue& pv_queue() { return *queue_; }
+  const GuestOsStats& stats() const { return stats_; }
+
+ private:
+  struct Process {
+    std::vector<Pfn> vpage_to_pfn;  // kInvalidPfn when unmapped
+  };
+
+  Pfn AllocPhysPage();
+
+  Hypervisor* hv_;
+  DomainId domain_;
+  Options options_;
+  std::vector<Process> processes_;
+  std::deque<Pfn> free_list_;  // LIFO: recently freed pages are reused first
+  std::unique_ptr<PvPageQueue> queue_;
+  GuestOsStats stats_;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_GUEST_GUEST_OS_H_

@@ -1,0 +1,76 @@
+#include "src/guest/pv_queue.h"
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+PvPageQueue::PvPageQueue(FlushFn flush, int partition_bits, int batch_size)
+    : flush_(std::move(flush)),
+      batch_size_(batch_size),
+      partitions_(1 << partition_bits),
+      partition_mask_((1 << partition_bits) - 1) {
+  XNUMA_CHECK(flush_ != nullptr);
+  XNUMA_CHECK(partition_bits >= 0 && partition_bits <= 8);
+  XNUMA_CHECK(batch_size_ >= 1);
+  for (Partition& p : partitions_) {
+    p.ops.reserve(batch_size_);
+  }
+}
+
+PvPageQueue::Partition& PvPageQueue::PartitionOf(Pfn pfn) {
+  return partitions_[pfn & partition_mask_];
+}
+
+void PvPageQueue::PushAlloc(Pfn pfn) {
+  Push({PageQueueOp::Kind::kAlloc, pfn});
+}
+
+void PvPageQueue::PushRelease(Pfn pfn) {
+  Push({PageQueueOp::Kind::kRelease, pfn});
+}
+
+void PvPageQueue::Push(PageQueueOp op) {
+  Partition& p = PartitionOf(op.pfn);
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.ops.push_back(op);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.pushes;
+  }
+  if (static_cast<int>(p.ops.size()) >= batch_size_) {
+    // The partition lock is deliberately held across the hypercall: another
+    // core must not reallocate a free page of this queue while the
+    // hypervisor replays it (§4.2.4).
+    FlushLocked(p);
+  }
+}
+
+void PvPageQueue::FlushLocked(Partition& p) {
+  if (p.ops.empty()) {
+    return;
+  }
+  const double hv_time = flush_(std::span<const PageQueueOp>(p.ops));
+  p.ops.clear();
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.flushes;
+  stats_.hypervisor_seconds += hv_time;
+}
+
+void PvPageQueue::FlushAll() {
+  for (Partition& p : partitions_) {
+    std::lock_guard<std::mutex> lock(p.mu);
+    FlushLocked(p);
+  }
+}
+
+PvPageQueue::Stats PvPageQueue::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void PvPageQueue::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = Stats();
+}
+
+}  // namespace xnuma

@@ -1,0 +1,24 @@
+#include "src/guest/sync_model.h"
+
+namespace xnuma {
+
+SyncOutcome EvaluateSync(SyncPrimitive primitive, ExecMode mode, double blocking_rate_per_s,
+                         const IpiModel& ipi) {
+  SyncOutcome outcome;
+  if (blocking_rate_per_s <= 0.0) {
+    return outcome;
+  }
+  switch (primitive) {
+    case SyncPrimitive::kBlockingFutex:
+      outcome.overhead_fraction = blocking_rate_per_s * ipi.WakeupCostSeconds(mode);
+      outcome.context_switches_per_s = blocking_rate_per_s;
+      break;
+    case SyncPrimitive::kMcsSpin:
+      outcome.overhead_fraction = kMcsSpinWasteFraction;
+      outcome.context_switches_per_s = 0.0;
+      break;
+  }
+  return outcome;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,41 @@
+// Synchronization primitive cost model (§5.3.2).
+//
+// Applications that block on pthread mutexes / condition variables leave the
+// CPU; when the CPU goes idle, waking it requires an IPI, which is ~12x more
+// expensive in a guest. Xen+ replaces those primitives with an MCS spin loop
+// for non-consolidated workloads: threads never leave the CPU, so the
+// intentional context-switch rate drops to zero (the paper measures exactly
+// that for facesim and streamcluster) at the price of a small spin waste.
+
+#ifndef XENNUMA_SRC_GUEST_SYNC_MODEL_H_
+#define XENNUMA_SRC_GUEST_SYNC_MODEL_H_
+
+#include "src/hv/ipi_model.h"
+
+namespace xnuma {
+
+enum class SyncPrimitive {
+  kBlockingFutex,  // pthread mutex / condvar: sleep + IPI wakeup
+  kMcsSpin,        // MCS spin lock: busy wait, no context switch
+};
+
+struct SyncOutcome {
+  // Fraction of wall time lost to synchronization (>= 0).
+  double overhead_fraction = 0.0;
+  // Observable intentional context switches per second (Table 2 metric).
+  double context_switches_per_s = 0.0;
+};
+
+// `blocking_rate_per_s` is the application's intentional context-switch rate
+// per second of compute when using blocking primitives.
+SyncOutcome EvaluateSync(SyncPrimitive primitive, ExecMode mode, double blocking_rate_per_s,
+                         const IpiModel& ipi);
+
+// Spin waste charged when converting blocking waits to MCS spinning: the
+// waiter burns its wait time instead of sleeping, but waits are short for
+// the lock-bound applications this targets.
+inline constexpr double kMcsSpinWasteFraction = 0.02;
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_GUEST_SYNC_MODEL_H_

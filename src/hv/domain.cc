@@ -1,0 +1,8 @@
+#include "src/hv/domain.h"
+
+namespace xnuma {
+
+Domain::Domain(DomainId id, std::string name, int64_t memory_pages)
+    : id_(id), name_(std::move(name)), p2m_(memory_pages) {}
+
+}  // namespace xnuma

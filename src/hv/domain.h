@@ -1,0 +1,99 @@
+// A domain is a virtual machine: virtual CPUs, a physical address space
+// backed through the P2M table, home NUMA nodes, and an active NUMA policy.
+
+#ifndef XENNUMA_SRC_HV_DOMAIN_H_
+#define XENNUMA_SRC_HV_DOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hv/p2m.h"
+#include "src/policy/numa_policy.h"
+
+namespace xnuma {
+
+struct VcpuDesc {
+  VcpuId id = -1;
+  CpuId pinned_cpu = kInvalidCpu;
+};
+
+struct DomainStats {
+  int64_t hv_page_faults = 0;       // first-touch traps taken
+  int64_t queue_flush_hypercalls = 0;
+  int64_t queue_entries_seen = 0;
+  int64_t pages_invalidated = 0;    // releases honoured by the replay
+  int64_t reallocated_in_queue = 0; // release superseded by a later alloc
+  int64_t pages_migrated = 0;
+  int64_t bytes_migrated = 0;
+  int64_t pages_replicated = 0;
+  int64_t replicas_collapsed = 0;
+  // Simulated hypervisor time split for the queue flush path, used to
+  // reproduce the §4.2.4 measurement (87.5% invalidating vs 12.5% sending).
+  double queue_send_seconds = 0.0;
+  double queue_invalidate_seconds = 0.0;
+};
+
+class Domain {
+ public:
+  Domain(DomainId id, std::string name, int64_t memory_pages);
+
+  DomainId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  const std::vector<VcpuDesc>& vcpus() const { return vcpus_; }
+  std::vector<VcpuDesc>& mutable_vcpus() { return vcpus_; }
+
+  int64_t memory_pages() const { return p2m_.num_pages(); }
+  P2mTable& p2m() { return p2m_; }
+  const P2mTable& p2m() const { return p2m_; }
+
+  const std::vector<NodeId>& home_nodes() const { return home_nodes_; }
+  void set_home_nodes(std::vector<NodeId> nodes) { home_nodes_ = std::move(nodes); }
+
+  const PolicyConfig& policy_config() const { return policy_config_; }
+  NumaPolicy* policy() { return policy_.get(); }
+  void SetPolicy(PolicyConfig config, std::unique_ptr<NumaPolicy> policy) {
+    policy_config_ = config;
+    policy_ = std::move(policy);
+  }
+  void set_carrefour(bool on) { policy_config_.carrefour = on; }
+
+  bool pci_passthrough() const { return pci_passthrough_; }
+  void set_pci_passthrough(bool on) { pci_passthrough_ = on; }
+
+  bool is_dom0() const { return is_dom0_; }
+  void set_is_dom0(bool v) { is_dom0_ = v; }
+
+  DomainStats& stats() { return stats_; }
+  const DomainStats& stats() const { return stats_; }
+
+  // ---- Read-only page replication (the heuristic the paper *discards* in
+  // §3.4; implemented here as an optional extension, off by default).
+  // A replicated physical page has one machine copy per home node; reads are
+  // served locally on every node, the first write collapses the replicas
+  // back to the primary copy. The registry tracks the replica frames so the
+  // memory cost is charged for real.
+  bool IsReplicated(Pfn pfn) const { return replicas_.count(pfn) > 0; }
+  const std::unordered_map<Pfn, std::vector<Mfn>>& replicas() const { return replicas_; }
+  std::unordered_map<Pfn, std::vector<Mfn>>& mutable_replicas() { return replicas_; }
+
+ private:
+  DomainId id_;
+  std::string name_;
+  std::vector<VcpuDesc> vcpus_;
+  P2mTable p2m_;
+  std::vector<NodeId> home_nodes_;
+  PolicyConfig policy_config_;
+  std::unique_ptr<NumaPolicy> policy_;
+  bool pci_passthrough_ = false;
+  bool is_dom0_ = false;
+  DomainStats stats_;
+  std::unordered_map<Pfn, std::vector<Mfn>> replicas_;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_HV_DOMAIN_H_

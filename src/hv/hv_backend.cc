@@ -1,0 +1,149 @@
+#include "src/hv/hv_backend.h"
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+HvPlacementBackend::HvPlacementBackend(Domain& domain, FrameAllocator& frames)
+    : domain_(&domain), frames_(&frames) {}
+
+int64_t HvPlacementBackend::num_pages() const { return domain_->memory_pages(); }
+
+const std::vector<NodeId>& HvPlacementBackend::home_nodes() const {
+  return domain_->home_nodes();
+}
+
+bool HvPlacementBackend::IsMapped(Pfn pfn) const { return domain_->p2m().IsValid(pfn); }
+
+NodeId HvPlacementBackend::NodeOf(Pfn pfn) const {
+  const Mfn mfn = domain_->p2m().Lookup(pfn);
+  return mfn == kInvalidMfn ? kInvalidNode : frames_->NodeOf(mfn);
+}
+
+bool HvPlacementBackend::MapOnNode(Pfn pfn, NodeId node) {
+  if (domain_->p2m().IsValid(pfn)) {
+    return false;
+  }
+  const Mfn mfn = frames_->AllocOnNode(node);
+  if (mfn == kInvalidMfn) {
+    return false;
+  }
+  domain_->p2m().Map(pfn, mfn);
+  return true;
+}
+
+bool HvPlacementBackend::MapRangeOnNode(Pfn first, int64_t count, NodeId node) {
+  XNUMA_CHECK(count > 0);
+  XNUMA_CHECK(first >= 0 && first + count <= num_pages());
+  for (Pfn pfn = first; pfn < first + count; ++pfn) {
+    if (domain_->p2m().IsValid(pfn)) {
+      return false;
+    }
+  }
+  const Mfn base = frames_->AllocContiguous(node, count);
+  if (base == kInvalidMfn) {
+    return false;
+  }
+  for (int64_t k = 0; k < count; ++k) {
+    domain_->p2m().Map(first + k, base + k);
+  }
+  return true;
+}
+
+bool HvPlacementBackend::Replicate(Pfn pfn) {
+  P2mTable& p2m = domain_->p2m();
+  if (!p2m.IsValid(pfn) || domain_->IsReplicated(pfn)) {
+    return false;
+  }
+  const NodeId primary = frames_->NodeOf(p2m.Lookup(pfn));
+  std::vector<Mfn> replicas;
+  for (NodeId node : domain_->home_nodes()) {
+    if (node == primary) {
+      continue;
+    }
+    const Mfn mfn = frames_->AllocOnNode(node);
+    if (mfn == kInvalidMfn) {
+      for (Mfn taken : replicas) {
+        frames_->Free(taken);
+      }
+      return false;
+    }
+    replicas.push_back(mfn);
+  }
+  // Reads may now be served from any copy; stores must trap so the replicas
+  // can be collapsed before the write lands.
+  p2m.WriteProtect(pfn);
+  domain_->mutable_replicas()[pfn] = std::move(replicas);
+  ++domain_->stats().pages_replicated;
+  return true;
+}
+
+void HvPlacementBackend::CollapseReplicas(Pfn pfn) {
+  auto it = domain_->mutable_replicas().find(pfn);
+  if (it == domain_->mutable_replicas().end()) {
+    return;
+  }
+  for (Mfn mfn : it->second) {
+    frames_->Free(mfn);
+  }
+  domain_->mutable_replicas().erase(it);
+  if (domain_->p2m().IsValid(pfn)) {
+    domain_->p2m().WriteUnprotect(pfn);
+  }
+  ++domain_->stats().replicas_collapsed;
+}
+
+bool HvPlacementBackend::IsReplicated(Pfn pfn) const { return domain_->IsReplicated(pfn); }
+
+bool HvPlacementBackend::Migrate(Pfn pfn, NodeId node) {
+  P2mTable& p2m = domain_->p2m();
+  if (!p2m.IsValid(pfn)) {
+    return false;
+  }
+  if (domain_->IsReplicated(pfn)) {
+    // A replicated page already serves every node locally; collapse before
+    // moving the primary copy.
+    CollapseReplicas(pfn);
+  }
+  const Mfn old_mfn = p2m.Lookup(pfn);
+  if (frames_->NodeOf(old_mfn) == node) {
+    return true;  // Already there.
+  }
+  const Mfn new_mfn = frames_->AllocOnNode(node);
+  if (new_mfn == kInvalidMfn) {
+    return false;
+  }
+  // §4.1: write-protect the entry so no store lands in the page while it is
+  // being copied, copy, then commit the new mapping and drop protection.
+  p2m.WriteProtect(pfn);
+  p2m.Remap(pfn, new_mfn);
+  p2m.WriteUnprotect(pfn);
+  frames_->Free(old_mfn);
+
+  ++window_.migrations;
+  window_.bytes += frames_->bytes_per_frame();
+  ++domain_->stats().pages_migrated;
+  domain_->stats().bytes_migrated += frames_->bytes_per_frame();
+  return true;
+}
+
+void HvPlacementBackend::Invalidate(Pfn pfn) {
+  P2mTable& p2m = domain_->p2m();
+  if (!p2m.IsValid(pfn)) {
+    return;
+  }
+  CollapseReplicas(pfn);
+  frames_->Free(p2m.Unmap(pfn));
+}
+
+int64_t HvPlacementBackend::FreeFramesOnNode(NodeId node) const {
+  return frames_->FreeFrames(node);
+}
+
+HvPlacementBackend::MigrationWindow HvPlacementBackend::DrainMigrationWindow() {
+  const MigrationWindow w = window_;
+  window_ = MigrationWindow();
+  return w;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,58 @@
+// Hypervisor-side implementation of the internal interface (§4.1).
+//
+// A NUMA policy never touches the guest page table: it maps the *physical*
+// pages of the domain to machine pages of chosen NUMA nodes through the
+// hypervisor page table (P2M), and migrates them with the write-protect /
+// copy / remap sequence.
+
+#ifndef XENNUMA_SRC_HV_HV_BACKEND_H_
+#define XENNUMA_SRC_HV_HV_BACKEND_H_
+
+#include "src/common/types.h"
+#include "src/hv/domain.h"
+#include "src/mm/frame_allocator.h"
+#include "src/policy/placement_backend.h"
+
+namespace xnuma {
+
+class HvPlacementBackend : public PlacementBackend {
+ public:
+  HvPlacementBackend(Domain& domain, FrameAllocator& frames);
+
+  int64_t num_pages() const override;
+  const std::vector<NodeId>& home_nodes() const override;
+  bool IsMapped(Pfn pfn) const override;
+  NodeId NodeOf(Pfn pfn) const override;
+  bool MapOnNode(Pfn pfn, NodeId node) override;
+  bool MapRangeOnNode(Pfn first, int64_t count, NodeId node) override;
+  bool Migrate(Pfn pfn, NodeId node) override;
+  void Invalidate(Pfn pfn) override;
+  int64_t FreeFramesOnNode(NodeId node) const override;
+
+  // ---- Read-only replication (optional §3.4 extension). ----
+  // Creates one machine copy of `pfn` on every home node other than the one
+  // currently backing it; all-or-nothing (rolls back on memory exhaustion).
+  // Fails when the page is unmapped or already replicated.
+  bool Replicate(Pfn pfn);
+  // Drops every replica of `pfn` (taken on the first write, which traps via
+  // the write-protected entries). No-op for unreplicated pages.
+  void CollapseReplicas(Pfn pfn);
+  bool IsReplicated(Pfn pfn) const;
+
+  // Migration activity since the last call; the simulator drains this each
+  // epoch to charge copy bandwidth and stalls.
+  struct MigrationWindow {
+    int64_t migrations = 0;
+    int64_t bytes = 0;
+  };
+  MigrationWindow DrainMigrationWindow();
+
+ private:
+  Domain* domain_;
+  FrameAllocator* frames_;
+  MigrationWindow window_;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_HV_HV_BACKEND_H_

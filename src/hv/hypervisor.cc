@@ -1,0 +1,241 @@
+#include "src/hv/hypervisor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+Hypervisor::Hypervisor(const Topology& topo, int64_t bytes_per_frame)
+    : topo_(&topo), frames_(topo, bytes_per_frame) {
+  // BIOS and I/O holes fragment the edges of every node's memory (§3.3).
+  frames_.FragmentEdgeRegions(/*holes_per_edge=*/4);
+  cpu_reservations_.assign(topo.num_cpus(), 0);
+}
+
+Domain& Hypervisor::domain(DomainId id) {
+  XNUMA_CHECK(id >= 0 && id < num_domains());
+  return *domains_[id];
+}
+
+const Domain& Hypervisor::domain(DomainId id) const {
+  XNUMA_CHECK(id >= 0 && id < num_domains());
+  return *domains_[id];
+}
+
+HvPlacementBackend& Hypervisor::backend(DomainId id) {
+  XNUMA_CHECK(id >= 0 && id < num_domains());
+  return *backends_[id];
+}
+
+std::vector<NodeId> Hypervisor::PackHomeNodes(int num_vcpus, int64_t memory_pages) const {
+  // Rank nodes by load (reserved pCPUs first, then allocated memory), then
+  // greedily take the least loaded nodes until both the vCPU and the memory
+  // demand fit. This mirrors Xen's "pack on the minimal number of
+  // underloaded NUMA nodes" behaviour (§3.3).
+  struct NodeLoad {
+    NodeId node;
+    int free_cpus;
+    int64_t free_frames;
+  };
+  std::vector<NodeLoad> loads;
+  for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
+    int free_cpus = 0;
+    for (CpuId c : topo_->node(n).cpus) {
+      if (cpu_reservations_[c] == 0) {
+        ++free_cpus;
+      }
+    }
+    loads.push_back({n, free_cpus, frames_.FreeFrames(n)});
+  }
+  std::sort(loads.begin(), loads.end(), [](const NodeLoad& a, const NodeLoad& b) {
+    if (a.free_cpus != b.free_cpus) {
+      return a.free_cpus > b.free_cpus;
+    }
+    if (a.free_frames != b.free_frames) {
+      return a.free_frames > b.free_frames;
+    }
+    return a.node < b.node;
+  });
+
+  std::vector<NodeId> homes;
+  int cpus = 0;
+  int64_t frames = 0;
+  for (const NodeLoad& load : loads) {
+    homes.push_back(load.node);
+    cpus += load.free_cpus;
+    frames += load.free_frames;
+    if (cpus >= num_vcpus && frames >= memory_pages) {
+      break;
+    }
+  }
+  std::sort(homes.begin(), homes.end());
+  return homes;
+}
+
+DomainId Hypervisor::TryCreateDomain(const DomainConfig& config) {
+  XNUMA_CHECK(config.num_vcpus > 0);
+  XNUMA_CHECK(config.memory_pages > 0);
+  if (config.memory_pages > frames_.TotalFreeFrames()) {
+    return kInvalidDomain;
+  }
+  if (!config.pinned_cpus.empty() &&
+      static_cast<int>(config.pinned_cpus.size()) != config.num_vcpus) {
+    return kInvalidDomain;
+  }
+  if (config.pci_passthrough && config.policy.placement == StaticPolicy::kFirstTouch) {
+    // §4.4.1: refuse rather than let DMA fault on invalid entries.
+    return kInvalidDomain;
+  }
+
+  const DomainId id = static_cast<DomainId>(domains_.size());
+  auto dom = std::make_unique<Domain>(id, config.name, config.memory_pages);
+  dom->set_is_dom0(config.is_dom0);
+  dom->set_pci_passthrough(config.pci_passthrough);
+
+  // Pin vCPUs: explicit list, or pack onto the home nodes.
+  std::vector<CpuId> pins = config.pinned_cpus;
+  std::vector<NodeId> homes;
+  if (pins.empty()) {
+    homes = PackHomeNodes(config.num_vcpus, config.memory_pages);
+    for (NodeId n : homes) {
+      for (CpuId c : topo_->node(n).cpus) {
+        if (cpu_reservations_[c] == 0 && static_cast<int>(pins.size()) < config.num_vcpus) {
+          pins.push_back(c);
+        }
+      }
+    }
+    if (static_cast<int>(pins.size()) < config.num_vcpus) {
+      // Overcommitted: reuse home-node CPUs round-robin.
+      int i = 0;
+      std::vector<CpuId> home_cpus;
+      for (NodeId n : homes) {
+        for (CpuId c : topo_->node(n).cpus) {
+          home_cpus.push_back(c);
+        }
+      }
+      while (static_cast<int>(pins.size()) < config.num_vcpus) {
+        pins.push_back(home_cpus[i++ % home_cpus.size()]);
+      }
+    }
+  } else {
+    std::unordered_set<NodeId> seen;
+    for (CpuId c : pins) {
+      XNUMA_CHECK(c >= 0 && c < topo_->num_cpus());
+      seen.insert(topo_->node_of_cpu(c));
+    }
+    homes.assign(seen.begin(), seen.end());
+    std::sort(homes.begin(), homes.end());
+  }
+  dom->set_home_nodes(std::move(homes));
+  for (int v = 0; v < config.num_vcpus; ++v) {
+    dom->mutable_vcpus().push_back({v, pins[v]});
+    ++cpu_reservations_[pins[v]];
+  }
+
+  dom->SetPolicy(config.policy, MakePolicy(config.policy.placement));
+
+  domains_.push_back(std::move(dom));
+  backends_.push_back(std::make_unique<HvPlacementBackend>(*domains_.back(), frames_));
+
+  // Eager policies (round-4K, round-1G) allocate the machine memory of the
+  // domain at creation time (§3.3).
+  domains_.back()->policy()->Initialize(*backends_.back());
+  return id;
+}
+
+DomainId Hypervisor::CreateDomain(const DomainConfig& config) {
+  const DomainId id = TryCreateDomain(config);
+  XNUMA_CHECK(id != kInvalidDomain);
+  return id;
+}
+
+HypercallStatus Hypervisor::HypercallSetPolicy(DomainId id, const PolicyConfig& config) {
+  if (id < 0 || id >= num_domains()) {
+    return HypercallStatus::kBadDomain;
+  }
+  Domain& dom = domain(id);
+  if (config.placement == StaticPolicy::kFirstTouch && dom.pci_passthrough()) {
+    return HypercallStatus::kPolicyConflictsWithIommu;
+  }
+  if (config.placement == dom.policy_config().placement) {
+    dom.set_carrefour(config.carrefour);
+    return HypercallStatus::kOk;
+  }
+  dom.SetPolicy(config, MakePolicy(config.placement));
+  dom.policy()->Initialize(backend(id));
+  return HypercallStatus::kOk;
+}
+
+double Hypervisor::HypercallPageQueueFlush(DomainId id, std::span<const PageQueueOp> ops) {
+  XNUMA_CHECK(id >= 0 && id < num_domains());
+  Domain& dom = domain(id);
+  DomainStats& stats = dom.stats();
+  ++stats.queue_flush_hypercalls;
+  stats.queue_entries_seen += static_cast<int64_t>(ops.size());
+
+  const double send_time =
+      costs_.hypercall_base_s + costs_.queue_entry_send_s * static_cast<double>(ops.size());
+  double invalidate_time = 0.0;
+
+  if (dom.policy()->traps_releases()) {
+    // Walk from the most recent operation; only the latest op per page
+    // counts (§4.2.4).
+    std::unordered_set<Pfn> visited;
+    visited.reserve(ops.size());
+    HvPlacementBackend& be = backend(id);
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      if (!visited.insert(it->pfn).second) {
+        continue;
+      }
+      if (it->kind == PageQueueOp::Kind::kRelease) {
+        if (be.IsMapped(it->pfn)) {
+          be.Invalidate(it->pfn);
+          dom.policy()->OnRelease(be, it->pfn);
+          ++stats.pages_invalidated;
+          invalidate_time += costs_.queue_entry_invalidate_s;
+        }
+      } else {
+        // The page may already be reused by a process: leave it where it is
+        // rather than copying its content (§4.2.4).
+        ++stats.reallocated_in_queue;
+      }
+    }
+  }
+
+  stats.queue_send_seconds += send_time;
+  stats.queue_invalidate_seconds += invalidate_time;
+  return send_time + invalidate_time;
+}
+
+NodeId Hypervisor::HandleGuestFault(DomainId id, Pfn pfn, CpuId toucher_cpu) {
+  XNUMA_CHECK(id >= 0 && id < num_domains());
+  Domain& dom = domain(id);
+  ++dom.stats().hv_page_faults;
+  const NodeId toucher_node = topo_->node_of_cpu(toucher_cpu);
+  return dom.policy()->OnFirstTouch(backend(id), pfn, toucher_node);
+}
+
+int Hypervisor::VcpusOnCpu(CpuId cpu) const {
+  int count = 0;
+  for (const auto& dom : domains_) {
+    for (const VcpuDesc& v : dom->vcpus()) {
+      if (v.pinned_cpu == cpu) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+double Hypervisor::CpuShare(DomainId id, VcpuId vcpu) const {
+  const Domain& dom = domain(id);
+  XNUMA_CHECK(vcpu >= 0 && vcpu < static_cast<int>(dom.vcpus().size()));
+  const CpuId cpu = dom.vcpus()[vcpu].pinned_cpu;
+  const int sharers = VcpusOnCpu(cpu);
+  XNUMA_CHECK(sharers >= 1);
+  return 1.0 / sharers;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,108 @@
+// The hypervisor: domain lifecycle with home-node packing, the two new
+// hypercalls of the paper's external interface (§4.2), the hypervisor
+// page-fault path that implements first-touch, and vCPU -> pCPU assignment.
+
+#ifndef XENNUMA_SRC_HV_HYPERVISOR_H_
+#define XENNUMA_SRC_HV_HYPERVISOR_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hv/costs.h"
+#include "src/hv/domain.h"
+#include "src/hv/hv_backend.h"
+#include "src/mm/frame_allocator.h"
+#include "src/numa/topology.h"
+
+namespace xnuma {
+
+struct DomainConfig {
+  std::string name = "domU";
+  int num_vcpus = 1;
+  int64_t memory_pages = 0;
+  // Explicit pinning (one physical CPU per vCPU); empty selects automatic
+  // packing on the home nodes with one reserved pCPU per vCPU (§3.3).
+  std::vector<CpuId> pinned_cpus;
+  // Boot-time policy. Per §4.2.1 a VM boots with round-4K unless the
+  // round-1G boot option is selected; first-touch/Carrefour are switched on
+  // at runtime through the policy hypercall.
+  PolicyConfig policy;
+  bool pci_passthrough = false;
+  bool is_dom0 = false;
+};
+
+enum class HypercallStatus {
+  kOk,
+  kBadDomain,
+  // §4.4.1: the PCI passthrough IOMMU cannot tolerate invalid P2M entries,
+  // so first-touch cannot be enabled while passthrough is active.
+  kPolicyConflictsWithIommu,
+};
+
+// One entry of the batched page queue (§4.2.4).
+struct PageQueueOp {
+  enum class Kind { kAlloc, kRelease };
+  Kind kind = Kind::kRelease;
+  Pfn pfn = kInvalidPfn;
+};
+
+class Hypervisor {
+ public:
+  Hypervisor(const Topology& topo, int64_t bytes_per_frame = 4ll << 20);
+
+  const Topology& topology() const { return *topo_; }
+  FrameAllocator& frames() { return frames_; }
+  const HvCosts& costs() const { return costs_; }
+
+  // Creates and places a domain. Aborts on unsatisfiable configs (tests use
+  // TryCreateDomain to probe failure paths).
+  DomainId CreateDomain(const DomainConfig& config);
+  DomainId TryCreateDomain(const DomainConfig& config);  // kInvalidDomain on failure
+
+  int num_domains() const { return static_cast<int>(domains_.size()); }
+  Domain& domain(DomainId id);
+  const Domain& domain(DomainId id) const;
+  HvPlacementBackend& backend(DomainId id);
+
+  // ---- External interface, hypercall 1 (§4.2.1): select the NUMA policy
+  // of a whole virtual machine; may also toggle Carrefour.
+  HypercallStatus HypercallSetPolicy(DomainId id, const PolicyConfig& config);
+
+  // ---- External interface, hypercall 2 (§4.2.3-4.2.4): the guest flushes
+  // a batch of (op, page) entries. The replay walks from the most recent
+  // entry and honours only the latest op per page: a release invalidates the
+  // P2M entry (re-arming the first-touch trap); an alloc means the page may
+  // already be in use again, so it is left on its current node (§4.2.4).
+  // Returns the simulated hypervisor time consumed by this flush.
+  double HypercallPageQueueFlush(DomainId id, std::span<const PageQueueOp> ops);
+
+  // Hypervisor page-fault path: a guest access touched a pfn whose P2M entry
+  // is invalid. Resolves placement through the domain policy. Returns the
+  // node chosen, or kInvalidNode when machine memory is exhausted.
+  NodeId HandleGuestFault(DomainId id, Pfn pfn, CpuId toucher_cpu);
+
+  // Number of vCPUs (across all domains) pinned to `cpu`; the credit
+  // scheduler model gives each an equal share of the pCPU.
+  int VcpusOnCpu(CpuId cpu) const;
+  double CpuShare(DomainId id, VcpuId vcpu) const;
+
+  // Home-node packing used when no explicit pinning is given: fewest
+  // underloaded nodes that fit both the vCPUs (one reserved pCPU each) and
+  // the memory.
+  std::vector<NodeId> PackHomeNodes(int num_vcpus, int64_t memory_pages) const;
+
+ private:
+  const Topology* topo_;
+  FrameAllocator frames_;
+  HvCosts costs_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::vector<std::unique_ptr<HvPlacementBackend>> backends_;
+  std::vector<int> cpu_reservations_;  // reserved pCPUs (for packing)
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_HV_HYPERVISOR_H_

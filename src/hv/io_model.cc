@@ -1,0 +1,64 @@
+#include "src/hv/io_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+const char* ToString(IoPath path) {
+  switch (path) {
+    case IoPath::kNative:
+      return "native";
+    case IoPath::kPvSplitDriver:
+      return "pv-split-driver";
+    case IoPath::kPciPassthrough:
+      return "pci-passthrough";
+  }
+  return "?";
+}
+
+IoModel::IoModel(IoParams params) : params_(params) {
+  XNUMA_CHECK(params_.disk_bandwidth_bps > 0.0);
+}
+
+double IoModel::RequestOverhead(IoPath path) const {
+  switch (path) {
+    case IoPath::kNative:
+      return params_.native_request_overhead_s;
+    case IoPath::kPvSplitDriver:
+      return params_.pv_request_overhead_s;
+    case IoPath::kPciPassthrough:
+      return params_.passthrough_request_overhead_s;
+  }
+  return 0.0;
+}
+
+double IoModel::BandwidthCap(IoPath path) const {
+  switch (path) {
+    case IoPath::kNative:
+      return params_.disk_bandwidth_bps;
+    case IoPath::kPvSplitDriver:
+      return params_.pv_bandwidth_cap_bps;
+    case IoPath::kPciPassthrough:
+      return params_.passthrough_bandwidth_cap_bps;
+  }
+  return 0.0;
+}
+
+double IoModel::ReadLatencySeconds(IoPath path, int64_t bytes) const {
+  XNUMA_CHECK(bytes > 0);
+  const double transfer_bps = std::min(params_.disk_bandwidth_bps, BandwidthCap(path));
+  return RequestOverhead(path) + static_cast<double>(bytes) / transfer_bps;
+}
+
+double IoModel::StreamBandwidth(IoPath path, int64_t request_bytes, bool scattered_buffers) const {
+  const double latency = ReadLatencySeconds(path, request_bytes);
+  double bandwidth = static_cast<double>(request_bytes) / latency;
+  if (scattered_buffers && path != IoPath::kNative) {
+    bandwidth = std::min(bandwidth * params_.scattered_dma_bonus, BandwidthCap(path));
+  }
+  return bandwidth;
+}
+
+}  // namespace xnuma

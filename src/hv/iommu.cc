@@ -1,0 +1,34 @@
+#include "src/hv/iommu.h"
+
+namespace xnuma {
+
+Iommu::Iommu(Hypervisor& hv) : hv_(&hv) {}
+
+DmaResult Iommu::DeviceWrite(DomainId domain, Pfn pfn) {
+  DmaResult result;
+  Domain& dom = hv_->domain(domain);
+  if (!dom.pci_passthrough()) {
+    result.status = DmaStatus::kNotPassthrough;
+    return result;
+  }
+  HvPlacementBackend& be = hv_->backend(domain);
+  if (!be.IsMapped(pfn)) {
+    // The IOMMU aborts the transfer and notifies the hypervisor
+    // asynchronously (§4.4.1). The hypervisor maps a machine page when the
+    // notification arrives, but the guest OS has already returned an I/O
+    // error to the process.
+    ++async_errors_;
+    result.status = DmaStatus::kAsyncIoError;
+    const auto& homes = be.home_nodes();
+    const NodeId late_node = homes[late_fixup_cursor_ % static_cast<int>(homes.size())];
+    ++late_fixup_cursor_;
+    MapWithFallback(be, pfn, late_node, &late_fixup_cursor_);
+    result.target_node = be.NodeOf(pfn);
+    return result;
+  }
+  result.status = DmaStatus::kOk;
+  result.target_node = be.NodeOf(pfn);
+  return result;
+}
+
+}  // namespace xnuma

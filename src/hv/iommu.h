@@ -1,0 +1,53 @@
+// IOMMU model (§2.2.2, §4.4.1).
+//
+// With PCI passthrough, a device translates guest-physical addresses through
+// the hypervisor page table itself. When it hits an *invalid* entry — which
+// is exactly how the first-touch policy arms its traps — the transfer aborts
+// and the error is reported *asynchronously*: by the time the hypervisor
+// maps a machine page it is too late, the guest OS has already failed the
+// I/O. This is the hardware design choice that makes first-touch and the
+// IOMMU mutually exclusive.
+
+#ifndef XENNUMA_SRC_HV_IOMMU_H_
+#define XENNUMA_SRC_HV_IOMMU_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hv/hypervisor.h"
+
+namespace xnuma {
+
+enum class DmaStatus {
+  kOk,
+  kAsyncIoError,  // invalid P2M entry: guest already observed the failure
+  kNotPassthrough,
+};
+
+struct DmaResult {
+  DmaStatus status = DmaStatus::kOk;
+  NodeId target_node = kInvalidNode;  // node whose memory the DMA wrote
+};
+
+class Iommu {
+ public:
+  explicit Iommu(Hypervisor& hv);
+
+  // A device DMA transfer into `pfn` of `domain` via the IOMMU. Only legal
+  // for passthrough domains. On an invalid entry the transfer is aborted;
+  // the hypervisor is notified *after* the fact (too late to help) — we
+  // model that by mapping the page anyway, but still reporting the error the
+  // guest saw.
+  DmaResult DeviceWrite(DomainId domain, Pfn pfn);
+
+  int64_t async_errors() const { return async_errors_; }
+
+ private:
+  Hypervisor* hv_;
+  int64_t async_errors_ = 0;
+  int late_fixup_cursor_ = 0;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_HV_IOMMU_H_

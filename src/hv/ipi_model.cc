@@ -1,0 +1,36 @@
+#include "src/hv/ipi_model.h"
+
+namespace xnuma {
+
+IpiModel::IpiModel() {
+  // Native path: write the APIC ICR, interconnect delivery, handler entry.
+  // Guest path: every step round-trips through the hypervisor — the ICR
+  // write traps (vmexit), the hypervisor routes to the target vCPU, kicks
+  // the physical CPU it sleeps on, injects a virtual interrupt, and the
+  // guest handler finally runs.
+  stages_ = {
+      {"apic-send", 300.0, 1200.0},    // native: ICR write; guest: trapped ICR write
+      {"route", 0.0, 2400.0},          // hypervisor: find target vCPU
+      {"deliver", 400.0, 3600.0},      // native: HW delivery; guest: kick pCPU
+      {"inject", 0.0, 2300.0},         // hypervisor: virtual interrupt injection
+      {"handler-entry", 200.0, 1400.0} // interrupt handler dispatch
+  };
+}
+
+double IpiModel::TotalSeconds(ExecMode mode) const {
+  double ns = 0.0;
+  for (const IpiStage& s : stages_) {
+    ns += (mode == ExecMode::kNative) ? s.native_ns : s.guest_ns;
+  }
+  return ns * 1e-9;
+}
+
+double IpiModel::WakeupCostSeconds(ExecMode mode) const {
+  double cost = 2.0 * context_switch_s_ + TotalSeconds(mode);
+  if (mode == ExecMode::kGuest) {
+    cost += vcpu_wake_extra_s_;
+  }
+  return cost;
+}
+
+}  // namespace xnuma

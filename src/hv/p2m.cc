@@ -1,0 +1,62 @@
+#include "src/hv/p2m.h"
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+P2mTable::P2mTable(int64_t num_pages) {
+  XNUMA_CHECK(num_pages > 0);
+  entries_.resize(num_pages);
+}
+
+const P2mEntry& P2mTable::At(Pfn pfn) const {
+  XNUMA_CHECK(pfn >= 0 && pfn < num_pages());
+  return entries_[pfn];
+}
+
+P2mEntry& P2mTable::At(Pfn pfn) {
+  XNUMA_CHECK(pfn >= 0 && pfn < num_pages());
+  return entries_[pfn];
+}
+
+void P2mTable::Map(Pfn pfn, Mfn mfn) {
+  P2mEntry& e = At(pfn);
+  XNUMA_CHECK(!e.valid);
+  XNUMA_CHECK(mfn != kInvalidMfn);
+  e.mfn = mfn;
+  e.valid = true;
+  e.writable = true;
+  ++valid_count_;
+}
+
+void P2mTable::Remap(Pfn pfn, Mfn new_mfn) {
+  P2mEntry& e = At(pfn);
+  XNUMA_CHECK(e.valid);
+  XNUMA_CHECK(new_mfn != kInvalidMfn);
+  e.mfn = new_mfn;
+}
+
+Mfn P2mTable::Unmap(Pfn pfn) {
+  P2mEntry& e = At(pfn);
+  XNUMA_CHECK(e.valid);
+  const Mfn old = e.mfn;
+  e.mfn = kInvalidMfn;
+  e.valid = false;
+  e.writable = true;
+  --valid_count_;
+  return old;
+}
+
+void P2mTable::WriteProtect(Pfn pfn) {
+  P2mEntry& e = At(pfn);
+  XNUMA_CHECK(e.valid);
+  e.writable = false;
+}
+
+void P2mTable::WriteUnprotect(Pfn pfn) {
+  P2mEntry& e = At(pfn);
+  XNUMA_CHECK(e.valid);
+  e.writable = true;
+}
+
+}  // namespace xnuma

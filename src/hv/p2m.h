@@ -1,0 +1,60 @@
+// The hypervisor page table (P2M): maps the physical pages of a virtual
+// machine to machine pages (§2.1). In other hypervisors this is the EPT/NPT
+// second-stage table; Xen calls the levels "physical" and "machine" and so
+// do we.
+//
+// An *invalid* entry makes any guest access trap into the hypervisor — the
+// mechanism behind the first-touch policy (§4.2). A *write-protected* entry
+// traps stores only — the mechanism behind safe page migration (§4.1).
+
+#ifndef XENNUMA_SRC_HV_P2M_H_
+#define XENNUMA_SRC_HV_P2M_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace xnuma {
+
+struct P2mEntry {
+  Mfn mfn = kInvalidMfn;
+  bool valid = false;
+  bool writable = true;
+};
+
+class P2mTable {
+ public:
+  explicit P2mTable(int64_t num_pages);
+
+  int64_t num_pages() const { return static_cast<int64_t>(entries_.size()); }
+
+  bool IsValid(Pfn pfn) const { return At(pfn).valid; }
+  bool IsWritable(Pfn pfn) const { return At(pfn).valid && At(pfn).writable; }
+  Mfn Lookup(Pfn pfn) const { return At(pfn).valid ? At(pfn).mfn : kInvalidMfn; }
+
+  // Installs a mapping; the entry must currently be invalid.
+  void Map(Pfn pfn, Mfn mfn);
+
+  // Atomically replaces the target of a valid entry (migration commit).
+  void Remap(Pfn pfn, Mfn new_mfn);
+
+  // Drops a valid mapping; returns the machine frame that backed it.
+  Mfn Unmap(Pfn pfn);
+
+  void WriteProtect(Pfn pfn);
+  void WriteUnprotect(Pfn pfn);
+
+  int64_t valid_count() const { return valid_count_; }
+
+ private:
+  const P2mEntry& At(Pfn pfn) const;
+  P2mEntry& At(Pfn pfn);
+
+  std::vector<P2mEntry> entries_;
+  int64_t valid_count_ = 0;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_HV_P2M_H_

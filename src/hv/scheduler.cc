@@ -1,0 +1,118 @@
+#include "src/hv/scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+CreditScheduler::CreditScheduler(const Topology& topo, SchedulerConfig config)
+    : topo_(&topo), config_(config), rng_(config.seed) {
+  load_.assign(topo.num_cpus(), 0);
+}
+
+CpuId CreditScheduler::PickCpu(const Domain& dom, int current_load) {
+  // Pass 1 (soft affinity): the least-loaded pCPU among the home nodes, if
+  // it improves on the vCPU's current load.
+  CpuId best = kInvalidCpu;
+  int best_load = current_load;
+  if (config_.numa_soft_affinity) {
+    for (NodeId node : dom.home_nodes()) {
+      for (CpuId cpu : topo_->node(node).cpus) {
+        if (load_[cpu] < best_load) {
+          best_load = load_[cpu];
+          best = cpu;
+        }
+      }
+    }
+    if (best != kInvalidCpu) {
+      return best;
+    }
+  }
+  // Pass 2: anywhere on the machine. Random tie-break spreads decisions,
+  // which is exactly the run-to-run variance the paper pins to avoid.
+  std::vector<CpuId> candidates;
+  for (CpuId cpu = 0; cpu < topo_->num_cpus(); ++cpu) {
+    if (load_[cpu] < best_load) {
+      best_load = load_[cpu];
+      candidates.assign(1, cpu);
+    } else if (load_[cpu] == best_load && best_load < current_load) {
+      candidates.push_back(cpu);
+    }
+  }
+  if (candidates.empty()) {
+    return kInvalidCpu;
+  }
+  return candidates[rng_.NextInt(static_cast<int64_t>(candidates.size()))];
+}
+
+int CreditScheduler::Rebalance(const std::vector<Domain*>& domains) {
+  std::fill(load_.begin(), load_.end(), 0);
+  for (const Domain* dom : domains) {
+    for (const VcpuDesc& v : dom->vcpus()) {
+      XNUMA_CHECK(v.pinned_cpu >= 0 && v.pinned_cpu < topo_->num_cpus());
+      ++load_[v.pinned_cpu];
+    }
+  }
+
+  int migrations = 0;
+  bool changed = true;
+  // Greedy: repeatedly move a vCPU from the most loaded pCPU to a strictly
+  // less loaded one until within tolerance.
+  while (changed) {
+    changed = false;
+    const auto [min_it, max_it] = std::minmax_element(load_.begin(), load_.end());
+    if (*max_it - *min_it <= config_.balance_tolerance) {
+      break;
+    }
+    const CpuId busiest = static_cast<CpuId>(max_it - load_.begin());
+    for (Domain* dom : domains) {
+      for (VcpuDesc& v : dom->mutable_vcpus()) {
+        if (v.pinned_cpu != busiest) {
+          continue;
+        }
+        const CpuId target = PickCpu(*dom, load_[busiest] - 1);
+        if (target == kInvalidCpu) {
+          continue;
+        }
+        --load_[v.pinned_cpu];
+        ++load_[target];
+        v.pinned_cpu = target;
+        ++migrations;
+        changed = true;
+        break;
+      }
+      if (changed) {
+        break;
+      }
+    }
+  }
+  // Idle stealing: even a balanced machine keeps migrating vCPUs.
+  for (Domain* dom : domains) {
+    if (dom->vcpus().empty() || !rng_.NextBool(config_.idle_steal_probability)) {
+      continue;
+    }
+    VcpuDesc& v = dom->mutable_vcpus()[rng_.NextInt(
+        static_cast<int64_t>(dom->vcpus().size()))];
+    const NodeId current = topo_->node_of_cpu(v.pinned_cpu);
+    // Steal to the least-loaded pCPU on another node (ties broken by index).
+    CpuId target = kInvalidCpu;
+    int target_load = load_[v.pinned_cpu] + 1;
+    for (CpuId cpu = 0; cpu < topo_->num_cpus(); ++cpu) {
+      if (topo_->node_of_cpu(cpu) != current && load_[cpu] < target_load) {
+        target_load = load_[cpu];
+        target = cpu;
+      }
+    }
+    if (target != kInvalidCpu && target_load <= load_[v.pinned_cpu]) {
+      --load_[v.pinned_cpu];
+      ++load_[target];
+      v.pinned_cpu = target;
+      ++migrations;
+    }
+  }
+  total_migrations_ += migrations;
+  return migrations;
+}
+
+}  // namespace xnuma

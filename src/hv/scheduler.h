@@ -1,0 +1,66 @@
+// vCPU scheduler model (Xen's credit scheduler, at epoch granularity).
+//
+// The paper pins every vCPU "to avoid performance variations caused by the
+// vCPU placement policy of Xen" (§5.4.2) and cites Xen 4.3's NUMA-aware
+// *soft scheduling affinity* (§3.3, footnote): the scheduler prefers the
+// pCPUs of a domain's home nodes but may run a vCPU anywhere when load
+// demands it.
+//
+// This model captures the placement side of the credit scheduler: it
+// balances runnable vCPUs across pCPUs (least-loaded first), with optional
+// home-node soft affinity, and reports the migrations it performs so the
+// simulation can charge them and NUMA policies can react to them.
+
+#ifndef XENNUMA_SRC_HV_SCHEDULER_H_
+#define XENNUMA_SRC_HV_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/hv/domain.h"
+#include "src/numa/topology.h"
+
+namespace xnuma {
+
+struct SchedulerConfig {
+  // Prefer pCPUs on the domain's home nodes (Xen 4.3 soft affinity). When
+  // false, vCPUs balance purely by load, ignoring NUMA placement.
+  bool numa_soft_affinity = true;
+  // Stop balancing once the max/min pCPU load difference is at most this.
+  int balance_tolerance = 1;
+  // Probability, per domain per rebalance, that an idle remote pCPU steals
+  // one of its vCPUs even though the machine is balanced — the background
+  // churn a real credit scheduler exhibits and the reason the paper pins.
+  double idle_steal_probability = 0.25;
+  uint64_t seed = 99;
+};
+
+class CreditScheduler {
+ public:
+  CreditScheduler(const Topology& topo, SchedulerConfig config = SchedulerConfig());
+
+  // Rebalances the vCPUs of `domains` across the machine's pCPUs. Mutates
+  // each VcpuDesc's pinned_cpu. Returns the number of vCPU migrations.
+  int Rebalance(const std::vector<Domain*>& domains);
+
+  // Number of vCPUs (among `domains`) per pCPU after the last Rebalance.
+  const std::vector<int>& load() const { return load_; }
+
+  int64_t total_migrations() const { return total_migrations_; }
+
+ private:
+  // Chooses the least-loaded pCPU for a vCPU of `dom`; home nodes first
+  // when soft affinity is on and a home pCPU is not overloaded.
+  CpuId PickCpu(const Domain& dom, int current_load);
+
+  const Topology* topo_;
+  SchedulerConfig config_;
+  Rng rng_;
+  std::vector<int> load_;
+  int64_t total_migrations_ = 0;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_HV_SCHEDULER_H_

@@ -1,0 +1,144 @@
+#include "src/mm/frame_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+FrameAllocator::FrameAllocator(const Topology& topo, int64_t bytes_per_frame)
+    : topo_(&topo), bytes_per_frame_(bytes_per_frame) {
+  XNUMA_CHECK(bytes_per_frame_ > 0);
+  node_bases_.reserve(topo.num_nodes());
+  node_sizes_.reserve(topo.num_nodes());
+  for (const NumaNodeDesc& node : topo.nodes()) {
+    const int64_t frames = node.memory_bytes / bytes_per_frame_;
+    XNUMA_CHECK(frames > 0);
+    node_bases_.push_back(total_frames_);
+    node_sizes_.push_back(frames);
+    total_frames_ += frames;
+  }
+  free_count_ = node_sizes_;
+  used_.assign(total_frames_, false);
+  rover_.assign(topo.num_nodes(), 0);
+}
+
+int64_t FrameAllocator::FramesPerOrder(PageOrder order) const {
+  int64_t bytes = 0;
+  switch (order) {
+    case PageOrder::k4K:
+      bytes = 4ll << 10;
+      break;
+    case PageOrder::k2M:
+      bytes = 2ll << 20;
+      break;
+    case PageOrder::k1G:
+      bytes = 1ll << 30;
+      break;
+  }
+  return std::max<int64_t>(1, bytes / bytes_per_frame_);
+}
+
+NodeId FrameAllocator::NodeOf(Mfn mfn) const {
+  XNUMA_CHECK(mfn >= 0 && mfn < total_frames_);
+  // The per-node ranges are contiguous and sorted; a binary search keeps
+  // this correct even with heterogeneous node sizes.
+  auto it = std::upper_bound(node_bases_.begin(), node_bases_.end(), mfn);
+  return static_cast<NodeId>(it - node_bases_.begin()) - 1;
+}
+
+Mfn FrameAllocator::AllocOnNode(NodeId node) {
+  XNUMA_CHECK(node >= 0 && node < topo_->num_nodes());
+  if (free_count_[node] == 0) {
+    return kInvalidMfn;
+  }
+  const int64_t size = node_sizes_[node];
+  const int64_t base = node_bases_[node];
+  for (int64_t probe = 0; probe < size; ++probe) {
+    const int64_t idx = (rover_[node] + probe) % size;
+    if (!used_[base + idx]) {
+      used_[base + idx] = true;
+      --free_count_[node];
+      rover_[node] = (idx + 1) % size;
+      return base + idx;
+    }
+  }
+  XNUMA_CHECK(false);  // free_count_ said there was a free frame.
+  return kInvalidMfn;
+}
+
+Mfn FrameAllocator::AllocContiguous(NodeId node, int64_t count) {
+  XNUMA_CHECK(node >= 0 && node < topo_->num_nodes());
+  XNUMA_CHECK(count > 0);
+  if (free_count_[node] < count) {
+    return kInvalidMfn;
+  }
+  const int64_t size = node_sizes_[node];
+  const int64_t base = node_bases_[node];
+  int64_t run = 0;
+  for (int64_t idx = 0; idx < size; ++idx) {
+    run = used_[base + idx] ? 0 : run + 1;
+    if (run == count) {
+      const int64_t first = idx - count + 1;
+      for (int64_t k = 0; k < count; ++k) {
+        used_[base + first + k] = true;
+      }
+      free_count_[node] -= count;
+      return base + first;
+    }
+  }
+  return kInvalidMfn;
+}
+
+void FrameAllocator::Free(Mfn mfn) {
+  XNUMA_CHECK(mfn >= 0 && mfn < total_frames_);
+  XNUMA_CHECK(used_[mfn]);
+  used_[mfn] = false;
+  ++free_count_[NodeOf(mfn)];
+}
+
+void FrameAllocator::FreeContiguous(Mfn first, int64_t count) {
+  for (int64_t k = 0; k < count; ++k) {
+    Free(first + k);
+  }
+}
+
+bool FrameAllocator::IsAllocated(Mfn mfn) const {
+  XNUMA_CHECK(mfn >= 0 && mfn < total_frames_);
+  return used_[mfn];
+}
+
+int64_t FrameAllocator::FreeFrames(NodeId node) const { return free_count_[node]; }
+
+int64_t FrameAllocator::TotalFreeFrames() const {
+  int64_t total = 0;
+  for (int64_t v : free_count_) {
+    total += v;
+  }
+  return total;
+}
+
+void FrameAllocator::FragmentEdgeRegions(int holes_per_edge, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t edge = FramesPerOrder(PageOrder::k1G);
+  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
+    const int64_t size = node_sizes_[node];
+    const int64_t base = node_bases_[node];
+    const int64_t span = std::min(edge, size / 2);
+    if (span <= 0) {
+      continue;
+    }
+    for (int h = 0; h < holes_per_edge; ++h) {
+      const int64_t low = base + rng.NextInt(span);
+      const int64_t high = base + size - 1 - rng.NextInt(span);
+      for (int64_t mfn : {low, high}) {
+        if (!used_[mfn]) {
+          used_[mfn] = true;
+          --free_count_[node];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace xnuma

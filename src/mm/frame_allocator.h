@@ -1,0 +1,79 @@
+// Machine memory frame allocator.
+//
+// The hardware statically partitions the machine address space into NUMA
+// regions (§3 of the paper): node n owns the contiguous machine frame range
+// [n * frames_per_node, (n+1) * frames_per_node). The allocator hands out
+// single frames or contiguous runs (used by the round-1G policy, which
+// allocates 1 GiB regions and falls back to 2 MiB then 4 KiB on
+// fragmentation, §3.3).
+//
+// Frames are *simulated* pages: one frame stands for `bytes_per_frame` bytes
+// of real memory. Placement logic is scale-invariant.
+
+#ifndef XENNUMA_SRC_MM_FRAME_ALLOCATOR_H_
+#define XENNUMA_SRC_MM_FRAME_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/numa/topology.h"
+
+namespace xnuma {
+
+class FrameAllocator {
+ public:
+  // `bytes_per_frame` sets the simulation scale (default: one frame per
+  // 4 MiB of real memory, so AMD48's 128 GiB becomes 32768 frames).
+  FrameAllocator(const Topology& topo, int64_t bytes_per_frame = 4ll << 20);
+
+  int64_t bytes_per_frame() const { return bytes_per_frame_; }
+  int64_t frames_per_node(NodeId n) const { return node_sizes_[n]; }
+  int64_t total_frames() const { return total_frames_; }
+
+  // Number of frames in a region of the given order at this scale (at least
+  // one: regions smaller than a frame collapse onto the frame quantum).
+  int64_t FramesPerOrder(PageOrder order) const;
+
+  NodeId NodeOf(Mfn mfn) const;
+
+  // Allocates one frame from `node`. Returns kInvalidMfn when the node is
+  // exhausted (callers fall back per their policy, e.g. §3.1 round-robin).
+  Mfn AllocOnNode(NodeId node);
+
+  // Allocates `count` physically contiguous frames from `node`.
+  Mfn AllocContiguous(NodeId node, int64_t count);
+
+  void Free(Mfn mfn);
+  void FreeContiguous(Mfn first, int64_t count);
+
+  bool IsAllocated(Mfn mfn) const;
+  int64_t FreeFrames(NodeId node) const;
+  int64_t TotalFreeFrames() const;
+
+  // Reserves scattered frames in the first and last GiB-equivalent of every
+  // node, emulating BIOS and I/O holes: "the first and last physical GiBs
+  // ... are always fragmented" (§3.3). `holes_per_edge` frames are pinned at
+  // deterministic pseudo-random offsets inside each edge region.
+  void FragmentEdgeRegions(int holes_per_edge, uint64_t seed = 42);
+
+ private:
+  int64_t IndexInNode(Mfn mfn, NodeId node) const { return mfn - node_bases_[node]; }
+
+  const Topology* topo_;
+  int64_t bytes_per_frame_;
+  int64_t total_frames_ = 0;
+  std::vector<int64_t> node_bases_;
+  std::vector<int64_t> node_sizes_;
+  std::vector<int64_t> free_count_;
+  // used_[mfn]: frame allocated (or reserved as a hole).
+  std::vector<bool> used_;
+  // Next-fit rover per node keeps single-frame allocation O(1) amortized.
+  std::vector<int64_t> rover_;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_MM_FRAME_ALLOCATOR_H_

@@ -1,0 +1,181 @@
+#include "src/numa/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+namespace {
+constexpr double kAmd48McBandwidth = 13.0 * kGiB;
+constexpr double kAmd48LinkBandwidth = 6.0 * kGiB;
+constexpr int64_t kAmd48NodeMemory = 16ll * 1024 * 1024 * 1024;
+}  // namespace
+
+Topology Topology::Amd48() {
+  Topology t;
+  t.cpu_hz_ = 2.2e9;
+  for (int n = 0; n < 8; ++n) {
+    // PCI buses hang off nodes 0 (dom0 network/disk) and 6 (benchmark data
+    // disk), as described in §5.1.
+    const bool pci = (n == 0 || n == 6);
+    t.AddNode(/*cpus=*/6, kAmd48NodeMemory, kAmd48McBandwidth, pci);
+  }
+  // Magny-Cours-style link graph (DESIGN.md §6): a twin link inside each
+  // socket (i <-> i^1), full connectivity among even dies and among odd
+  // dies. Diameter 2, matching the paper's "maximum distance of two hops".
+  for (int n = 0; n < 8; n += 2) {
+    t.AddLink(n, n + 1, kAmd48LinkBandwidth);
+  }
+  for (int a = 0; a < 8; a += 2) {
+    for (int b = a + 2; b < 8; b += 2) {
+      t.AddLink(a, b, kAmd48LinkBandwidth);
+      t.AddLink(a + 1, b + 1, kAmd48LinkBandwidth);
+    }
+  }
+  t.Finalize();
+  return t;
+}
+
+Topology Topology::Synthetic(int nodes, int cpus_per_node, int64_t bytes_per_node) {
+  XNUMA_CHECK(nodes >= 1);
+  XNUMA_CHECK(cpus_per_node >= 1);
+  Topology t;
+  for (int n = 0; n < nodes; ++n) {
+    t.AddNode(cpus_per_node, bytes_per_node, kAmd48McBandwidth, n == 0);
+  }
+  // Ring plus skip-2 chords; for small node counts this keeps the diameter
+  // at most 2, which most policies implicitly assume in their cost models.
+  for (int n = 0; n + 1 < nodes; ++n) {
+    t.AddLink(n, n + 1, kAmd48LinkBandwidth);
+  }
+  if (nodes > 2) {
+    t.AddLink(nodes - 1, 0, kAmd48LinkBandwidth);
+  }
+  if (nodes > 4) {
+    for (int n = 0; n < nodes; n += 2) {
+      const int m = (n + 2) % nodes;
+      if (m != n) {
+        t.AddLink(std::min(n, m), std::max(n, m), kAmd48LinkBandwidth);
+      }
+    }
+  }
+  t.Finalize();
+  return t;
+}
+
+void Topology::AddNode(int cpus, int64_t bytes, double mc_bw, bool pci) {
+  NumaNodeDesc node;
+  node.id = static_cast<NodeId>(nodes_.size());
+  node.memory_bytes = bytes;
+  node.mc_bandwidth_bytes_per_s = mc_bw;
+  node.has_pci_bus = pci;
+  for (int c = 0; c < cpus; ++c) {
+    node.cpus.push_back(num_cpus_);
+    node_of_cpu_.push_back(node.id);
+    ++num_cpus_;
+  }
+  nodes_.push_back(std::move(node));
+}
+
+void Topology::AddLink(NodeId a, NodeId b, double bandwidth) {
+  XNUMA_CHECK(a != b);
+  for (const LinkDesc& l : links_) {
+    const bool duplicate = (l.a == a && l.b == b) || (l.a == b && l.b == a);
+    XNUMA_CHECK(!duplicate);
+  }
+  LinkDesc link;
+  link.id = static_cast<LinkId>(links_.size());
+  link.a = a;
+  link.b = b;
+  link.bandwidth_bytes_per_s = bandwidth;
+  links_.push_back(link);
+}
+
+void Topology::Finalize() {
+  const int n = num_nodes();
+  std::vector<std::vector<std::pair<NodeId, LinkId>>> adj(n);
+  for (const LinkDesc& l : links_) {
+    adj[l.a].push_back({l.b, l.id});
+    adj[l.b].push_back({l.a, l.id});
+  }
+  for (auto& neighbors : adj) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+
+  distance_.assign(n, std::vector<int>(n, -1));
+  routes_.assign(n, std::vector<std::vector<std::vector<LinkId>>>(n));
+  // Pass 1: BFS distances from every node (needed before path enumeration,
+  // which tests membership in the shortest-path DAG via both endpoints).
+  for (NodeId src = 0; src < n; ++src) {
+    std::deque<NodeId> queue;
+    distance_[src][src] = 0;
+    queue.push_back(src);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const auto& [v, link] : adj[u]) {
+        (void)link;
+        if (distance_[src][v] < 0) {
+          distance_[src][v] = distance_[src][u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  // Pass 2: enumerate every shortest path, deterministic order via the
+  // sorted adjacency lists.
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      XNUMA_CHECK(distance_[src][dst] >= 0);  // Graph must be connected.
+      std::vector<std::vector<LinkId>> paths;
+      std::vector<LinkId> prefix;
+      auto expand = [&](auto&& self, NodeId at) -> void {
+        if (at == dst) {
+          paths.push_back(prefix);
+          return;
+        }
+        for (const auto& [v, link] : adj[at]) {
+          if (distance_[src][v] == distance_[src][at] + 1 &&
+              distance_[v][dst] == distance_[src][dst] - distance_[src][v]) {
+            prefix.push_back(link);
+            self(self, v);
+            prefix.pop_back();
+          }
+        }
+      };
+      expand(expand, src);
+      XNUMA_CHECK(!paths.empty());
+      routes_[src][dst] = std::move(paths);
+    }
+  }
+}
+
+int Topology::Diameter() const {
+  int best = 0;
+  for (const auto& row : distance_) {
+    for (int d : row) {
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+int64_t Topology::total_memory_bytes() const {
+  int64_t total = 0;
+  for (const NumaNodeDesc& node : nodes_) {
+    total += node.memory_bytes;
+  }
+  return total;
+}
+
+std::string Topology::DebugString() const {
+  std::ostringstream os;
+  os << num_nodes() << " nodes, " << num_cpus() << " cpus, " << num_links()
+     << " links, diameter " << Diameter();
+  return os.str();
+}
+
+}  // namespace xnuma

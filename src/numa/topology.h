@@ -1,0 +1,104 @@
+// NUMA machine topology: nodes, CPUs, memory controllers and interconnect
+// links, with static shortest-path routing.
+//
+// The reference instance, `Topology::Amd48()`, models the machine used in the
+// paper's evaluation (§5.1): four Opteron 6174 sockets, each holding two
+// NUMA nodes of 6 CPUs and 16 GiB, HyperTransport links with a diameter of
+// two hops, PCI buses attached to nodes 0 and 6.
+
+#ifndef XENNUMA_SRC_NUMA_TOPOLOGY_H_
+#define XENNUMA_SRC_NUMA_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace xnuma {
+
+using LinkId = int32_t;
+inline constexpr LinkId kInvalidLink = -1;
+
+struct NumaNodeDesc {
+  NodeId id = kInvalidNode;
+  std::vector<CpuId> cpus;
+  int64_t memory_bytes = 0;
+  // Peak memory-controller bandwidth. The effective achievable bandwidth is
+  // a fraction of this peak (see LatencyParams::mc_efficiency).
+  double mc_bandwidth_bytes_per_s = 0.0;
+  bool has_pci_bus = false;
+};
+
+struct LinkDesc {
+  LinkId id = kInvalidLink;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double bandwidth_bytes_per_s = 0.0;
+};
+
+// Immutable machine description. Build once, share by const reference.
+class Topology {
+ public:
+  // The paper's AMD48: 8 nodes x 6 CPUs @ 2.2 GHz, 16 GiB/node, 13 GiB/s
+  // memory controllers, 6 GiB/s HyperTransport links, diameter 2.
+  static Topology Amd48();
+
+  // Synthetic machine for tests: `nodes` nodes of `cpus_per_node` CPUs in a
+  // ring with chords to keep the diameter at most 2 for nodes <= 8.
+  static Topology Synthetic(int nodes, int cpus_per_node, int64_t bytes_per_node);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_cpus() const { return num_cpus_; }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  double cpu_hz() const { return cpu_hz_; }
+
+  const NumaNodeDesc& node(NodeId n) const { return nodes_[n]; }
+  const LinkDesc& link(LinkId l) const { return links_[l]; }
+  const std::vector<NumaNodeDesc>& nodes() const { return nodes_; }
+  const std::vector<LinkDesc>& links() const { return links_; }
+
+  NodeId node_of_cpu(CpuId cpu) const { return node_of_cpu_[cpu]; }
+
+  // Hop distance between nodes (0 for n == m).
+  int Distance(NodeId a, NodeId b) const { return distance_[a][b]; }
+  int Diameter() const;
+
+  // Links traversed, in order, by the primary (lowest-index) shortest path
+  // from `src` to `dst`. Empty when src == dst.
+  const std::vector<LinkId>& Route(NodeId src, NodeId dst) const {
+    return routes_[src][dst][0];
+  }
+
+  // All shortest paths between two nodes. HyperTransport routing spreads
+  // traffic over equal-cost paths; consumers should split load evenly across
+  // these. At least one path; the single empty path when src == dst.
+  const std::vector<std::vector<LinkId>>& Routes(NodeId src, NodeId dst) const {
+    return routes_[src][dst];
+  }
+
+  int64_t total_memory_bytes() const;
+
+  std::string DebugString() const;
+
+ private:
+  Topology() = default;
+
+  void AddNode(int cpus, int64_t bytes, double mc_bw, bool pci);
+  void AddLink(NodeId a, NodeId b, double bandwidth);
+  // Computes distances and routes; must be called after all nodes/links.
+  void Finalize();
+
+  std::vector<NumaNodeDesc> nodes_;
+  std::vector<LinkDesc> links_;
+  std::vector<NodeId> node_of_cpu_;
+  std::vector<std::vector<int>> distance_;
+  // routes_[src][dst]: every shortest path, each a list of link ids.
+  std::vector<std::vector<std::vector<std::vector<LinkId>>>> routes_;
+  int num_cpus_ = 0;
+  double cpu_hz_ = 2.2e9;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_NUMA_TOPOLOGY_H_

@@ -1,0 +1,64 @@
+// The paper's *internal interface* (§4.1): what a NUMA policy may ask of the
+// entity that owns the machine memory mapping.
+//
+// Two mechanisms are required: (1) map a physical page of a virtual machine
+// to a machine page of a chosen NUMA node, and (2) migrate an already-mapped
+// physical page to a new node. Invalidate() supports the first-touch trap:
+// an invalid entry makes the next access fault into the placement layer.
+//
+// Two implementations exist: HvPlacementBackend (hypervisor page table /
+// P2M, src/hv) and NativePlacementBackend (a native OS page table, src/core)
+// — the same policy code runs in both, mirroring the paper's claim that the
+// classical OS policies transplant into the hypervisor unchanged.
+
+#ifndef XENNUMA_SRC_POLICY_PLACEMENT_BACKEND_H_
+#define XENNUMA_SRC_POLICY_PLACEMENT_BACKEND_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace xnuma {
+
+class PlacementBackend {
+ public:
+  virtual ~PlacementBackend() = default;
+
+  // Size of the physical address space being placed, in pages.
+  virtual int64_t num_pages() const = 0;
+
+  // Nodes this address space should prefer (Xen's home-nodes, §3.3). Never
+  // empty; native backends report every node.
+  virtual const std::vector<NodeId>& home_nodes() const = 0;
+
+  virtual bool IsMapped(Pfn pfn) const = 0;
+
+  // Node currently backing `pfn`; kInvalidNode when unmapped.
+  virtual NodeId NodeOf(Pfn pfn) const = 0;
+
+  // Backs `pfn` with a machine page of `node`. Fails (returns false) when
+  // the node has no free memory or the page is already mapped.
+  virtual bool MapOnNode(Pfn pfn, NodeId node) = 0;
+
+  // Backs pages [first, first + count) with *contiguous* machine pages of
+  // `node`, all-or-nothing. Used by round-1G's large-region allocation.
+  virtual bool MapRangeOnNode(Pfn first, int64_t count, NodeId node) = 0;
+
+  // The migration mechanism (§4.1): write-protect, copy, remap. Fails when
+  // the destination node is out of memory or the page is unmapped.
+  virtual bool Migrate(Pfn pfn, NodeId node) = 0;
+
+  // Drops the mapping of `pfn` so the next access traps (first-touch, §4.2).
+  virtual void Invalidate(Pfn pfn) = 0;
+
+  virtual int64_t FreeFramesOnNode(NodeId node) const = 0;
+};
+
+// First-touch fallback (§3.1): map on `preferred`; if that node is full,
+// walk the home nodes round-robin (cursor advances across calls), then any
+// node. Returns the node used, or kInvalidNode if memory is exhausted.
+NodeId MapWithFallback(PlacementBackend& backend, Pfn pfn, NodeId preferred, int* rr_cursor);
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_POLICY_PLACEMENT_BACKEND_H_

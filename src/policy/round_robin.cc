@@ -1,0 +1,99 @@
+#include "src/policy/round_robin.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+void Round4kPolicy::Initialize(PlacementBackend& backend) {
+  const auto& homes = backend.home_nodes();
+  XNUMA_CHECK(!homes.empty());
+  for (Pfn pfn = 0; pfn < backend.num_pages(); ++pfn) {
+    if (backend.IsMapped(pfn)) {
+      continue;
+    }
+    const NodeId preferred = homes[cursor_ % homes.size()];
+    ++cursor_;
+    MapWithFallback(backend, pfn, preferred, &cursor_);
+  }
+}
+
+NodeId Round4kPolicy::OnFirstTouch(PlacementBackend& backend, Pfn pfn, NodeId toucher_node) {
+  // Eagerly-placed pages only fault if something invalidated them
+  // out-of-band; re-place round-robin, ignoring the toucher.
+  (void)toucher_node;
+  const auto& homes = backend.home_nodes();
+  const NodeId preferred = homes[cursor_ % homes.size()];
+  ++cursor_;
+  return MapWithFallback(backend, pfn, preferred, &cursor_);
+}
+
+Round1gPolicy::Round1gPolicy(int64_t pages_per_1g, int64_t pages_per_2m)
+    : pages_per_1g_(std::max<int64_t>(1, pages_per_1g)),
+      pages_per_2m_(std::max<int64_t>(1, pages_per_2m)) {
+  XNUMA_CHECK(pages_per_2m_ <= pages_per_1g_);
+}
+
+void Round1gPolicy::Initialize(PlacementBackend& backend) {
+  placed_1g_ = placed_2m_ = placed_4k_ = 0;
+  const int64_t total = backend.num_pages();
+  for (Pfn first = 0; first < total; first += pages_per_1g_) {
+    const int64_t count = std::min(pages_per_1g_, total - first);
+    PlaceRegion(backend, first, count, pages_per_1g_);
+  }
+}
+
+void Round1gPolicy::PlaceRegion(PlacementBackend& backend, Pfn first, int64_t count,
+                                int64_t region_pages) {
+  const auto& homes = backend.home_nodes();
+  XNUMA_CHECK(!homes.empty());
+
+  // A full-size aligned region is placed as one contiguous unit on the next
+  // home node (trying each in turn); partial or unplaceable regions recurse
+  // at the next granularity, as Xen does on fragmentation (§3.3).
+  if (count == region_pages && region_pages > 1) {
+    for (size_t attempt = 0; attempt < homes.size(); ++attempt) {
+      const NodeId node = homes[cursor_ % homes.size()];
+      ++cursor_;
+      if (backend.MapRangeOnNode(first, count, node)) {
+        if (region_pages == pages_per_1g_) {
+          placed_1g_ += count;
+        } else {
+          placed_2m_ += count;
+        }
+        return;
+      }
+    }
+  }
+
+  if (region_pages > pages_per_2m_ && count > pages_per_2m_) {
+    for (Pfn sub = first; sub < first + count; sub += pages_per_2m_) {
+      const int64_t sub_count = std::min(pages_per_2m_, first + count - sub);
+      PlaceRegion(backend, sub, sub_count, pages_per_2m_);
+    }
+    return;
+  }
+
+  // 4 KiB granularity: page by page, round-robin with fallback.
+  for (Pfn pfn = first; pfn < first + count; ++pfn) {
+    if (backend.IsMapped(pfn)) {
+      continue;
+    }
+    const NodeId preferred = homes[cursor_ % homes.size()];
+    ++cursor_;
+    if (MapWithFallback(backend, pfn, preferred, &fallback_cursor_) != kInvalidNode) {
+      ++placed_4k_;
+    }
+  }
+}
+
+NodeId Round1gPolicy::OnFirstTouch(PlacementBackend& backend, Pfn pfn, NodeId toucher_node) {
+  (void)toucher_node;
+  const auto& homes = backend.home_nodes();
+  const NodeId preferred = homes[cursor_ % homes.size()];
+  ++cursor_;
+  return MapWithFallback(backend, pfn, preferred, &fallback_cursor_);
+}
+
+}  // namespace xnuma

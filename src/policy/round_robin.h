@@ -1,0 +1,67 @@
+// Round-robin placement policies.
+//
+// Round-4K (§3.2): eagerly backs each page, one at a time, cycling over the
+// home nodes — balanced controllers, many remote accesses.
+//
+// Round-1G (§3.3, Xen's default): eagerly backs the address space by large
+// contiguous regions cycling over the home nodes, falling back from 1 GiB to
+// 2 MiB to 4 KiB regions on fragmentation. The first and last GiB of a VM
+// are always fragmented (BIOS/I-O holes), which the machine allocator
+// emulates via FragmentEdgeRegions().
+
+#ifndef XENNUMA_SRC_POLICY_ROUND_ROBIN_H_
+#define XENNUMA_SRC_POLICY_ROUND_ROBIN_H_
+
+#include <cstdint>
+
+#include "src/policy/numa_policy.h"
+
+namespace xnuma {
+
+class Round4kPolicy : public NumaPolicy {
+ public:
+  StaticPolicy kind() const override { return StaticPolicy::kRound4k; }
+
+  void Initialize(PlacementBackend& backend) override;
+
+  NodeId OnFirstTouch(PlacementBackend& backend, Pfn pfn, NodeId toucher_node) override;
+
+ private:
+  int cursor_ = 0;
+};
+
+class Round1gPolicy : public NumaPolicy {
+ public:
+  // Region sizes are expressed in simulated pages; defaults correspond to
+  // 1 GiB and 2 MiB at the 4 MiB/page scale, clamped to at least one page.
+  explicit Round1gPolicy(int64_t pages_per_1g = 256, int64_t pages_per_2m = 1);
+
+  StaticPolicy kind() const override { return StaticPolicy::kRound1g; }
+
+  void Initialize(PlacementBackend& backend) override;
+
+  NodeId OnFirstTouch(PlacementBackend& backend, Pfn pfn, NodeId toucher_node) override;
+
+  // Introspection for tests: how many pages were placed at each granularity
+  // by the last Initialize() call.
+  int64_t pages_placed_1g() const { return placed_1g_; }
+  int64_t pages_placed_2m() const { return placed_2m_; }
+  int64_t pages_placed_4k() const { return placed_4k_; }
+
+ private:
+  // Places [first, first+count) as one region on the next home node; on
+  // failure recurses at the next smaller granularity.
+  void PlaceRegion(PlacementBackend& backend, Pfn first, int64_t count, int64_t region_pages);
+
+  int64_t pages_per_1g_;
+  int64_t pages_per_2m_;
+  int cursor_ = 0;
+  int fallback_cursor_ = 0;
+  int64_t placed_1g_ = 0;
+  int64_t placed_2m_ = 0;
+  int64_t placed_4k_ = 0;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_POLICY_ROUND_ROBIN_H_

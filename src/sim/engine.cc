@@ -1,0 +1,942 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+namespace {
+// Reference DRAM latency used to convert nominal runtime into a work quota;
+// deliberately placement-independent so every policy runs the same work.
+constexpr double kReferenceLatencyCycles = 230.0;
+// Pure access cost (pipeline issue etc.) per touch during initialization.
+constexpr double kTouchCostSeconds = 0.2e-6;
+// Guest-side cost of appending one entry to the PV queue (lock + store).
+constexpr double kQueueAppendSeconds = 0.1e-6;
+}  // namespace
+
+// Placement mass of one region: per-node and per-slice-per-node weighted
+// page counts, refreshed each epoch from the live P2M state.
+struct Engine::RegionState {
+  const RegionSpec* spec = nullptr;
+  Vpn first_vpn = 0;
+  int64_t pages = 0;
+  int64_t hot_count = 0;
+  int64_t hot_stride = 1;
+  double w_hot = 0.0;
+  double w_cold = 0.0;
+
+  std::vector<double> node_mass;                // [nodes]
+  double total_mass = 0.0;
+  // Weight of replicated pages (optional §3.4 extension): served locally on
+  // every node, so they contribute pure local accesses for every thread.
+  double replicated_mass = 0.0;
+  std::vector<std::vector<double>> slice_mass;  // [threads][nodes]
+  std::vector<double> slice_total;              // [threads]
+
+  bool IsHot(int64_t idx) const {
+    return idx % hot_stride == 0 && idx / hot_stride < hot_count;
+  }
+  double Weight(int64_t idx) const { return IsHot(idx) ? w_hot : w_cold; }
+  int64_t SliceOf(int64_t idx, int threads) const {
+    const int64_t len = std::max<int64_t>(1, pages / threads);
+    return std::min<int64_t>(idx / len, threads - 1);
+  }
+  int64_t SliceBegin(int64_t t, int threads) const {
+    const int64_t len = std::max<int64_t>(1, pages / threads);
+    return std::min(t * len, pages);
+  }
+  int64_t SliceEnd(int64_t t, int threads) const {
+    if (t == threads - 1) {
+      return pages;
+    }
+    const int64_t len = std::max<int64_t>(1, pages / threads);
+    return std::min((t + 1) * len, pages);
+  }
+};
+
+struct Engine::ThreadState {
+  CpuId cpu = kInvalidCpu;
+  NodeId node = kInvalidNode;
+  double work_remaining = 0.0;
+  double rate = 0.0;  // accesses/s at current utilization
+  bool done = false;
+  std::vector<double> p_node;  // access distribution over destination nodes
+  double latency_weighted = 0.0;
+  double latency_weight = 0.0;
+  double last_latency_cycles = 0.0;
+};
+
+struct Engine::JobState {
+  JobSpec spec;
+  int job_id = -1;
+  int pid = -1;
+  std::vector<RegionState> regions;
+  std::vector<ThreadState> threads;
+  Rng rng{0};
+
+  double init_seconds = 0.0;
+  double io_bytes_remaining = 0.0;
+  bool finished = false;
+  double finished_at = -1.0;
+  double running_seconds = 0.0;
+
+  // Wall-time dilation from synchronization wakeups, allocator churn and
+  // Carrefour monitoring. These costs sit on serial critical paths, so they
+  // extend completion time instead of merely lowering memory demand (the
+  // bandwidth fixed point would otherwise absorb them, which is exactly the
+  // blocked-waiter-wakeup fallacy the paper's §5.3.2 works around).
+  double overhead_fraction = 0.0;       // cached per epoch
+  double amortized_release_cost = 0.0;  // seconds per release (EMA)
+  double pending_stall_seconds = 0.0;
+  double ctx_switch_rate = 0.0;
+
+  std::vector<double> cum_node_accesses;
+  double max_link_integral = 0.0;
+  double max_mc_integral = 0.0;
+  int64_t carrefour_migrations = 0;
+  double last_vcpu_migration = 0.0;
+
+  int shared_region = 0;   // index of the DMA buffer region
+  int private_region = 1;  // index of the churn target region
+};
+
+int64_t RegionSimPages(const RegionSpec& region, int64_t bytes_per_frame,
+                       int64_t fallback_min_pages) {
+  const int64_t frame_mb = bytes_per_frame / (1 << 20);
+  const int64_t min_pages = region.min_pages > 0 ? region.min_pages : fallback_min_pages;
+  return std::max<int64_t>(min_pages,
+                           static_cast<int64_t>(std::ceil(region.footprint_mb / frame_mb)));
+}
+
+int64_t AppSimPages(const AppProfile& app, int64_t bytes_per_frame, int64_t fallback_min_pages) {
+  int64_t total = 0;
+  for (const RegionSpec& r : app.regions) {
+    total += RegionSimPages(r, bytes_per_frame, fallback_min_pages);
+  }
+  return total;
+}
+
+Engine::Engine(Hypervisor& hv, const LatencyModel& latency, EngineConfig config)
+    : hv_(&hv),
+      latency_(&latency),
+      config_(config),
+      rng_(config.seed),
+      counters_(hv.topology()) {
+  const int nodes = hv.topology().num_nodes();
+  mc_util_.assign(nodes, 0.0);
+  link_util_.assign(hv.topology().num_links(), 0.0);
+  traffic_.assign(nodes, std::vector<double>(nodes, 0.0));
+  dma_bytes_per_node_.assign(nodes, 0.0);
+  carrefour_system_ = std::make_unique<CarrefourSystemComponent>(hv, counters_, *this);
+  carrefour_user_ =
+      std::make_unique<CarrefourUserComponent>(*carrefour_system_, config_.carrefour, config.seed);
+  auto_selector_ =
+      std::make_unique<AutoPolicySelector>(hv, *carrefour_system_, config_.auto_selector);
+}
+
+Engine::~Engine() = default;
+
+int Engine::AddJob(const JobSpec& spec) {
+  XNUMA_CHECK(spec.app != nullptr);
+  XNUMA_CHECK(spec.guest != nullptr);
+  XNUMA_CHECK(spec.domain != kInvalidDomain);
+  XNUMA_CHECK(spec.threads > 0);
+  XNUMA_CHECK(spec.threads <= static_cast<int>(hv_->domain(spec.domain).vcpus().size()));
+
+  auto job = std::make_unique<JobState>();
+  job->spec = spec;
+  job->job_id = static_cast<int>(jobs_.size());
+  job->rng = rng_.Fork();
+
+  const Topology& topo = hv_->topology();
+
+  // Lay the regions out in one process address space.
+  Vpn next_vpn = 0;
+  int64_t largest_master = -1;
+  for (size_t r = 0; r < spec.app->regions.size(); ++r) {
+    const RegionSpec& rs = spec.app->regions[r];
+    RegionState region;
+    region.spec = &rs;
+    region.first_vpn = next_vpn;
+    region.pages =
+        RegionSimPages(rs, hv_->frames().bytes_per_frame(), config_.min_region_pages);
+    next_vpn += region.pages;
+    region.hot_count =
+        std::clamp<int64_t>(std::llround(rs.hot_fraction * region.pages), 1, region.pages);
+    region.hot_stride = std::max<int64_t>(1, region.pages / region.hot_count);
+    region.w_hot = rs.hot_share / static_cast<double>(region.hot_count);
+    const int64_t cold = region.pages - region.hot_count;
+    region.w_cold = cold > 0 ? (1.0 - rs.hot_share) / static_cast<double>(cold) : 0.0;
+    region.node_mass.assign(topo.num_nodes(), 0.0);
+    region.slice_mass.assign(spec.threads, std::vector<double>(topo.num_nodes(), 0.0));
+    region.slice_total.assign(spec.threads, 0.0);
+    if (rs.init == AllocPattern::kMasterInit) {
+      // The DMA buffer lives in the biggest master-initialized region (the
+      // streamed bulk data).
+      if (region.pages > largest_master) {
+        largest_master = region.pages;
+        job->shared_region = static_cast<int>(r);
+      }
+    } else {
+      job->private_region = static_cast<int>(r);
+    }
+    job->regions.push_back(std::move(region));
+  }
+  job->pid = spec.guest->CreateProcess(next_vpn);
+
+  const Domain& dom = hv_->domain(spec.domain);
+  job->threads.resize(spec.threads);
+  for (int t = 0; t < spec.threads; ++t) {
+    ThreadState& th = job->threads[t];
+    th.cpu = dom.vcpus()[t].pinned_cpu;
+    th.node = topo.node_of_cpu(th.cpu);
+    th.work_remaining =
+        spec.app->nominal_seconds * topo.cpu_hz() /
+        (spec.app->cpu_cycles_per_access + kReferenceLatencyCycles / spec.app->mlp);
+    th.p_node.assign(topo.num_nodes(), 0.0);
+  }
+  job->io_bytes_remaining = spec.app->disk_read_mb * kMiB;
+  job->cum_node_accesses.assign(topo.num_nodes(), 0.0);
+
+  jobs_.push_back(std::move(job));
+  return static_cast<int>(jobs_.size()) - 1;
+}
+
+void Engine::InitJob(JobState& job) {
+  GuestOs& guest = *job.spec.guest;
+  const bool guest_mode = job.spec.exec_mode == ExecMode::kGuest;
+  const double minor_cost =
+      guest_mode ? config_.guest_minor_fault_s : config_.native_minor_fault_s;
+  const double hv_fault_cost = guest_mode ? hv_->costs().page_fault_s : config_.native_minor_fault_s;
+
+  double master_seconds = 0.0;
+  std::vector<double> owner_seconds(job.spec.threads, 0.0);
+
+  for (RegionState& region : job.regions) {
+    for (int64_t idx = 0; idx < region.pages; ++idx) {
+      const Vpn vpn = region.first_vpn + idx;
+      int toucher;
+      if (region.spec->init == AllocPattern::kMasterInit) {
+        toucher = 0;
+      } else {
+        toucher = static_cast<int>(region.SliceOf(idx, job.spec.threads));
+      }
+      const TouchResult touch = guest.TouchPage(job.pid, vpn, job.threads[toucher].cpu);
+      double cost = kTouchCostSeconds;
+      if (touch.guest_alloc) {
+        cost += minor_cost;
+      }
+      if (touch.hv_fault) {
+        cost += hv_fault_cost;
+      }
+      if (region.spec->init == AllocPattern::kMasterInit) {
+        master_seconds += cost;
+      } else {
+        owner_seconds[toucher] += cost;
+      }
+    }
+  }
+  double max_owner = 0.0;
+  for (double s : owner_seconds) {
+    max_owner = std::max(max_owner, s);
+  }
+  job.init_seconds = master_seconds + max_owner;
+}
+
+void Engine::RefreshPlacementTables(JobState& job) {
+  const GuestOs& guest = *job.spec.guest;
+  HvPlacementBackend& be = hv_->backend(job.spec.domain);
+  for (RegionState& region : job.regions) {
+    std::fill(region.node_mass.begin(), region.node_mass.end(), 0.0);
+    for (auto& row : region.slice_mass) {
+      std::fill(row.begin(), row.end(), 0.0);
+    }
+    std::fill(region.slice_total.begin(), region.slice_total.end(), 0.0);
+    region.total_mass = 0.0;
+    region.replicated_mass = 0.0;
+    for (int64_t idx = 0; idx < region.pages; ++idx) {
+      const Pfn pfn = guest.PfnOfVpage(job.pid, region.first_vpn + idx);
+      if (pfn == kInvalidPfn || !be.IsMapped(pfn)) {
+        continue;  // Released and not yet retouched.
+      }
+      const double w = region.Weight(idx);
+      if (be.IsReplicated(pfn)) {
+        region.replicated_mass += w;
+        continue;
+      }
+      const NodeId node = be.NodeOf(pfn);
+      const int64_t slice = region.SliceOf(idx, job.spec.threads);
+      region.node_mass[node] += w;
+      region.total_mass += w;
+      region.slice_mass[slice][node] += w;
+      region.slice_total[slice] += w;
+    }
+  }
+}
+
+void Engine::ComputeAccessDistributions(JobState& job) {
+  const int nodes = hv_->topology().num_nodes();
+  for (int t = 0; t < job.spec.threads; ++t) {
+    ThreadState& th = job.threads[t];
+    std::fill(th.p_node.begin(), th.p_node.end(), 0.0);
+    if (th.done) {
+      continue;
+    }
+    for (const RegionState& region : job.regions) {
+      const double share = region.spec->access_share;
+      const double denom = region.total_mass + region.replicated_mass;
+      if (share <= 0.0 || denom <= 0.0) {
+        continue;
+      }
+      // Replicated pages are served from the accessor's own node.
+      const double local_frac = region.replicated_mass / denom;
+      th.p_node[th.node] += share * local_frac;
+      if (region.total_mass <= 0.0) {
+        continue;
+      }
+      const double rest = 1.0 - local_frac;
+      const double aff = region.spec->owner_affinity;
+      const bool use_slice = region.slice_total[t] > 0.0;
+      for (NodeId n = 0; n < nodes; ++n) {
+        double p = (1.0 - aff) * region.node_mass[n] / region.total_mass;
+        if (use_slice) {
+          p += aff * region.slice_mass[t][n] / region.slice_total[t];
+        } else {
+          p += aff * region.node_mass[n] / region.total_mass;
+        }
+        th.p_node[n] += share * rest * p;
+      }
+    }
+    // Normalize against rounding drift.
+    double total = 0.0;
+    for (double p : th.p_node) {
+      total += p;
+    }
+    if (total > 0.0) {
+      for (double& p : th.p_node) {
+        p /= total;
+      }
+    }
+  }
+}
+
+double Engine::PathLinkUtil(NodeId src, NodeId dst) const {
+  // Traffic splits evenly over equal-cost paths; the experienced link
+  // congestion is the average over paths of the hottest link on each.
+  const auto& paths = hv_->topology().Routes(src, dst);
+  double total = 0.0;
+  for (const auto& path : paths) {
+    double worst = 0.0;
+    for (LinkId l : path) {
+      worst = std::max(worst, link_util_[l]);
+    }
+    total += worst;
+  }
+  return total / static_cast<double>(paths.size());
+}
+
+double Engine::CpuShare(const JobState& job, CpuId cpu) const {
+  int sharers = 0;
+  for (const auto& other : jobs_) {
+    if (other->finished) {
+      continue;
+    }
+    for (const ThreadState& th : other->threads) {
+      if (!th.done && th.cpu == cpu) {
+        ++sharers;
+      }
+    }
+  }
+  (void)job;
+  return sharers <= 1 ? 1.0 : 1.0 / sharers;
+}
+
+double Engine::ThreadOverheadFraction(const JobState& job) const {
+  const AppProfile& app = *job.spec.app;
+  const SyncOutcome sync =
+      EvaluateSync(job.spec.sync, job.spec.exec_mode, app.blocking_rate_per_s, ipi_model_);
+  double overhead = sync.overhead_fraction;
+  overhead += app.release_rate_per_s * job.amortized_release_cost;
+  if (hv_->domain(job.spec.domain).policy_config().carrefour) {
+    overhead += config_.carrefour_monitor_overhead;
+  }
+  return overhead;
+}
+
+void Engine::SolveUtilizationFixedPoint(double dt) {
+  (void)dt;
+  const Topology& topo = hv_->topology();
+  const int nodes = topo.num_nodes();
+  const LatencyParams& lp = latency_->params();
+
+  for (int iter = 0; iter < config_.fixed_point_iterations; ++iter) {
+    // Rates from current utilizations.
+    for (auto& jptr : jobs_) {
+      JobState& job = *jptr;
+      if (job.finished) {
+        continue;
+      }
+      for (ThreadState& th : job.threads) {
+        if (th.done) {
+          th.rate = 0.0;
+          continue;
+        }
+        double lat = 0.0;
+        for (NodeId n = 0; n < nodes; ++n) {
+          if (th.p_node[n] <= 0.0) {
+            continue;
+          }
+          const int hops = topo.Distance(th.node, n);
+          lat += th.p_node[n] *
+                 latency_->AccessCycles(hops, mc_util_[n], PathLinkUtil(th.node, n));
+        }
+        th.last_latency_cycles = lat;
+        // Memory-level parallelism overlaps part of the DRAM latency with
+        // other outstanding accesses; the visible stall per access shrinks.
+        const double service_cycles =
+            job.spec.app->cpu_cycles_per_access + lat / job.spec.app->mlp;
+        const double share = CpuShare(job, th.cpu);
+        th.rate = share * topo.cpu_hz() / service_cycles;
+      }
+    }
+
+    // Demands from current rates.
+    for (auto& row : traffic_) {
+      std::fill(row.begin(), row.end(), 0.0);
+    }
+    std::fill(dma_bytes_per_node_.begin(), dma_bytes_per_node_.end(), 0.0);
+    for (auto& jptr : jobs_) {
+      JobState& job = *jptr;
+      if (job.finished) {
+        continue;
+      }
+      for (const ThreadState& th : job.threads) {
+        if (th.done) {
+          continue;
+        }
+        for (NodeId n = 0; n < nodes; ++n) {
+          traffic_[th.node][n] += th.rate * th.p_node[n];
+        }
+      }
+      // DMA streams land in the buffer (shared) region's pages.
+      if (job.io_bytes_remaining > 0.0) {
+        const RegionState& buf = job.regions[job.shared_region];
+        if (buf.total_mass > 0.0) {
+          const double bw = io_model_.StreamBandwidth(
+              job.spec.io_path, job.spec.app->io_request_kb * 1024,
+              /*scattered_buffers=*/job.spec.exec_mode == ExecMode::kGuest);
+          for (NodeId n = 0; n < nodes; ++n) {
+            dma_bytes_per_node_[n] += bw * buf.node_mass[n] / buf.total_mass;
+          }
+        }
+      }
+    }
+
+    std::vector<double> mc_new(nodes, 0.0);
+    for (NodeId n = 0; n < nodes; ++n) {
+      double demand_bytes = dma_bytes_per_node_[n];
+      for (NodeId src = 0; src < nodes; ++src) {
+        demand_bytes += traffic_[src][n] * kCacheLineBytes;
+      }
+      const double capacity = topo.node(n).mc_bandwidth_bytes_per_s * lp.mc_efficiency;
+      mc_new[n] = demand_bytes / capacity;
+    }
+
+    std::vector<double> link_new(topo.num_links(), 0.0);
+    const NodeId disk_node = 6 < nodes ? 6 : nodes - 1;  // benchmark-data disk bus (§5.1)
+    auto spread = [&](NodeId s, NodeId d, double bytes) {
+      const auto& paths = topo.Routes(s, d);
+      const double share = bytes / static_cast<double>(paths.size());
+      for (const auto& path : paths) {
+        for (LinkId l : path) {
+          link_new[l] += share;
+        }
+      }
+    };
+    for (NodeId s = 0; s < nodes; ++s) {
+      for (NodeId d = 0; d < nodes; ++d) {
+        if (s == d) {
+          continue;
+        }
+        const double bytes = traffic_[s][d] * kCacheLineBytes;
+        if (bytes > 0.0) {
+          spread(s, d, bytes);
+        }
+      }
+    }
+    for (NodeId n = 0; n < nodes; ++n) {
+      if (n == disk_node || dma_bytes_per_node_[n] <= 0.0) {
+        continue;
+      }
+      spread(disk_node, n, dma_bytes_per_node_[n]);
+    }
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      const double capacity = topo.link(l).bandwidth_bytes_per_s * lp.link_efficiency;
+      link_new[l] /= capacity;
+    }
+
+    const double damp = config_.utilization_damping;
+    for (NodeId n = 0; n < nodes; ++n) {
+      mc_util_[n] = (1.0 - damp) * mc_util_[n] + damp * mc_new[n];
+    }
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      link_util_[l] = (1.0 - damp) * link_util_[l] + damp * link_new[l];
+    }
+  }
+}
+
+void Engine::AdvanceProgress(JobState& job, double dt, double now) {
+  double eff = dt;
+  double stall = 0.0;
+  if (job.pending_stall_seconds > 0.0) {
+    stall = std::min(job.pending_stall_seconds, dt);
+    job.pending_stall_seconds -= stall;
+    eff -= stall;
+  }
+  const int nodes = hv_->topology().num_nodes();
+  // Sub-epoch offset at which the last piece of work completed, for
+  // completion times finer than the epoch quantum.
+  double finish_offset = 0.0;
+  // Serial overheads (wakeups, hypercalls, monitoring) dilate wall time:
+  // only 1/(1+overhead) of the epoch advances the parallel work.
+  const double dilation = 1.0 + job.overhead_fraction;
+  for (ThreadState& th : job.threads) {
+    if (th.done) {
+      continue;
+    }
+    const double progress_rate = th.rate / dilation;
+    const double work_before = th.work_remaining;
+    th.work_remaining -= progress_rate * eff;
+    th.latency_weighted += th.last_latency_cycles * progress_rate * eff;
+    th.latency_weight += progress_rate * eff;
+    for (NodeId n = 0; n < nodes; ++n) {
+      job.cum_node_accesses[n] += progress_rate * th.p_node[n] * eff;
+    }
+    if (th.work_remaining <= 0.0) {
+      th.done = true;
+      const double used = progress_rate > 0.0 ? work_before / progress_rate : 0.0;
+      finish_offset = std::max(finish_offset, stall + std::min(used, eff));
+    } else {
+      finish_offset = dt;
+    }
+  }
+  if (job.io_bytes_remaining > 0.0) {
+    const double bw = io_model_.StreamBandwidth(
+        job.spec.io_path, job.spec.app->io_request_kb * 1024,
+        /*scattered_buffers=*/job.spec.exec_mode == ExecMode::kGuest);
+    const double io_before = job.io_bytes_remaining;
+    job.io_bytes_remaining -= bw * dt;
+    if (job.io_bytes_remaining <= 0.0) {
+      finish_offset = std::max(finish_offset, bw > 0.0 ? io_before / bw : 0.0);
+    } else {
+      finish_offset = dt;
+    }
+  }
+  double max_link = 0.0;
+  for (double u : link_util_) {
+    max_link = std::max(max_link, u);
+  }
+  double max_mc = 0.0;
+  for (double u : mc_util_) {
+    max_mc = std::max(max_mc, u);
+  }
+  job.max_link_integral += std::min(max_link, 1.0) * dt;
+  job.max_mc_integral += std::min(max_mc, 1.0) * dt;
+  job.running_seconds += dt;
+
+  if (const char* dbg = getenv("XNUMA_DEBUG_EPOCH"); dbg != nullptr) {
+    double rem = 0.0;
+    for (const ThreadState& th : job.threads) {
+      rem += th.work_remaining;
+    }
+    std::fprintf(stderr, "t=%.2f job=%s lat0=%.0f rate0=%.3gM stall=%.4f oh=%.3f rem=%.3g\n", now,
+                 job.spec.app->name.c_str(), job.threads[0].last_latency_cycles,
+                 job.threads[0].rate / 1e6, job.pending_stall_seconds, job.overhead_fraction,
+                 rem);
+  }
+  if (ComputeDone(job) && job.io_bytes_remaining <= 0.0) {
+    FinishJob(job, now - dt + std::min(finish_offset, dt));
+  }
+}
+
+bool Engine::ComputeDone(const JobState& job) const {
+  for (const ThreadState& th : job.threads) {
+    if (!th.done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::FinishJob(JobState& job, double now) {
+  job.finished = true;
+  job.finished_at = now;
+}
+
+void Engine::RunAllocatorChurn(JobState& job, double dt) {
+  const AppProfile& app = *job.spec.app;
+  if (app.release_rate_per_s <= 0.0 || job.finished) {
+    return;
+  }
+  const double total_rate = app.release_rate_per_s * job.spec.threads;
+  const int expected = static_cast<int>(total_rate * dt);
+  const int n_ops = std::min(config_.churn_sample_ops, std::max(1, expected));
+
+  GuestOs& guest = *job.spec.guest;
+  const bool guest_mode = job.spec.exec_mode == ExecMode::kGuest;
+  PvPageQueue::Stats before = guest.pv_queue().GetStats();
+
+  RegionState& region = job.regions[job.private_region];
+  double fault_cost = 0.0;
+  for (int i = 0; i < n_ops; ++i) {
+    const int t = static_cast<int>(job.rng.NextInt(job.spec.threads));
+    const int64_t begin = region.SliceBegin(t, job.spec.threads);
+    const int64_t end = region.SliceEnd(t, job.spec.threads);
+    if (end <= begin) {
+      continue;
+    }
+    const int64_t idx = begin + job.rng.NextInt(end - begin);
+    const Vpn vpn = region.first_vpn + idx;
+    guest.ReleasePage(job.pid, vpn);
+    const TouchResult touch = guest.TouchPage(job.pid, vpn, job.threads[t].cpu);
+    if (touch.guest_alloc) {
+      fault_cost += guest_mode ? config_.guest_minor_fault_s : config_.native_minor_fault_s;
+    }
+    if (touch.hv_fault) {
+      fault_cost += guest_mode ? hv_->costs().page_fault_s : config_.native_minor_fault_s;
+    }
+  }
+
+  PvPageQueue::Stats after = guest.pv_queue().GetStats();
+  const double hv_seconds = after.hypervisor_seconds - before.hypervisor_seconds;
+  const int64_t flushes = after.flushes - before.flushes;
+  const int64_t pushes = after.pushes - before.pushes;
+
+  double per_op = fault_cost / n_ops + kQueueAppendSeconds;
+  if (pushes > 0) {
+    per_op += hv_seconds / static_cast<double>(pushes) * 2.0;  // alloc + release entries
+  }
+
+  // Partition-lock queueing: the lock is held across the flush hypercall, so
+  // concurrent releasers wait behind it (M/M/1 approximation).
+  if (flushes > 0 && guest_mode) {
+    const double flush_cost = hv_seconds / static_cast<double>(flushes);
+    const int partitions = guest.pv_queue().num_partitions();
+    const int batch = guest.pv_queue().batch_size();
+    const double flush_rate_per_partition = 2.0 * total_rate / partitions / batch;
+    const double rho = std::min(flush_rate_per_partition * flush_cost, 0.97);
+    const double wait_per_flush = rho / (1.0 - rho) * flush_cost * 0.5;
+    per_op += wait_per_flush / batch;
+  }
+
+  job.amortized_release_cost = 0.5 * job.amortized_release_cost + 0.5 * per_op;
+}
+
+void Engine::MigrateVcpus(JobState& job, double now) {
+  if (job.spec.vcpu_migration_period_s <= 0.0 || job.finished) {
+    return;
+  }
+  if (now - job.last_vcpu_migration < job.spec.vcpu_migration_period_s) {
+    return;
+  }
+  job.last_vcpu_migration = now;
+  const Topology& topo = hv_->topology();
+  for (int k = 0; k < job.spec.vcpu_migrations_per_event; ++k) {
+    const int a = static_cast<int>(job.rng.NextInt(job.spec.threads));
+    const int b = static_cast<int>(job.rng.NextInt(job.spec.threads));
+    ThreadState& ta = job.threads[a];
+    ThreadState& tb = job.threads[b];
+    if (ta.node == tb.node) {
+      continue;
+    }
+    std::swap(ta.cpu, tb.cpu);
+    ta.node = topo.node_of_cpu(ta.cpu);
+    tb.node = topo.node_of_cpu(tb.cpu);
+    // The migrated vCPU's architectural state moves with it; charge a small
+    // stall (cache/TLB refill on the new CPU).
+    job.pending_stall_seconds += 50e-6 / job.spec.threads;
+  }
+}
+
+void Engine::TickCarrefour(double now) {
+  if (now - last_carrefour_tick_ < config_.carrefour_period_seconds) {
+    return;
+  }
+  last_carrefour_tick_ = now;
+  const LatencyParams& lp = latency_->params();
+  for (auto& jptr : jobs_) {
+    JobState& job = *jptr;
+    if (job.finished) {
+      continue;
+    }
+    if (job.spec.auto_policy) {
+      auto_selector_->Tick(job.spec.domain);
+    }
+    if (!hv_->domain(job.spec.domain).policy_config().carrefour) {
+      continue;
+    }
+    const CarrefourTickStats stats = carrefour_user_->Tick(job.spec.domain);
+    job.carrefour_migrations += stats.interleave_migrations + stats.locality_migrations;
+    const auto window = hv_->backend(job.spec.domain).DrainMigrationWindow();
+    if (window.migrations > 0) {
+      const double copy_bw =
+          hv_->topology().links().front().bandwidth_bytes_per_s * lp.link_efficiency;
+      const double stall = window.migrations * hv_->costs().migration_fixed_s +
+                           static_cast<double>(window.bytes) / copy_bw;
+      job.pending_stall_seconds += stall / job.spec.threads;
+    }
+  }
+}
+
+void Engine::AccumulatePageRates(const JobState& job,
+                                 std::vector<PageAccessSample>* out) const {
+  const int nodes = hv_->topology().num_nodes();
+  const GuestOs& guest = *job.spec.guest;
+
+  for (const RegionState& region : job.regions) {
+    const double share = region.spec->access_share;
+    if (share <= 0.0 || region.total_mass <= 0.0) {
+      continue;
+    }
+    const double aff = region.spec->owner_affinity;
+
+    // Uniform component: per source node, the total rate into this region.
+    std::vector<double> uniform_by_node(nodes, 0.0);
+    // Affinity component per slice (attributed to the owner thread's node).
+    std::vector<double> slice_rate(job.spec.threads, 0.0);
+    std::vector<NodeId> slice_node(job.spec.threads, kInvalidNode);
+    for (int t = 0; t < job.spec.threads; ++t) {
+      const ThreadState& th = job.threads[t];
+      if (th.done) {
+        continue;
+      }
+      uniform_by_node[th.node] += th.rate * share * (1.0 - aff);
+      slice_rate[t] = th.rate * share * aff;
+      slice_node[t] = th.node;
+    }
+
+    for (int64_t idx = 0; idx < region.pages; ++idx) {
+      const Pfn pfn = guest.PfnOfVpage(job.pid, region.first_vpn + idx);
+      if (pfn == kInvalidPfn || hv_->backend(job.spec.domain).IsReplicated(pfn)) {
+        continue;  // replicated pages are already local everywhere
+      }
+      const double w = region.Weight(idx);
+      const int64_t slice = region.SliceOf(idx, job.spec.threads);
+      PageAccessSample sample;
+      sample.domain = job.spec.domain;
+      sample.pfn = pfn;
+      sample.rate_by_node.assign(nodes, 0.0);
+      for (NodeId n = 0; n < nodes; ++n) {
+        sample.rate_by_node[n] = uniform_by_node[n] * w / region.total_mass;
+      }
+      if (region.slice_total[slice] > 0.0 && slice_node[slice] != kInvalidNode) {
+        sample.rate_by_node[slice_node[slice]] +=
+            slice_rate[slice] * w / region.slice_total[slice];
+      }
+      sample.written = region.spec->write_fraction > 0.0;
+      out->push_back(std::move(sample));
+    }
+  }
+}
+
+void Engine::SampleHotPages(DomainId domain, int max_pages,
+                            std::vector<PageAccessSample>* out) {
+  std::vector<PageAccessSample> candidates;
+  for (const auto& jptr : jobs_) {
+    if (jptr->spec.domain == domain && !jptr->finished) {
+      AccumulatePageRates(*jptr, &candidates);
+    }
+  }
+  // IBS-style sampling noise.
+  for (PageAccessSample& s : candidates) {
+    for (double& r : s.rate_by_node) {
+      r = std::max(0.0, r * (1.0 + config_.sampling_noise * rng_.NextGaussian()));
+    }
+  }
+  const int keep = std::min<int>(max_pages, static_cast<int>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + keep, candidates.end(),
+                    [](const PageAccessSample& a, const PageAccessSample& b) {
+                      return a.TotalRate() > b.TotalRate();
+                    });
+  candidates.resize(keep);
+  for (PageAccessSample& s : candidates) {
+    out->push_back(std::move(s));
+  }
+}
+
+void Engine::TickScheduler(double now) {
+  if (scheduler_ == nullptr || now - last_scheduler_tick_ < scheduler_period_s_) {
+    return;
+  }
+  last_scheduler_tick_ = now;
+  std::vector<Domain*> domains;
+  for (const auto& jptr : jobs_) {
+    if (!jptr->finished) {
+      domains.push_back(&hv_->domain(jptr->spec.domain));
+    }
+  }
+  if (domains.empty()) {
+    return;
+  }
+  const int migrations = scheduler_->Rebalance(domains);
+  const Topology& topo = hv_->topology();
+  for (auto& jptr : jobs_) {
+    JobState& job = *jptr;
+    if (job.finished) {
+      continue;
+    }
+    const Domain& dom = hv_->domain(job.spec.domain);
+    bool moved = false;
+    for (int t = 0; t < job.spec.threads; ++t) {
+      ThreadState& th = job.threads[t];
+      const CpuId cpu = dom.vcpus()[t].pinned_cpu;
+      if (th.cpu != cpu) {
+        th.cpu = cpu;
+        th.node = topo.node_of_cpu(cpu);
+        moved = true;
+      }
+    }
+    if (moved && migrations > 0) {
+      // Microarchitectural state does not follow the vCPU.
+      job.pending_stall_seconds += 50e-6 * migrations / job.spec.threads;
+    }
+  }
+}
+
+void Engine::RecordTrace(double now) {
+  if (trace_ == nullptr) {
+    return;
+  }
+  EpochSample sample;
+  sample.time_seconds = now;
+  double mc_sum = 0.0;
+  for (double u : mc_util_) {
+    sample.max_mc_util = std::max(sample.max_mc_util, u);
+    mc_sum += u;
+  }
+  sample.avg_mc_util = mc_util_.empty() ? 0.0 : mc_sum / mc_util_.size();
+  double link_sum = 0.0;
+  for (double u : link_util_) {
+    sample.max_link_util = std::max(sample.max_link_util, u);
+    link_sum += u;
+  }
+  sample.avg_link_util = link_util_.empty() ? 0.0 : link_sum / link_util_.size();
+  for (const auto& jptr : jobs_) {
+    const JobState& job = *jptr;
+    JobEpochSample js;
+    js.job_id = job.job_id;
+    js.app = job.spec.app->name;
+    js.finished = job.finished;
+    js.overhead_fraction = job.overhead_fraction;
+    js.carrefour_migrations = job.carrefour_migrations;
+    double weighted = 0.0;
+    for (const ThreadState& th : job.threads) {
+      if (!th.done) {
+        js.total_rate += th.rate;
+        weighted += th.last_latency_cycles * th.rate;
+      }
+    }
+    js.avg_latency_cycles = js.total_rate > 0.0 ? weighted / js.total_rate : 0.0;
+    sample.jobs.push_back(std::move(js));
+  }
+  trace_->Record(std::move(sample));
+}
+
+RunResult Engine::Run() {
+  for (auto& job : jobs_) {
+    InitJob(*job);
+  }
+
+  const double dt = config_.epoch_seconds;
+  double now = 0.0;
+  while (now < config_.max_sim_seconds) {
+    bool all_done = true;
+    for (auto& job : jobs_) {
+      if (!job->finished) {
+        all_done = false;
+      }
+    }
+    if (all_done) {
+      break;
+    }
+
+    for (auto& job : jobs_) {
+      if (job->finished) {
+        continue;
+      }
+      RefreshPlacementTables(*job);
+      ComputeAccessDistributions(*job);
+      job->overhead_fraction = ThreadOverheadFraction(*job);
+    }
+
+    SolveUtilizationFixedPoint(dt);
+
+    // Commit the hardware counters for this epoch.
+    TrafficSnapshot snapshot;
+    snapshot.epoch_seconds = dt;
+    snapshot.accesses_per_s = traffic_;
+    snapshot.dma_bytes_per_s = dma_bytes_per_node_;
+    snapshot.mc_utilization = mc_util_;
+    snapshot.link_utilization = link_util_;
+    counters_.CommitEpoch(snapshot);
+
+    now += dt;
+    for (auto& job : jobs_) {
+      if (job->finished) {
+        continue;
+      }
+      AdvanceProgress(*job, dt, now);
+      RunAllocatorChurn(*job, dt);
+      MigrateVcpus(*job, now);
+    }
+    TickCarrefour(now);
+    TickScheduler(now);
+    RecordTrace(now);
+  }
+
+  RunResult result;
+  result.sim_seconds = now;
+  for (auto& jptr : jobs_) {
+    JobState& job = *jptr;
+    JobResult jr;
+    jr.app = job.spec.app->name;
+    jr.domain = job.spec.domain;
+    jr.finished = job.finished;
+    const double body = job.finished ? job.finished_at : now;
+    jr.completion_seconds = job.init_seconds + body;
+    jr.init_seconds = job.init_seconds;
+    jr.compute_seconds = body;
+    jr.imbalance_pct = RelativeStddevPercent(job.cum_node_accesses);
+    if (job.running_seconds > 0.0) {
+      jr.interconnect_pct = 100.0 * job.max_link_integral / job.running_seconds;
+      jr.avg_mc_util_pct = 100.0 * job.max_mc_integral / job.running_seconds;
+    }
+    double lat_sum = 0.0;
+    double lat_w = 0.0;
+    for (const ThreadState& th : job.threads) {
+      lat_sum += th.latency_weighted;
+      lat_w += th.latency_weight;
+    }
+    jr.avg_latency_cycles = lat_w > 0.0 ? lat_sum / lat_w : 0.0;
+    jr.observed_disk_mb_per_s =
+        jr.completion_seconds > 0.0 ? job.spec.app->disk_read_mb / jr.completion_seconds : 0.0;
+    const SyncOutcome sync = EvaluateSync(job.spec.sync, job.spec.exec_mode,
+                                          job.spec.app->blocking_rate_per_s, ipi_model_);
+    jr.observed_ctx_switches_per_s = sync.context_switches_per_s;
+    jr.hv_page_faults = hv_->domain(job.spec.domain).stats().hv_page_faults;
+    jr.carrefour_migrations = job.carrefour_migrations;
+    jr.final_policy = hv_->domain(job.spec.domain).policy_config();
+    if (job.spec.auto_policy) {
+      jr.policy_switches = auto_selector_->stats(job.spec.domain).policy_switches;
+    }
+    result.jobs.push_back(std::move(jr));
+  }
+  return result;
+}
+
+}  // namespace xnuma

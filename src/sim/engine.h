@@ -1,0 +1,213 @@
+// Epoch-based machine simulation.
+//
+// Applications are executed as sets of threads issuing DRAM accesses against
+// their regions' pages, whose NUMA placement is whatever the policy under
+// test produced through the real P2M/guest-OS machinery. Each epoch the
+// engine:
+//   1. derives every thread's access distribution over nodes from the
+//      current page placement,
+//   2. solves a damped fixed point between access rates and memory
+//      controller / interconnect utilizations (congestion raises latency,
+//      latency lowers rates),
+//   3. advances thread progress, I/O streams, and allocator churn (which
+//      exercises the real PV page queue), and
+//   4. commits hardware counters and periodically runs the Carrefour user
+//      component.
+//
+// Completion times therefore *emerge* from placement and contention; the
+// engine never looks at the policy it is evaluating.
+
+#ifndef XENNUMA_SRC_SIM_ENGINE_H_
+#define XENNUMA_SRC_SIM_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/autopolicy/auto_selector.h"
+#include "src/carrefour/system_component.h"
+#include "src/carrefour/user_component.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/guest/guest_os.h"
+#include "src/guest/sync_model.h"
+#include "src/hv/hypervisor.h"
+#include "src/hv/io_model.h"
+#include "src/hv/ipi_model.h"
+#include "src/hv/scheduler.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/perf_counters.h"
+#include "src/sim/trace.h"
+#include "src/workload/app_profile.h"
+
+namespace xnuma {
+
+struct EngineConfig {
+  double epoch_seconds = 0.05;
+  double carrefour_period_seconds = 0.10;
+  // The rate/latency fixed point has steep negative slope in the overload
+  // region (|d'| up to ~8 with the default overload_slope), so the damped
+  // Picard iteration needs damping < 2/(1+|d'|) to contract.
+  int fixed_point_iterations = 24;
+  double utilization_damping = 0.15;
+  double max_sim_seconds = 600.0;
+  uint64_t seed = 7;
+
+  // IBS-emulation noise on sampled per-page rates (relative sigma). This is
+  // also what occasionally makes Carrefour migrate a page it should not
+  // (the paper's "temporary burst" degradations on low-imbalance apps).
+  double sampling_noise = 0.25;
+  // Fixed monitoring tax while Carrefour is enabled for a domain.
+  double carrefour_monitor_overhead = 0.02;
+
+  // Kernel fault-path costs (seconds).
+  double native_minor_fault_s = 0.5e-6;
+  double guest_minor_fault_s = 0.7e-6;
+
+  // Number of real release/retouch operations executed per epoch to sample
+  // the allocator-churn cost (extrapolated to the profile's full rate).
+  int churn_sample_ops = 96;
+
+  // Lower bound on simulated pages per region so per-thread slices remain
+  // meaningful for small-footprint applications.
+  int64_t min_region_pages = 96;
+
+  CarrefourConfig carrefour;
+  AutoSelectorConfig auto_selector;
+};
+
+struct JobSpec {
+  const AppProfile* app = nullptr;
+  DomainId domain = kInvalidDomain;
+  GuestOs* guest = nullptr;
+  int threads = 0;                  // uses the domain's first `threads` vCPUs
+  ExecMode exec_mode = ExecMode::kGuest;
+  IoPath io_path = IoPath::kPvSplitDriver;
+  SyncPrimitive sync = SyncPrimitive::kBlockingFutex;
+  // Run the automatic policy selector (§7 extension) on this domain.
+  bool auto_policy = false;
+  // Exogenous vCPU load-balancing migrations (§1: the hypervisor moves
+  // vCPUs across NUMA nodes, which is what breaks guest-side NUMA
+  // placement). Every period, `vcpu_migrations_per_event` random pairs of
+  // this job's threads swap physical CPUs across nodes. 0 disables.
+  double vcpu_migration_period_s = 0.0;
+  int vcpu_migrations_per_event = 4;
+};
+
+struct JobResult {
+  std::string app;
+  DomainId domain = kInvalidDomain;
+  bool finished = false;
+  double completion_seconds = 0.0;
+  double init_seconds = 0.0;
+  double compute_seconds = 0.0;
+
+  // Table 1 metrics, measured over this job's own traffic.
+  double imbalance_pct = 0.0;
+  double interconnect_pct = 0.0;  // avg max-link utilization while running
+  double avg_mc_util_pct = 0.0;   // avg max-MC utilization while running
+
+  double avg_latency_cycles = 0.0;
+  double observed_disk_mb_per_s = 0.0;
+  double observed_ctx_switches_per_s = 0.0;
+  int64_t hv_page_faults = 0;
+  int64_t carrefour_migrations = 0;
+  // Auto-selector outcome (when enabled): policy at completion + switches.
+  PolicyConfig final_policy;
+  int policy_switches = 0;
+};
+
+struct RunResult {
+  std::vector<JobResult> jobs;
+  double sim_seconds = 0.0;
+};
+
+// Simulated pages the engine lays out for one region / a whole application,
+// given the machine's frame size and the engine's fallback region minimum.
+int64_t RegionSimPages(const RegionSpec& region, int64_t bytes_per_frame,
+                       int64_t fallback_min_pages);
+int64_t AppSimPages(const AppProfile& app, int64_t bytes_per_frame, int64_t fallback_min_pages);
+
+class Engine : public PageAccessSource {
+ public:
+  Engine(Hypervisor& hv, const LatencyModel& latency, EngineConfig config);
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Registers a job; the guest's domain must live in `hv`. Returns job id.
+  int AddJob(const JobSpec& spec);
+
+  RunResult Run();
+
+  // PageAccessSource (Carrefour's IBS view): hottest pages of `domain` with
+  // noisy per-source-node rates.
+  void SampleHotPages(DomainId domain, int max_pages,
+                      std::vector<PageAccessSample>* out) override;
+
+  const PerfCounters& counters() const { return counters_; }
+
+  // Optional per-epoch time-series recording; the recorder must outlive the
+  // run. Pass nullptr to detach.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  // Optional vCPU scheduler: every `period_s` the scheduler rebalances the
+  // vCPUs of running jobs' domains and threads follow their vCPUs. Without
+  // one, vCPUs stay pinned (the paper's setting).
+  void set_scheduler(CreditScheduler* scheduler, double period_s) {
+    scheduler_ = scheduler;
+    scheduler_period_s_ = period_s;
+  }
+
+ private:
+  struct RegionState;
+  struct ThreadState;
+  struct JobState;
+
+  void InitJob(JobState& job);
+  void RefreshPlacementTables(JobState& job);
+  void ComputeAccessDistributions(JobState& job);
+  void SolveUtilizationFixedPoint(double dt);
+  double PathLinkUtil(NodeId src, NodeId dst) const;
+  void AdvanceProgress(JobState& job, double dt, double now);
+  void RunAllocatorChurn(JobState& job, double dt);
+  void MigrateVcpus(JobState& job, double now);
+  void TickCarrefour(double now);
+  double ThreadOverheadFraction(const JobState& job) const;
+  double CpuShare(const JobState& job, CpuId cpu) const;
+  bool ComputeDone(const JobState& job) const;
+  void FinishJob(JobState& job, double now);
+  void RecordTrace(double now);
+  void TickScheduler(double now);
+  // Per-page access rates by source node for sampling; appends candidates.
+  void AccumulatePageRates(const JobState& job, std::vector<PageAccessSample>* out) const;
+
+  Hypervisor* hv_;
+  const LatencyModel* latency_;
+  EngineConfig config_;
+  Rng rng_;
+  PerfCounters counters_;
+  IoModel io_model_;
+  IpiModel ipi_model_;
+  std::unique_ptr<CarrefourSystemComponent> carrefour_system_;
+  std::unique_ptr<CarrefourUserComponent> carrefour_user_;
+  std::unique_ptr<AutoPolicySelector> auto_selector_;
+
+  std::vector<std::unique_ptr<JobState>> jobs_;
+
+  // Machine-wide utilization state shared by the fixed point.
+  std::vector<double> mc_util_;
+  std::vector<double> link_util_;
+  std::vector<std::vector<double>> traffic_;  // accesses/s, [src][dst]
+  std::vector<double> dma_bytes_per_node_;
+  double last_carrefour_tick_ = 0.0;
+  TraceRecorder* trace_ = nullptr;
+  CreditScheduler* scheduler_ = nullptr;
+  double scheduler_period_s_ = 0.0;
+  double last_scheduler_tick_ = 0.0;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_SIM_ENGINE_H_

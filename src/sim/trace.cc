@@ -1,0 +1,39 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xnuma {
+
+std::string TraceRecorder::ToCsv() const {
+  std::string out = "time,app,latency_cycles,rate_per_s,overhead,migrations,max_mc,max_link\n";
+  char line[256];
+  for (const EpochSample& e : samples_) {
+    for (const JobEpochSample& j : e.jobs) {
+      std::snprintf(line, sizeof(line), "%.3f,%s,%.1f,%.0f,%.4f,%lld,%.4f,%.4f\n",
+                    e.time_seconds, j.app.c_str(), j.avg_latency_cycles, j.total_rate,
+                    j.overhead_fraction, static_cast<long long>(j.carrefour_migrations),
+                    e.max_mc_util, e.max_link_util);
+      out += line;
+    }
+  }
+  return out;
+}
+
+double TraceRecorder::PeakMcUtil() const {
+  double peak = 0.0;
+  for (const EpochSample& e : samples_) {
+    peak = std::max(peak, e.max_mc_util);
+  }
+  return peak;
+}
+
+double TraceRecorder::PeakLinkUtil() const {
+  double peak = 0.0;
+  for (const EpochSample& e : samples_) {
+    peak = std::max(peak, e.max_link_util);
+  }
+  return peak;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,172 @@
+#include "src/workload/app_profile.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+namespace {
+
+// On an 8-node machine where a fraction s of the accesses hit one node and
+// the rest spread evenly, the relative standard deviation of per-node access
+// counts is sqrt(7)/8 * 8 * s = 2.646 * s. Inverting Table 1's first-touch
+// imbalance gives the shared-region access share.
+double SharedShareFromImbalance(double imbalance_pct) {
+  return std::clamp(imbalance_pct / 264.6, 0.02, 0.97);
+}
+
+struct AppParams {
+  const char* name;
+  Suite suite;
+  double imbalance_pct;     // Table 1, first-touch column
+  double shared_affinity;   // owner affinity inside the shared region
+  double private_affinity;  // owner affinity inside the private region
+  double cycles;            // cpu cycles between DRAM accesses
+  double mlp;               // outstanding DRAM accesses (overlap factor)
+  double footprint_mb;      // Table 2
+  double cs_per_s;          // Table 2 (context switches)
+  bool mcs_eligible;
+  double disk_mb_per_s;     // Table 2
+  int64_t io_request_kb;
+  double release_rate;      // per-thread page releases/s
+};
+
+AppProfile Make(const AppParams& p) {
+  AppProfile app;
+  app.name = p.name;
+  app.suite = p.suite;
+  app.cpu_cycles_per_access = p.cycles;
+  app.mlp = p.mlp;
+  app.blocking_rate_per_s = p.cs_per_s;
+  app.mcs_eligible = p.mcs_eligible;
+  app.disk_read_mb = p.disk_mb_per_s * app.nominal_seconds;
+  app.io_request_kb = p.io_request_kb;
+  app.release_rate_per_s = p.release_rate;
+
+  // The master-initialized (shared) working set splits into a small *hot*
+  // block — contiguous, so round-1G places it entirely inside one or two
+  // 1 GiB regions — and the colder *bulk*. Hot structures being contiguous
+  // in physical memory is precisely why the 1 GiB granularity hurts (§3.3).
+  const double s = SharedShareFromImbalance(p.imbalance_pct);
+  const double shared_mb = std::max(2.0, p.footprint_mb * s);
+  const double hot_mb = std::clamp(0.10 * shared_mb, 1.0, 512.0);
+
+  RegionSpec hot;
+  hot.name = "hot";
+  hot.footprint_mb = hot_mb;
+  hot.init = AllocPattern::kMasterInit;
+  hot.access_share = 0.55 * s;
+  hot.owner_affinity = 0.0;  // genuinely shared
+  hot.min_pages = 16;
+  app.regions.push_back(hot);
+
+  RegionSpec bulk;
+  bulk.name = "bulk";
+  bulk.footprint_mb = std::max(1.0, shared_mb - hot_mb);
+  bulk.init = AllocPattern::kMasterInit;
+  bulk.access_share = 0.45 * s;
+  bulk.owner_affinity = p.shared_affinity;
+  bulk.min_pages = 64;
+  app.regions.push_back(bulk);
+
+  RegionSpec priv;
+  priv.name = "private";
+  priv.footprint_mb = std::max(1.0, p.footprint_mb * (1.0 - s));
+  priv.init = AllocPattern::kOwnerPartitioned;
+  priv.access_share = 1.0 - s;
+  priv.owner_affinity = p.private_affinity;
+  priv.min_pages = 96;
+  app.regions.push_back(priv);
+  return app;
+}
+
+std::vector<AppProfile> BuildAll() {
+  // Columns: name, suite, FT imbalance %, shared affinity, private affinity,
+  // cycles/access, MLP, footprint MB, ctx switches/s, MCS-eligible,
+  // disk MB/s, request KiB, releases/s per thread. Sources: Tables 1 & 2
+  // plus the qualitative analysis of §3.5.2 (see DESIGN.md).
+  const AppParams params[] = {
+      // Parsec
+      {"bodytrack", Suite::kParsec, 135, 0.50, 0.90, 900, 1.5, 7, 17700, false, 0, 256, 0},
+      {"facesim", Suite::kParsec, 253, 0.25, 0.90, 160, 3.0, 328, 11700, true, 0, 256, 0},
+      {"fluidanimate", Suite::kParsec, 65, 0.80, 0.92, 210, 2.0, 223, 4200, false, 0, 256, 0},
+      {"streamcluster", Suite::kParsec, 219, 0.10, 0.90, 180, 3.0, 106, 29500, true, 0, 256, 0},
+      {"swaptions", Suite::kParsec, 175, 0.30, 0.90, 4000, 1.0, 4, 0, false, 0, 256, 0},
+      {"x264", Suite::kParsec, 84, 0.60, 0.90, 800, 2.0, 1129, 600, false, 0, 256, 0},
+      // NPB
+      {"bt.C", Suite::kNpb, 89, 0.85, 0.95, 130, 4.0, 698, 1200, false, 0, 256, 0},
+      {"cg.C", Suite::kNpb, 7, 0.50, 0.96, 100, 4.0, 889, 5900, false, 0, 256, 0},
+      {"dc.B", Suite::kNpb, 45, 0.50, 0.90, 260, 3.0, 39273, 100, false, 175, 256, 0},
+      {"ep.D", Suite::kNpb, 263, 0.00, 0.90, 210, 2.0, 49, 0, false, 0, 256, 0},
+      {"ft.C", Suite::kNpb, 60, 0.55, 0.90, 115, 4.0, 5156, 300, false, 0, 256, 0},
+      {"lu.C", Suite::kNpb, 47, 0.85, 0.93, 118, 4.0, 600, 1500, false, 0, 256, 0},
+      {"mg.D", Suite::kNpb, 8, 0.50, 0.95, 105, 4.0, 27095, 1500, false, 0, 256, 0},
+      {"sp.C", Suite::kNpb, 113, 0.80, 0.93, 115, 4.0, 869, 2000, false, 0, 256, 0},
+      {"ua.C", Suite::kNpb, 5, 0.50, 0.95, 135, 4.0, 483, 37400, false, 0, 256, 0},
+      // Mosbench
+      {"wc", Suite::kMosbench, 101, 0.60, 0.92, 190, 2.0, 16682, 3900, false, 0, 256, 15000},
+      {"wr", Suite::kMosbench, 110, 0.55, 0.92, 180, 2.0, 19016, 5200, false, 1, 256, 25000},
+      {"wrmem", Suite::kMosbench, 135, 0.40, 0.92, 170, 2.0, 11610, 7500, false, 5, 256, 66700},
+      {"pca", Suite::kMosbench, 235, 0.35, 0.90, 110, 3.0, 5779, 300, false, 0, 256, 0},
+      {"kmeans", Suite::kMosbench, 251, 0.30, 0.90, 100, 3.0, 4178, 100, false, 0, 256, 0},
+      {"psearchy", Suite::kMosbench, 19, 0.50, 0.94, 170, 2.0, 28576, 800, false, 54, 4, 0},
+      {"memcached", Suite::kMosbench, 85, 0.20, 0.90, 850, 1.5, 2205, 127100, false, 0, 256, 0},
+      // X-Stream
+      {"belief", Suite::kXstream, 206, 0.35, 0.90, 800, 2.0, 12292, 0, false, 234, 1024, 0},
+      {"bfs", Suite::kXstream, 190, 0.30, 0.90, 800, 2.0, 12291, 0, false, 236, 1024, 0},
+      {"cc", Suite::kXstream, 185, 0.40, 0.90, 800, 2.0, 12291, 0, false, 249, 1024, 0},
+      {"pagerank", Suite::kXstream, 183, 0.40, 0.90, 800, 2.0, 12291, 0, false, 240, 1024, 0},
+      {"sssp", Suite::kXstream, 193, 0.35, 0.90, 800, 2.0, 12291, 0, false, 261, 1024, 0},
+      // YCSB
+      {"cassandra", Suite::kYcsb, 65, 0.30, 0.90, 850, 1.5, 1111, 10700, false, 16, 64, 0},
+      {"mongodb", Suite::kYcsb, 130, 0.70, 0.90, 650, 1.5, 1092, 14600, false, 184, 64, 0},
+  };
+  std::vector<AppProfile> apps;
+  apps.reserve(std::size(params));
+  for (const AppParams& p : params) {
+    apps.push_back(Make(p));
+  }
+  return apps;
+}
+
+}  // namespace
+
+const char* ToString(Suite suite) {
+  switch (suite) {
+    case Suite::kParsec:
+      return "Parsec";
+    case Suite::kNpb:
+      return "NPB";
+    case Suite::kMosbench:
+      return "Mosbench";
+    case Suite::kXstream:
+      return "X-Stream";
+    case Suite::kYcsb:
+      return "YCSB";
+  }
+  return "?";
+}
+
+double AppProfile::TotalFootprintMb() const {
+  double total = 0.0;
+  for (const RegionSpec& r : regions) {
+    total += r.footprint_mb;
+  }
+  return total;
+}
+
+const std::vector<AppProfile>& AllApps() {
+  static const std::vector<AppProfile>* apps = new std::vector<AppProfile>(BuildAll());
+  return *apps;
+}
+
+const AppProfile* FindApp(const std::string& name) {
+  for (const AppProfile& app : AllApps()) {
+    if (app.name == name) {
+      return &app;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,114 @@
+// Application profiles for the paper's 29-application evaluation.
+//
+// We cannot run Parsec/NPB/Mosbench/X-Stream/YCSB binaries, so each
+// application is described by the memory/IO/synchronization behaviour the
+// paper itself reports (Tables 1 and 2) and analyses (§3.5.2):
+//
+//  * a *shared* region initialized by the master thread (the master-slave
+//    pattern that defeats first-touch) whose access share is calibrated from
+//    the Table 1 imbalance: under first-touch the imbalance is
+//    ~264.6% x (shared access share) on an 8-node machine;
+//  * a *private* region of per-thread slices, touched and predominantly
+//    accessed by their owners (the pattern first-touch is perfect for);
+//  * `owner_affinity` inside the shared region distinguishes truly shared
+//    data (uniform: only interleaving helps) from partitioned SPMD arrays
+//    (a dominant accessor per page: Carrefour's migration heuristic helps);
+//  * memory intensity (CPU cycles between DRAM accesses), context-switch
+//    rate, disk volume/request size, and allocator page-release rate come
+//    from Table 2.
+//
+// The profiles are *inputs* shaped like the paper's measured applications;
+// completion times and policy rankings are outputs of the simulation.
+
+#ifndef XENNUMA_SRC_WORKLOAD_APP_PROFILE_H_
+#define XENNUMA_SRC_WORKLOAD_APP_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace xnuma {
+
+enum class AllocPattern {
+  kMasterInit,        // thread 0 touches every page during initialization
+  kOwnerPartitioned,  // each thread touches its own slice
+};
+
+enum class Suite {
+  kParsec,
+  kNpb,
+  kMosbench,
+  kXstream,
+  kYcsb,
+};
+
+const char* ToString(Suite suite);
+
+struct RegionSpec {
+  std::string name;
+  double footprint_mb = 0.0;
+  AllocPattern init = AllocPattern::kOwnerPartitioned;
+  // Fraction of the application's DRAM accesses that land in this region.
+  double access_share = 0.0;
+  // Probability that an access from thread t targets t's own slice of the
+  // region (vs. uniform over the whole region).
+  double owner_affinity = 0.0;
+  // Two-tier intra-region hotness (strided): `hot_fraction` of the pages
+  // receive `hot_share` of the region's accesses. Profile-level hotness is
+  // expressed structurally instead — a small dedicated "hot" region — since
+  // hot structures are contiguous in (guest-)physical memory, which is what
+  // makes round-1G's coarse granularity hurt.
+  double hot_fraction = 1.0;
+  double hot_share = 1.0;
+  double write_fraction = 0.30;
+  // Lower bound on simulated pages for this region (0 = engine default).
+  int64_t min_pages = 0;
+};
+
+struct AppProfile {
+  std::string name;
+  Suite suite = Suite::kParsec;
+  std::vector<RegionSpec> regions;
+
+  // Average CPU cycles of compute (cache hits folded in) between two DRAM
+  // accesses; lower = more memory bound.
+  double cpu_cycles_per_access = 200.0;
+
+  // Memory-level parallelism: average number of outstanding DRAM accesses
+  // (out-of-order window + prefetchers). Streaming/SPMD codes overlap many
+  // accesses; pointer-chasing and request-driven servers barely overlap any.
+  double mlp = 2.0;
+
+  // Scales total work so the native first-touch run lasts roughly this long.
+  double nominal_seconds = 10.0;
+
+  // Intentional context switches per second on the critical path (Table 2);
+  // each costs a sleep + IPI wakeup unless converted to MCS spinning.
+  double blocking_rate_per_s = 0.0;
+  // True when the blocking comes from pthread mutexes/condvars, which Xen+'s
+  // MCS substitution can eliminate (§5.3.2). False for network/futex waits
+  // (memcached, cassandra, ua.C), which stay degraded (§5.5).
+  bool mcs_eligible = false;
+
+  // Total disk bytes read over the run and the typical request size.
+  double disk_read_mb = 0.0;
+  int64_t io_request_kb = 256;
+
+  // Page release/reallocation rate per thread (Mosbench's Streamflow
+  // allocator continuously munmaps/mmaps, §4.2.3).
+  double release_rate_per_s = 0.0;
+
+  double TotalFootprintMb() const;
+};
+
+// All 29 applications of the paper's evaluation, in Table 1/2 order.
+const std::vector<AppProfile>& AllApps();
+
+// nullptr when unknown.
+const AppProfile* FindApp(const std::string& name);
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_WORKLOAD_APP_PROFILE_H_

@@ -1,0 +1,76 @@
+#include "src/workload/synthetic.h"
+
+#include <algorithm>
+
+namespace xnuma {
+
+namespace {
+
+AppProfile Base(const SyntheticSpec& spec) {
+  AppProfile app;
+  app.name = spec.name;
+  app.cpu_cycles_per_access = spec.cycles_per_access;
+  app.mlp = spec.mlp;
+  app.nominal_seconds = spec.nominal_seconds;
+  return app;
+}
+
+RegionSpec SharedRegion(const SyntheticSpec& spec) {
+  RegionSpec shared;
+  shared.name = "shared";
+  shared.footprint_mb = spec.shared_mb;
+  shared.init = AllocPattern::kMasterInit;
+  shared.access_share = spec.shared_share;
+  shared.owner_affinity = spec.shared_affinity;
+  shared.write_fraction = spec.read_only_shared ? 0.0 : 0.3;
+  return shared;
+}
+
+RegionSpec PrivateRegion(const SyntheticSpec& spec) {
+  RegionSpec priv;
+  priv.name = "private";
+  priv.footprint_mb = spec.private_mb;
+  priv.init = AllocPattern::kOwnerPartitioned;
+  priv.access_share = 1.0 - spec.shared_share;
+  priv.owner_affinity = spec.private_affinity;
+  return priv;
+}
+
+}  // namespace
+
+AppProfile MakeMasterSlaveApp(SyntheticSpec spec) {
+  spec.shared_share = std::max(spec.shared_share, 0.7);
+  if (spec.name == "synthetic") {
+    spec.name = "synthetic-master-slave";
+  }
+  AppProfile app = Base(spec);
+  app.regions.push_back(SharedRegion(spec));
+  app.regions.push_back(PrivateRegion(spec));
+  return app;
+}
+
+AppProfile MakeThreadLocalApp(SyntheticSpec spec) {
+  spec.shared_share = std::min(spec.shared_share, 0.05);
+  if (spec.name == "synthetic") {
+    spec.name = "synthetic-thread-local";
+  }
+  AppProfile app = Base(spec);
+  app.regions.push_back(SharedRegion(spec));
+  app.regions.push_back(PrivateRegion(spec));
+  return app;
+}
+
+AppProfile MakeReadOnlyTableApp(SyntheticSpec spec) {
+  spec.read_only_shared = true;
+  spec.shared_share = std::max(spec.shared_share, 0.8);
+  spec.shared_affinity = 0.0;
+  if (spec.name == "synthetic") {
+    spec.name = "synthetic-readonly-table";
+  }
+  AppProfile app = Base(spec);
+  app.regions.push_back(SharedRegion(spec));
+  app.regions.push_back(PrivateRegion(spec));
+  return app;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,45 @@
+// Synthetic workload generators: parameterized microbenchmark profiles for
+// tests, ablations and examples. These complement the 29 calibrated
+// application profiles with the canonical NUMA access patterns the paper's
+// analysis is phrased in (§3.1-3.2, §3.5.2).
+
+#ifndef XENNUMA_SRC_WORKLOAD_SYNTHETIC_H_
+#define XENNUMA_SRC_WORKLOAD_SYNTHETIC_H_
+
+#include <string>
+
+#include "src/workload/app_profile.h"
+
+namespace xnuma {
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  // Fraction of accesses hitting master-initialized shared memory.
+  double shared_share = 0.5;
+  // Owner affinity inside the shared region: 0 = truly shared, ~0.9 =
+  // partitioned SPMD array (a dominant accessor per page).
+  double shared_affinity = 0.0;
+  // Owner affinity of the per-thread private region.
+  double private_affinity = 0.95;
+  double shared_mb = 512;
+  double private_mb = 256;
+  // Memory intensity.
+  double cycles_per_access = 200;
+  double mlp = 2.0;
+  double nominal_seconds = 1.0;
+  // True for a read-only shared region (replication candidate).
+  bool read_only_shared = false;
+};
+
+// The master-slave pattern of §3.1: one thread initializes memory for all.
+AppProfile MakeMasterSlaveApp(SyntheticSpec spec = SyntheticSpec());
+
+// The thread-local pattern first-touch is perfect for.
+AppProfile MakeThreadLocalApp(SyntheticSpec spec = SyntheticSpec());
+
+// A read-mostly shared hot table (the replication heuristic's use case).
+AppProfile MakeReadOnlyTableApp(SyntheticSpec spec = SyntheticSpec());
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,45 @@
+// Smoke coverage across the full application matrix: every one of the 29
+// profiles must run to completion on both stacks with sane metrics.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+
+namespace xnuma {
+namespace {
+
+class AllAppsSmokeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllAppsSmokeTest, RunsOnBothStacks) {
+  AppProfile app = AllApps()[GetParam()];
+  const double scale = 0.6 / app.nominal_seconds;
+  app.nominal_seconds = 0.6;
+  app.disk_read_mb *= scale;
+
+  for (const StackConfig& stack : {LinuxStack(), XenPlusStack()}) {
+    const JobResult r = RunSingleApp(app, stack, RunOptions{});
+    EXPECT_TRUE(r.finished) << app.name << " on " << stack.label;
+    EXPECT_GT(r.completion_seconds, 0.0) << app.name;
+    EXPECT_LT(r.completion_seconds, 120.0) << app.name;
+    EXPECT_GE(r.imbalance_pct, 0.0) << app.name;
+    EXPECT_LE(r.imbalance_pct, 270.0) << app.name;  // sqrt(7)*100 is the max
+    EXPECT_GE(r.interconnect_pct, 0.0) << app.name;
+    EXPECT_LE(r.interconnect_pct, 100.0) << app.name;
+    EXPECT_GT(r.avg_latency_cycles, 100.0) << app.name;
+    EXPECT_LT(r.avg_latency_cycles, 10000.0) << app.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All29, AllAppsSmokeTest, ::testing::Range(0, 29),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           std::string name = AllApps()[info.param].name;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,128 @@
+// Tests for the ballooning driver and the §4.2.3 argument: ballooning is
+// inadequate for first-touch release tracking because a ballooned page is
+// unavailable to the guest, while a *released* page must stay reallocatable
+// at any time.
+
+#include "src/guest/balloon.h"
+
+#include <gtest/gtest.h>
+
+#include "src/numa/topology.h"
+
+namespace xnuma {
+namespace {
+
+class BalloonTest : public ::testing::Test {
+ protected:
+  BalloonTest() : topo_(Topology::Amd48()), hv_(topo_) {
+    DomainConfig dc;
+    dc.num_vcpus = 4;
+    dc.memory_pages = 64;
+    dc.policy.placement = StaticPolicy::kRound4k;  // eagerly backed
+    dc.pinned_cpus = {0, 6, 12, 18};
+    dom_ = hv_.CreateDomain(dc);
+    guest_ = std::make_unique<GuestOs>(hv_, dom_);
+  }
+
+  Topology topo_;
+  Hypervisor hv_;
+  DomainId dom_ = kInvalidDomain;
+  std::unique_ptr<GuestOs> guest_;
+};
+
+TEST_F(BalloonTest, InflateReturnsFramesToHypervisor) {
+  BalloonDriver balloon(*guest_, hv_);
+  const int64_t machine_free = hv_.frames().TotalFreeFrames();
+  const int64_t guest_free = guest_->free_pages();
+
+  EXPECT_EQ(balloon.Inflate(16), 16);
+  EXPECT_EQ(balloon.ballooned_pages(), 16);
+  // The guest lost 16 allocatable pages; the machine gained 16 free frames.
+  EXPECT_EQ(guest_->free_pages(), guest_free - 16);
+  EXPECT_EQ(hv_.frames().TotalFreeFrames(), machine_free + 16);
+}
+
+TEST_F(BalloonTest, InflateBoundedByFreeList) {
+  BalloonDriver balloon(*guest_, hv_);
+  const int64_t guest_free = guest_->free_pages();
+  EXPECT_EQ(balloon.Inflate(guest_free + 100), guest_free);
+  EXPECT_EQ(guest_->free_pages(), 0);
+}
+
+TEST_F(BalloonTest, DeflateRestoresUsablePages) {
+  BalloonDriver balloon(*guest_, hv_);
+  const int64_t guest_free = guest_->free_pages();
+  balloon.Inflate(16);
+  EXPECT_EQ(balloon.Deflate(16), 16);
+  EXPECT_EQ(balloon.ballooned_pages(), 0);
+  EXPECT_EQ(guest_->free_pages(), guest_free);
+  // Deflated pages are backed again (eager policy) and allocatable.
+  const int pid = guest_->CreateProcess(8);
+  const TouchResult r = guest_->TouchPage(pid, 0, 0);
+  EXPECT_NE(r.node, kInvalidNode);
+}
+
+TEST_F(BalloonTest, DeflateBoundedByBallooned) {
+  BalloonDriver balloon(*guest_, hv_);
+  balloon.Inflate(8);
+  EXPECT_EQ(balloon.Deflate(20), 8);
+}
+
+TEST_F(BalloonTest, BallooningShrinksGuestAllocatablePool) {
+  // The §4.2.3 argument, executable: after ballooning N pages, the guest
+  // can only allocate (total - N) pages — a released-but-reallocatable
+  // page and a ballooned page are fundamentally different states. The
+  // page-queue hypercall keeps released pages in the first category;
+  // ballooning would move them to the second.
+  BalloonDriver balloon(*guest_, hv_);
+  balloon.Inflate(48);  // 48 of the 64 pages gone
+  EXPECT_EQ(guest_->free_pages(), 16);
+
+  const int pid = guest_->CreateProcess(64);
+  for (Vpn v = 0; v < 16; ++v) {
+    guest_->TouchPage(pid, v, 0);  // the remaining 16 allocate fine
+  }
+  EXPECT_EQ(guest_->free_pages(), 0);
+  // The 17th allocation would abort the kernel model (out of memory): the
+  // ballooned pages are NOT reallocatable, unlike queue-tracked releases.
+  EXPECT_DEATH(guest_->TouchPage(pid, 16, 0), "XNUMA_CHECK");
+}
+
+TEST_F(BalloonTest, QueueTrackedReleaseStaysReallocatable) {
+  // Contrast case: with the paper's page queue, a released page is
+  // immediately reallocatable even before the batch is flushed.
+  const int pid = guest_->CreateProcess(8);
+  guest_->TouchPage(pid, 0, 0);
+  const Pfn pfn = guest_->PfnOfVpage(pid, 0);
+  guest_->ReleasePage(pid, 0);
+  const TouchResult r = guest_->TouchPage(pid, 1, 6);
+  EXPECT_EQ(guest_->PfnOfVpage(pid, 1), pfn);  // reused instantly
+  EXPECT_NE(r.node, kInvalidNode);
+}
+
+TEST_F(BalloonTest, FirstTouchDomainDeflatesLazily) {
+  DomainConfig dc;
+  dc.num_vcpus = 2;
+  dc.memory_pages = 32;
+  dc.policy.placement = StaticPolicy::kFirstTouch;
+  dc.pinned_cpus = {0, 24};
+  const DomainId dom = hv_.CreateDomain(dc);
+  GuestOs guest(hv_, dom);
+  BalloonDriver balloon(guest, hv_);
+
+  balloon.Inflate(8);
+  balloon.Deflate(8);
+  // First-touch: deflated pages stay unbacked until touched, and the next
+  // toucher decides their placement.
+  const int pid = guest.CreateProcess(32);
+  int backed = 0;
+  for (Pfn p = 0; p < 32; ++p) {
+    backed += hv_.backend(dom).IsMapped(p) ? 1 : 0;
+  }
+  EXPECT_EQ(backed, 0);
+  const TouchResult r = guest.TouchPage(pid, 0, /*cpu=*/24);
+  EXPECT_EQ(r.node, 4);
+}
+
+}  // namespace
+}  // namespace xnuma

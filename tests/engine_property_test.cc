@@ -1,0 +1,160 @@
+// Property-style tests on simulation invariants: determinism, work
+// conservation, monotonicity under contention, placement sanity.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/sim/engine.h"
+
+namespace xnuma {
+namespace {
+
+AppProfile SmallApp(double master_share, double affinity, double cycles = 200, double mlp = 2) {
+  AppProfile app;
+  app.name = "prop-app";
+  app.cpu_cycles_per_access = cycles;
+  app.mlp = mlp;
+  app.nominal_seconds = 0.8;
+  RegionSpec shared;
+  shared.name = "shared";
+  shared.footprint_mb = 256;
+  shared.init = AllocPattern::kMasterInit;
+  shared.access_share = master_share;
+  shared.owner_affinity = 0.0;
+  app.regions.push_back(shared);
+  RegionSpec priv;
+  priv.name = "private";
+  priv.footprint_mb = 256;
+  priv.init = AllocPattern::kOwnerPartitioned;
+  priv.access_share = 1.0 - master_share;
+  priv.owner_affinity = affinity;
+  app.regions.push_back(priv);
+  return app;
+}
+
+RunOptions Opts(uint64_t seed = 7) {
+  RunOptions o;
+  o.seed = seed;
+  o.engine.max_sim_seconds = 120.0;
+  return o;
+}
+
+// Imbalance under first-touch must track the master share linearly
+// (the Table 1 calibration identity: imbalance ~ 264.6% x share).
+class ImbalanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ImbalanceSweep, FirstTouchImbalanceTracksMasterShare) {
+  const double share = GetParam();
+  const AppProfile app = SmallApp(share, 0.95);
+  const JobResult r = RunSingleApp(app, LinuxStack({StaticPolicy::kFirstTouch, false}), Opts());
+  // The private part is placed on owner nodes nearly evenly, so the
+  // prediction holds within a few points (capacity fallback aside).
+  EXPECT_NEAR(r.imbalance_pct, 264.6 * share, 25.0) << "share " << share;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shares, ImbalanceSweep, ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+// More memory-bound applications (fewer compute cycles per access) suffer
+// more from bad placement.
+TEST(EnginePropertyTest, PlacementSensitivityGrowsWithMemoryIntensity) {
+  double prev_ratio = 1.0;
+  for (double cycles : {1200.0, 400.0, 120.0}) {
+    const AppProfile app = SmallApp(0.8, 0.9, cycles, 3);
+    const JobResult bad =
+        RunSingleApp(app, LinuxStack({StaticPolicy::kFirstTouch, false}), Opts());
+    const JobResult good = RunSingleApp(app, LinuxStack({StaticPolicy::kRound4k, false}), Opts());
+    const double ratio = bad.completion_seconds / good.completion_seconds;
+    EXPECT_GE(ratio, prev_ratio * 0.98) << "cycles " << cycles;
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 1.5);  // strongly memory-bound: large penalty
+}
+
+TEST(EnginePropertyTest, DeterministicAcrossIdenticalRuns) {
+  const AppProfile app = SmallApp(0.6, 0.9);
+  for (PolicyConfig pc :
+       {PolicyConfig{StaticPolicy::kRound4k, true}, PolicyConfig{StaticPolicy::kFirstTouch, true}}) {
+    const JobResult a = RunSingleApp(app, XenPlusStack(pc), Opts(123));
+    const JobResult b = RunSingleApp(app, XenPlusStack(pc), Opts(123));
+    EXPECT_DOUBLE_EQ(a.completion_seconds, b.completion_seconds);
+    EXPECT_EQ(a.carrefour_migrations, b.carrefour_migrations);
+    EXPECT_DOUBLE_EQ(a.imbalance_pct, b.imbalance_pct);
+  }
+}
+
+TEST(EnginePropertyTest, SeedChangesCarrefourDetailsNotOutcomeClass) {
+  const AppProfile app = SmallApp(0.8, 0.9);
+  const JobResult a = RunSingleApp(app, XenPlusStack({StaticPolicy::kRound4k, true}), Opts(1));
+  const JobResult b = RunSingleApp(app, XenPlusStack({StaticPolicy::kRound4k, true}), Opts(2));
+  // Sampling noise differs, the broad outcome must not.
+  EXPECT_NEAR(a.completion_seconds, b.completion_seconds, 0.35 * a.completion_seconds);
+}
+
+TEST(EnginePropertyTest, MoreThreadsFinishFasterWhenUncontended) {
+  AppProfile app = SmallApp(0.05, 0.97, 800, 1.5);
+  double prev = 1e18;
+  for (int threads : {12, 24, 48}) {
+    RunOptions opts = Opts();
+    opts.threads = threads;
+    const JobResult r = RunSingleApp(app, LinuxStack(), opts);
+    // Work is per-thread in the model, so wall time should not grow with
+    // more threads for a thread-local app...
+    EXPECT_LE(r.completion_seconds, prev * 1.10) << threads;
+    prev = r.completion_seconds;
+  }
+}
+
+TEST(EnginePropertyTest, CompletionScalesLinearlyWithWork) {
+  AppProfile one = SmallApp(0.5, 0.9);
+  AppProfile two = one;
+  two.nominal_seconds = 2.0 * one.nominal_seconds;
+  const JobResult r1 = RunSingleApp(one, XenPlusStack(), Opts());
+  const JobResult r2 = RunSingleApp(two, XenPlusStack(), Opts());
+  EXPECT_NEAR(r2.completion_seconds / r1.completion_seconds, 2.0, 0.15);
+}
+
+TEST(EnginePropertyTest, ColocatedVmsDontShareCpusButShareInterconnect) {
+  const AppProfile app = SmallApp(0.7, 0.9, 150, 3);
+  const StackConfig stack = XenPlusStack({StaticPolicy::kRound4k, false});
+  RunOptions opts = Opts();
+  opts.threads = 24;
+  const JobResult solo24 = RunSingleApp(app, stack, opts);
+  const PairResult pair = RunAppPair(app, stack, app, stack, PairMode::kSplitHalves, Opts());
+  // Both halves busy: some interconnect/controller interference, but far
+  // less than CPU sharing would cost.
+  EXPECT_LT(pair.first.completion_seconds, 1.9 * solo24.completion_seconds);
+}
+
+TEST(EnginePropertyTest, InterconnectMetricHigherForRemotePlacement) {
+  const AppProfile app = SmallApp(0.05, 0.95, 150, 3);
+  const JobResult local =
+      RunSingleApp(app, LinuxStack({StaticPolicy::kFirstTouch, false}), Opts());
+  const JobResult remote =
+      RunSingleApp(app, LinuxStack({StaticPolicy::kRound4k, false}), Opts());
+  EXPECT_GT(remote.interconnect_pct, local.interconnect_pct);
+  EXPECT_GT(remote.avg_latency_cycles, local.avg_latency_cycles);
+}
+
+TEST(EnginePropertyTest, HvFaultCountMatchesTouchedPages) {
+  // Under first-touch in a guest, every initial page touch takes exactly one
+  // hypervisor fault (plus churn refaults, absent here).
+  AppProfile app = SmallApp(0.5, 0.9);
+  app.nominal_seconds = 0.3;
+  const JobResult r =
+      RunSingleApp(app, XenPlusStack({StaticPolicy::kFirstTouch, false}), Opts());
+  // 256 MB + 256 MB at 4 MiB/page = 64 + 96 (min) pages... at least every
+  // region page touched once.
+  EXPECT_GE(r.hv_page_faults, 128);
+  EXPECT_LE(r.hv_page_faults, 400);
+}
+
+TEST(EnginePropertyTest, CarrefourMigratesOnlyWhenEnabled) {
+  const AppProfile app = SmallApp(0.8, 0.9, 150, 3);
+  const JobResult off = RunSingleApp(app, XenPlusStack({StaticPolicy::kRound4k, false}), Opts());
+  const JobResult on = RunSingleApp(app, XenPlusStack({StaticPolicy::kRound4k, true}), Opts());
+  EXPECT_EQ(off.carrefour_migrations, 0);
+  EXPECT_GT(on.carrefour_migrations, 0);
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,68 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace xnuma {
+namespace {
+
+Flags Make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()), const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, KeyEqualsValue) {
+  Flags f = Make({"--app=cg.C", "--seconds=2.5"});
+  EXPECT_EQ(f.GetString("app"), "cg.C");
+  EXPECT_DOUBLE_EQ(f.GetDouble("seconds", 0), 2.5);
+}
+
+TEST(FlagsTest, KeySpaceValue) {
+  Flags f = Make({"--app", "kmeans", "--threads", "24"});
+  EXPECT_EQ(f.GetString("app"), "kmeans");
+  EXPECT_EQ(f.GetInt("threads", 0), 24);
+}
+
+TEST(FlagsTest, BooleanFlag) {
+  Flags f = Make({"--csv", "--carrefour"});
+  EXPECT_TRUE(f.GetBool("csv"));
+  EXPECT_TRUE(f.GetBool("carrefour"));
+  EXPECT_FALSE(f.GetBool("absent"));
+}
+
+TEST(FlagsTest, ExplicitFalse) {
+  Flags f = Make({"--csv=false", "--x=0", "--y=no"});
+  EXPECT_FALSE(f.GetBool("csv", true));
+  EXPECT_FALSE(f.GetBool("x", true));
+  EXPECT_FALSE(f.GetBool("y", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = Make({"run", "--app=x", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(FlagsTest, Fallbacks) {
+  Flags f = Make({});
+  EXPECT_EQ(f.GetString("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(f.GetInt("missing", 42), 42);
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, UnusedKeysDetected) {
+  Flags f = Make({"--used=1", "--typo=2"});
+  f.GetInt("used", 0);
+  const auto unused = f.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags f = Make({"--a=1", "--a=2"});
+  EXPECT_EQ(f.GetInt("a", 0), 2);
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,121 @@
+#include "src/mm/frame_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/numa/topology.h"
+
+namespace xnuma {
+namespace {
+
+class FrameAllocatorTest : public ::testing::Test {
+ protected:
+  Topology topo_ = Topology::Synthetic(4, 2, 64ll << 20);  // 16 frames/node @4MiB
+  FrameAllocator alloc_{topo_, 4ll << 20};
+};
+
+TEST_F(FrameAllocatorTest, Layout) {
+  EXPECT_EQ(alloc_.total_frames(), 64);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(alloc_.frames_per_node(n), 16);
+    EXPECT_EQ(alloc_.FreeFrames(n), 16);
+  }
+}
+
+TEST_F(FrameAllocatorTest, NodeOfRespectsPartition) {
+  for (NodeId n = 0; n < 4; ++n) {
+    const Mfn mfn = alloc_.AllocOnNode(n);
+    ASSERT_NE(mfn, kInvalidMfn);
+    EXPECT_EQ(alloc_.NodeOf(mfn), n);
+  }
+}
+
+TEST_F(FrameAllocatorTest, ExhaustionReturnsInvalid) {
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NE(alloc_.AllocOnNode(2), kInvalidMfn);
+  }
+  EXPECT_EQ(alloc_.AllocOnNode(2), kInvalidMfn);
+  EXPECT_EQ(alloc_.FreeFrames(2), 0);
+}
+
+TEST_F(FrameAllocatorTest, FreeMakesFrameReusable) {
+  const Mfn mfn = alloc_.AllocOnNode(1);
+  EXPECT_TRUE(alloc_.IsAllocated(mfn));
+  alloc_.Free(mfn);
+  EXPECT_FALSE(alloc_.IsAllocated(mfn));
+  EXPECT_EQ(alloc_.FreeFrames(1), 16);
+}
+
+TEST_F(FrameAllocatorTest, AllocationsAreUnique) {
+  std::set<Mfn> seen;
+  for (NodeId n = 0; n < 4; ++n) {
+    for (int i = 0; i < 16; ++i) {
+      const Mfn mfn = alloc_.AllocOnNode(n);
+      ASSERT_NE(mfn, kInvalidMfn);
+      EXPECT_TRUE(seen.insert(mfn).second) << "duplicate frame " << mfn;
+    }
+  }
+  EXPECT_EQ(alloc_.TotalFreeFrames(), 0);
+}
+
+TEST_F(FrameAllocatorTest, ContiguousRunIsContiguousAndOnNode) {
+  const Mfn first = alloc_.AllocContiguous(3, 8);
+  ASSERT_NE(first, kInvalidMfn);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(alloc_.IsAllocated(first + i));
+    EXPECT_EQ(alloc_.NodeOf(first + i), 3);
+  }
+  EXPECT_EQ(alloc_.FreeFrames(3), 8);
+}
+
+TEST_F(FrameAllocatorTest, ContiguousFailsOnFragmentation) {
+  // Allocate every other frame of node 0, then ask for a run of 2.
+  std::vector<Mfn> singles;
+  for (int i = 0; i < 16; ++i) {
+    singles.push_back(alloc_.AllocOnNode(0));
+  }
+  for (size_t i = 0; i < singles.size(); i += 2) {
+    alloc_.Free(singles[i]);
+  }
+  EXPECT_EQ(alloc_.FreeFrames(0), 8);
+  EXPECT_EQ(alloc_.AllocContiguous(0, 2), kInvalidMfn);
+  EXPECT_NE(alloc_.AllocContiguous(0, 1), kInvalidMfn);
+}
+
+TEST_F(FrameAllocatorTest, FreeContiguousReleasesWholeRun) {
+  const Mfn first = alloc_.AllocContiguous(1, 6);
+  ASSERT_NE(first, kInvalidMfn);
+  alloc_.FreeContiguous(first, 6);
+  EXPECT_EQ(alloc_.FreeFrames(1), 16);
+}
+
+TEST_F(FrameAllocatorTest, FramesPerOrderScalesWithFrameSize) {
+  EXPECT_EQ(alloc_.FramesPerOrder(PageOrder::k4K), 1);
+  EXPECT_EQ(alloc_.FramesPerOrder(PageOrder::k2M), 1);  // collapses to quantum
+  EXPECT_EQ(alloc_.FramesPerOrder(PageOrder::k1G), 256);
+
+  FrameAllocator fine(topo_, 4096);
+  EXPECT_EQ(fine.FramesPerOrder(PageOrder::k4K), 1);
+  EXPECT_EQ(fine.FramesPerOrder(PageOrder::k2M), 512);
+  EXPECT_EQ(fine.FramesPerOrder(PageOrder::k1G), 262144);
+}
+
+TEST(FrameAllocatorEdgeTest, FragmentEdgeRegionsPinsHoles) {
+  const Topology topo = Topology::Amd48();
+  FrameAllocator alloc(topo, 4ll << 20);
+  const int64_t before = alloc.TotalFreeFrames();
+  alloc.FragmentEdgeRegions(4);
+  EXPECT_LT(alloc.TotalFreeFrames(), before);
+  // Holes never exceed 2 per hole-pair per node.
+  EXPECT_GE(alloc.TotalFreeFrames(), before - 8 * 8);
+}
+
+TEST(FrameAllocatorAmd48Test, CapacityMatchesMachine) {
+  const Topology topo = Topology::Amd48();
+  FrameAllocator alloc(topo, 4ll << 20);
+  EXPECT_EQ(alloc.total_frames(), 32768);  // 128 GiB / 4 MiB
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,167 @@
+// Randomized integration tests across the guest-OS / PV-queue / hypervisor
+// boundary: thousands of interleaved touch/release operations must preserve
+// the memory-accounting invariants whatever the order.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/guest/guest_os.h"
+#include "src/numa/topology.h"
+
+namespace xnuma {
+namespace {
+
+struct Harness {
+  Topology topo = Topology::Amd48();
+  Hypervisor hv{topo};
+  DomainId dom = kInvalidDomain;
+  std::unique_ptr<GuestOs> guest;
+
+  Harness(StaticPolicy policy, KernelMode mode, int batch, int partition_bits) {
+    DomainConfig dc;
+    dc.num_vcpus = 8;
+    dc.memory_pages = 256;
+    dc.policy.placement = policy;
+    dc.pinned_cpus = {0, 6, 12, 18, 24, 30, 36, 42};
+    dom = hv.CreateDomain(dc);
+    GuestOs::Options go;
+    go.mode = mode;
+    go.queue_batch_size = batch;
+    go.queue_partition_bits = partition_bits;
+    guest = std::make_unique<GuestOs>(hv, dom, go);
+  }
+
+  // Invariant: every vpage's pfn is unique, and free count + mapped vpages
+  // sum to the domain size.
+  void CheckConsistency(const std::vector<int>& pids, int64_t vpages_per_proc) {
+    std::set<Pfn> in_use;
+    for (int pid : pids) {
+      for (Vpn v = 0; v < vpages_per_proc; ++v) {
+        const Pfn pfn = guest->PfnOfVpage(pid, v);
+        if (pfn != kInvalidPfn) {
+          EXPECT_TRUE(in_use.insert(pfn).second) << "pfn " << pfn << " double-mapped";
+        }
+      }
+    }
+    EXPECT_EQ(guest->free_pages() + static_cast<int64_t>(in_use.size()), 256);
+  }
+};
+
+class GuestHvFuzzTest
+    : public ::testing::TestWithParam<std::tuple<StaticPolicy, KernelMode, int>> {};
+
+TEST_P(GuestHvFuzzTest, RandomTouchReleaseKeepsInvariants) {
+  const auto [policy, mode, batch] = GetParam();
+  Harness h(policy, mode, batch, 2);
+  const int64_t vpages = 48;
+  std::vector<int> pids = {h.guest->CreateProcess(vpages), h.guest->CreateProcess(vpages)};
+
+  Rng rng(2024);
+  const CpuId cpus[] = {0, 6, 12, 18, 24, 30, 36, 42};
+  for (int step = 0; step < 4000; ++step) {
+    const int pid = pids[rng.NextInt(2)];
+    const Vpn vpn = rng.NextInt(vpages);
+    if (rng.NextBool(0.6)) {
+      const TouchResult r = h.guest->TouchPage(pid, vpn, cpus[rng.NextInt(8)]);
+      EXPECT_NE(r.node, kInvalidNode);
+    } else {
+      h.guest->ReleasePage(pid, vpn);
+    }
+    if (step % 1000 == 999) {
+      h.CheckConsistency(pids, vpages);
+    }
+  }
+  h.guest->pv_queue().FlushAll();
+  h.CheckConsistency(pids, vpages);
+
+  // After the final flush, in paravirt + first-touch mode, every released
+  // and not-reallocated page must have an invalid P2M entry again.
+  if (policy == StaticPolicy::kFirstTouch) {
+    std::set<Pfn> mapped_vpages;
+    for (int pid : pids) {
+      for (Vpn v = 0; v < vpages; ++v) {
+        const Pfn pfn = h.guest->PfnOfVpage(pid, v);
+        if (pfn != kInvalidPfn) {
+          mapped_vpages.insert(pfn);
+        }
+      }
+    }
+    int64_t valid = h.hv.domain(h.dom).p2m().valid_count();
+    EXPECT_EQ(valid, static_cast<int64_t>(mapped_vpages.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, GuestHvFuzzTest,
+    ::testing::Values(
+        std::make_tuple(StaticPolicy::kFirstTouch, KernelMode::kParavirt, 1),
+        std::make_tuple(StaticPolicy::kFirstTouch, KernelMode::kParavirt, 16),
+        std::make_tuple(StaticPolicy::kFirstTouch, KernelMode::kParavirt, 64),
+        std::make_tuple(StaticPolicy::kFirstTouch, KernelMode::kNativeKernel, 64),
+        std::make_tuple(StaticPolicy::kRound4k, KernelMode::kParavirt, 16),
+        std::make_tuple(StaticPolicy::kRound1g, KernelMode::kParavirt, 16)));
+
+TEST(GuestHvIntegrationTest, FrameAccountingAcrossDomainLifetime) {
+  Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  const int64_t free_before = hv.frames().TotalFreeFrames();
+
+  DomainConfig dc;
+  dc.num_vcpus = 4;
+  dc.memory_pages = 128;
+  dc.policy.placement = StaticPolicy::kRound4k;
+  const DomainId dom = hv.CreateDomain(dc);
+  EXPECT_EQ(hv.frames().TotalFreeFrames(), free_before - 128);
+
+  // Invalidate everything: the frames must come back.
+  for (Pfn p = 0; p < 128; ++p) {
+    hv.backend(dom).Invalidate(p);
+  }
+  EXPECT_EQ(hv.frames().TotalFreeFrames(), free_before);
+}
+
+TEST(GuestHvIntegrationTest, MigrationPreservesFrameAccounting) {
+  Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  DomainConfig dc;
+  dc.num_vcpus = 1;
+  dc.memory_pages = 64;
+  const DomainId dom = hv.CreateDomain(dc);
+  const int64_t free_total = hv.frames().TotalFreeFrames();
+
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    hv.backend(dom).Migrate(rng.NextInt(64), static_cast<NodeId>(rng.NextInt(8)));
+  }
+  EXPECT_EQ(hv.frames().TotalFreeFrames(), free_total);
+  EXPECT_EQ(hv.domain(dom).p2m().valid_count(), 64);
+}
+
+TEST(GuestHvIntegrationTest, ExhaustedNodeFallsBackDuringFault) {
+  // A small machine where node 0 fills up: first-touch placements must
+  // spill to the other node rather than fail.
+  Topology topo = Topology::Synthetic(2, 2, 256ll << 20);  // 64 frames/node
+  Hypervisor hv(topo);
+  DomainConfig dc;
+  dc.num_vcpus = 2;
+  dc.memory_pages = 96;
+  dc.policy.placement = StaticPolicy::kFirstTouch;
+  dc.pinned_cpus = {0, 2};
+  const DomainId dom = hv.CreateDomain(dc);
+  GuestOs guest(hv, dom);
+  const int pid = guest.CreateProcess(96);
+  int on_node0 = 0;
+  for (Vpn v = 0; v < 96; ++v) {
+    const TouchResult r = guest.TouchPage(pid, v, /*cpu=*/0);  // node 0 toucher
+    ASSERT_NE(r.node, kInvalidNode);
+    on_node0 += (r.node == 0) ? 1 : 0;
+  }
+  EXPECT_LE(on_node0, 64);   // node capacity (minus BIOS holes)
+  EXPECT_GE(on_node0, 48);   // strongly prefers the toucher's node
+  EXPECT_GE(96 - on_node0, 32);  // and the rest spilled, not failed
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,80 @@
+#include "src/hv/io_model.h"
+
+#include <gtest/gtest.h>
+
+namespace xnuma {
+namespace {
+
+TEST(IoModelTest, FourKibReadMatchesPaper) {
+  // §2.2.2: 74 us native, 307 us PV split driver, 186 us PCI passthrough.
+  const IoModel io;
+  EXPECT_NEAR(io.ReadLatencySeconds(IoPath::kNative, 4096), 74e-6, 2e-6);
+  EXPECT_NEAR(io.ReadLatencySeconds(IoPath::kPvSplitDriver, 4096), 307e-6, 2e-6);
+  EXPECT_NEAR(io.ReadLatencySeconds(IoPath::kPciPassthrough, 4096), 186e-6, 2e-6);
+}
+
+TEST(IoModelTest, OverheadShrinksWithRequestSize) {
+  // "the larger the amount of bytes read, the lower the overhead" (§2.2.2).
+  const IoModel io;
+  for (int64_t bytes : {4096ll, 65536ll, 1048576ll}) {
+    const double native = io.ReadLatencySeconds(IoPath::kNative, bytes);
+    const double pt = io.ReadLatencySeconds(IoPath::kPciPassthrough, bytes);
+    const double overhead = pt / native - 1.0;
+    if (bytes == 4096) {
+      EXPECT_GT(overhead, 1.0);
+    }
+    if (bytes == 1048576) {
+      EXPECT_LT(overhead, 0.25);
+    }
+  }
+}
+
+TEST(IoModelTest, PathOrderingHolds) {
+  const IoModel io;
+  for (int64_t bytes : {4096ll, 262144ll, 1048576ll}) {
+    EXPECT_LT(io.ReadLatencySeconds(IoPath::kNative, bytes),
+              io.ReadLatencySeconds(IoPath::kPciPassthrough, bytes));
+    EXPECT_LT(io.ReadLatencySeconds(IoPath::kPciPassthrough, bytes),
+              io.ReadLatencySeconds(IoPath::kPvSplitDriver, bytes));
+  }
+}
+
+TEST(IoModelTest, StreamBandwidthCappedByPath) {
+  const IoModel io;
+  const int64_t req = 1 << 20;
+  const double native = io.StreamBandwidth(IoPath::kNative, req, false);
+  const double pv = io.StreamBandwidth(IoPath::kPvSplitDriver, req, false);
+  const double pt = io.StreamBandwidth(IoPath::kPciPassthrough, req, false);
+  EXPECT_GT(native, pt);
+  EXPECT_GT(pt, pv);
+  EXPECT_LE(pv, io.params().pv_bandwidth_cap_bps);
+  // The PV cap is what throttles the 240 MB/s X-Stream streams.
+  EXPECT_LT(pv, 160e6);
+  EXPECT_GT(native, 250e6);
+}
+
+TEST(IoModelTest, ScatteredDmaBonusOnlyInGuestPaths) {
+  const IoModel io;
+  const int64_t req = 1 << 20;
+  EXPECT_GT(io.StreamBandwidth(IoPath::kPciPassthrough, req, true),
+            io.StreamBandwidth(IoPath::kPciPassthrough, req, false));
+  EXPECT_DOUBLE_EQ(io.StreamBandwidth(IoPath::kNative, req, true),
+                   io.StreamBandwidth(IoPath::kNative, req, false));
+}
+
+TEST(IoModelTest, ScatteredBonusNeverExceedsCap) {
+  const IoModel io;
+  const double bw = io.StreamBandwidth(IoPath::kPciPassthrough, 8 << 20, true);
+  EXPECT_LE(bw, io.params().passthrough_bandwidth_cap_bps + 1.0);
+}
+
+TEST(IoModelTest, SmallRandomReadsCrushPassthroughToo) {
+  // psearchy's 4 KiB random reads: even passthrough stays far from native.
+  const IoModel io;
+  const double native = io.StreamBandwidth(IoPath::kNative, 4096, false);
+  const double pt = io.StreamBandwidth(IoPath::kPciPassthrough, 4096, true);
+  EXPECT_LT(pt, 0.55 * native);
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,46 @@
+#include "src/hv/ipi_model.h"
+
+#include <gtest/gtest.h>
+
+namespace xnuma {
+namespace {
+
+TEST(IpiModelTest, TotalsMatchFigure5) {
+  const IpiModel ipi;
+  EXPECT_NEAR(ipi.TotalSeconds(ExecMode::kNative), 0.9e-6, 1e-9);
+  EXPECT_NEAR(ipi.TotalSeconds(ExecMode::kGuest), 10.9e-6, 1e-9);
+}
+
+TEST(IpiModelTest, StagesSumToTotals) {
+  const IpiModel ipi;
+  double native_ns = 0.0;
+  double guest_ns = 0.0;
+  for (const IpiStage& s : ipi.stages()) {
+    native_ns += s.native_ns;
+    guest_ns += s.guest_ns;
+  }
+  EXPECT_NEAR(native_ns * 1e-9, ipi.TotalSeconds(ExecMode::kNative), 1e-12);
+  EXPECT_NEAR(guest_ns * 1e-9, ipi.TotalSeconds(ExecMode::kGuest), 1e-12);
+}
+
+TEST(IpiModelTest, GuestStagesNeverCheaperThanNative) {
+  const IpiModel ipi;
+  for (const IpiStage& s : ipi.stages()) {
+    EXPECT_GE(s.guest_ns, s.native_ns) << s.name;
+  }
+}
+
+TEST(IpiModelTest, WakeupIncludesContextSwitch) {
+  const IpiModel ipi;
+  EXPECT_GT(ipi.WakeupCostSeconds(ExecMode::kNative), ipi.TotalSeconds(ExecMode::kNative));
+  EXPECT_GT(ipi.WakeupCostSeconds(ExecMode::kGuest), ipi.TotalSeconds(ExecMode::kGuest));
+}
+
+TEST(IpiModelTest, VirtualizationPenaltyIsAboutTwelvefold) {
+  const IpiModel ipi;
+  const double ratio = ipi.TotalSeconds(ExecMode::kGuest) / ipi.TotalSeconds(ExecMode::kNative);
+  EXPECT_NEAR(ratio, 12.1, 0.3);
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,99 @@
+#include "src/numa/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace xnuma {
+namespace {
+
+TEST(LatencyModelTest, UncontendedMatchesTable3) {
+  const LatencyModel model;
+  EXPECT_DOUBLE_EQ(model.AccessCycles(0, 0.0, 0.0), 156.0);
+  EXPECT_DOUBLE_EQ(model.AccessCycles(1, 0.0, 0.0), 276.0);
+  EXPECT_DOUBLE_EQ(model.AccessCycles(2, 0.0, 0.0), 383.0);
+}
+
+TEST(LatencyModelTest, SaturatedMatchesTable3) {
+  const LatencyModel model;
+  const double sat = model.params().saturation_util;
+  EXPECT_NEAR(model.AccessCycles(0, sat, 0.0), 697.0, 1e-9);
+  EXPECT_NEAR(model.AccessCycles(1, sat, 0.0), 740.0, 1e-9);
+  EXPECT_NEAR(model.AccessCycles(2, sat, 0.0), 863.0, 1e-9);
+}
+
+TEST(LatencyModelTest, CongestionFactorIsMonotone) {
+  const LatencyModel model;
+  double prev = -1.0;
+  for (double u = 0.0; u <= 1.2; u += 0.05) {
+    const double c = model.CongestionFactor(u);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(model.CongestionFactor(0.0), 0.0);
+  EXPECT_NEAR(model.CongestionFactor(model.params().saturation_util), 1.0, 1e-12);
+}
+
+TEST(LatencyModelTest, OverloadGrowsUnbounded) {
+  // Beyond saturation the factor keeps growing: this is what throttles an
+  // overloaded controller's offered load down to its capacity.
+  const LatencyModel model;
+  EXPECT_GT(model.CongestionFactor(1.5), 5.0);
+  EXPECT_GT(model.CongestionFactor(2.0), model.CongestionFactor(1.5));
+  EXPECT_GT(model.AccessCycles(0, 1.5, 0.0), model.SaturatedCycles(0));
+}
+
+TEST(LatencyModelTest, BottleneckIsMaxOfMcAndLink) {
+  const LatencyModel model;
+  const double a = model.AccessCycles(1, 0.9, 0.2);
+  const double b = model.AccessCycles(1, 0.2, 0.9);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GT(a, model.AccessCycles(1, 0.2, 0.2));
+}
+
+TEST(LatencyModelTest, ContendedLocalSlowerThanUncontendedRemote) {
+  // Table 3's headline observation: a contended local controller (697) is
+  // far worse than an uncontended 2-hop access (383).
+  const LatencyModel model;
+  EXPECT_GT(model.AccessCycles(0, 0.98, 0.0), model.AccessCycles(2, 0.0, 0.0));
+}
+
+TEST(LatencyModelTest, HalfUtilizationAddsLittle) {
+  // The congestion curve is convex: 50% utilization costs well under 10% of
+  // the saturated surplus.
+  const LatencyModel model;
+  EXPECT_LT(model.AccessCycles(0, 0.5, 0.0), 156.0 + 0.10 * 541.0);
+}
+
+TEST(LatencyModelTest, CacheParamsMatchTable3) {
+  const LatencyModel model;
+  EXPECT_DOUBLE_EQ(model.params().l1_cycles, 5.0);
+  EXPECT_DOUBLE_EQ(model.params().l2_cycles, 16.0);
+  EXPECT_DOUBLE_EQ(model.params().l3_cycles, 48.0);
+}
+
+class LatencyHopParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatencyHopParamTest, LatencyIncreasesWithUtilization) {
+  const LatencyModel model;
+  const int hops = GetParam();
+  double prev = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double lat = model.AccessCycles(hops, u, 0.0);
+    EXPECT_GE(lat, prev);
+    prev = lat;
+  }
+}
+
+TEST_P(LatencyHopParamTest, SaturatedBetweenBaseAndBasePlusExtra) {
+  const LatencyModel model;
+  const int hops = GetParam();
+  for (double u = 0.0; u <= 0.98; u += 0.07) {
+    const double lat = model.AccessCycles(hops, u, 0.0);
+    EXPECT_GE(lat, model.UncontendedCycles(hops));
+    EXPECT_LE(lat, model.SaturatedCycles(hops) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHops, LatencyHopParamTest, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace xnuma

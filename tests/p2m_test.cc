@@ -1,0 +1,77 @@
+#include "src/hv/p2m.h"
+
+#include <gtest/gtest.h>
+
+namespace xnuma {
+namespace {
+
+TEST(P2mTest, StartsInvalid) {
+  P2mTable p2m(16);
+  EXPECT_EQ(p2m.num_pages(), 16);
+  EXPECT_EQ(p2m.valid_count(), 0);
+  for (Pfn pfn = 0; pfn < 16; ++pfn) {
+    EXPECT_FALSE(p2m.IsValid(pfn));
+    EXPECT_EQ(p2m.Lookup(pfn), kInvalidMfn);
+  }
+}
+
+TEST(P2mTest, MapLookupUnmap) {
+  P2mTable p2m(8);
+  p2m.Map(3, 100);
+  EXPECT_TRUE(p2m.IsValid(3));
+  EXPECT_TRUE(p2m.IsWritable(3));
+  EXPECT_EQ(p2m.Lookup(3), 100);
+  EXPECT_EQ(p2m.valid_count(), 1);
+
+  EXPECT_EQ(p2m.Unmap(3), 100);
+  EXPECT_FALSE(p2m.IsValid(3));
+  EXPECT_EQ(p2m.valid_count(), 0);
+}
+
+TEST(P2mTest, RemapChangesTarget) {
+  P2mTable p2m(8);
+  p2m.Map(1, 10);
+  p2m.Remap(1, 20);
+  EXPECT_EQ(p2m.Lookup(1), 20);
+  EXPECT_EQ(p2m.valid_count(), 1);
+}
+
+TEST(P2mTest, WriteProtectionCycle) {
+  P2mTable p2m(8);
+  p2m.Map(2, 5);
+  EXPECT_TRUE(p2m.IsWritable(2));
+  p2m.WriteProtect(2);
+  EXPECT_FALSE(p2m.IsWritable(2));
+  EXPECT_TRUE(p2m.IsValid(2));
+  p2m.WriteUnprotect(2);
+  EXPECT_TRUE(p2m.IsWritable(2));
+}
+
+TEST(P2mTest, UnmapResetsWritability) {
+  P2mTable p2m(4);
+  p2m.Map(0, 7);
+  p2m.WriteProtect(0);
+  p2m.Unmap(0);
+  p2m.Map(0, 9);
+  EXPECT_TRUE(p2m.IsWritable(0));
+}
+
+TEST(P2mDeathTest, DoubleMapAborts) {
+  P2mTable p2m(4);
+  p2m.Map(0, 1);
+  EXPECT_DEATH(p2m.Map(0, 2), "XNUMA_CHECK");
+}
+
+TEST(P2mDeathTest, UnmapInvalidAborts) {
+  P2mTable p2m(4);
+  EXPECT_DEATH(p2m.Unmap(0), "XNUMA_CHECK");
+}
+
+TEST(P2mDeathTest, OutOfRangeAborts) {
+  P2mTable p2m(4);
+  EXPECT_DEATH(p2m.IsValid(4), "XNUMA_CHECK");
+  EXPECT_DEATH(p2m.IsValid(-1), "XNUMA_CHECK");
+}
+
+}  // namespace
+}  // namespace xnuma

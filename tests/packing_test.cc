@@ -1,0 +1,71 @@
+// Home-node packing (§3.3): Xen packs a VM's memory and vCPUs on the
+// minimal number of underloaded nodes.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/hv/hypervisor.h"
+#include "src/numa/topology.h"
+
+namespace xnuma {
+namespace {
+
+class PackingTest : public ::testing::Test {
+ protected:
+  Topology topo_ = Topology::Amd48();
+  Hypervisor hv_{topo_};
+};
+
+TEST_F(PackingTest, SmallVmGetsOneNode) {
+  EXPECT_EQ(hv_.PackHomeNodes(/*num_vcpus=*/4, /*memory_pages=*/512).size(), 1u);
+}
+
+TEST_F(PackingTest, VcpuDemandForcesMultipleNodes) {
+  // 13 vCPUs need at least three 6-CPU nodes.
+  EXPECT_GE(hv_.PackHomeNodes(13, 128).size(), 3u);
+}
+
+TEST_F(PackingTest, MemoryDemandForcesMultipleNodes) {
+  // One node holds 4096 frames (16 GiB at the 4 MiB scale); asking for
+  // three nodes' worth of memory needs at least three nodes.
+  EXPECT_GE(hv_.PackHomeNodes(1, 3 * 4096).size(), 3u);
+}
+
+TEST_F(PackingTest, PackingAvoidsLoadedNodes) {
+  // Fill node 0's CPUs with a pinned domain, then pack a new one: node 0
+  // must not be its (single) home.
+  DomainConfig dc;
+  dc.num_vcpus = 6;
+  dc.memory_pages = 64;
+  dc.pinned_cpus = {0, 1, 2, 3, 4, 5};
+  hv_.CreateDomain(dc);
+
+  const std::vector<NodeId> homes = hv_.PackHomeNodes(6, 64);
+  ASSERT_EQ(homes.size(), 1u);
+  EXPECT_NE(homes[0], 0);
+}
+
+TEST_F(PackingTest, SequentialDomainsSpreadOverNodes) {
+  std::set<NodeId> used;
+  for (int i = 0; i < 4; ++i) {
+    DomainConfig dc;
+    dc.num_vcpus = 6;
+    dc.memory_pages = 128;
+    const DomainId id = hv_.CreateDomain(dc);
+    const auto& homes = hv_.domain(id).home_nodes();
+    ASSERT_EQ(homes.size(), 1u);
+    EXPECT_TRUE(used.insert(homes[0]).second) << "node reused: " << homes[0];
+  }
+}
+
+TEST_F(PackingTest, WholeMachineVmUsesAllNodes) {
+  DomainConfig dc;
+  dc.num_vcpus = 48;
+  dc.memory_pages = 16384;
+  const DomainId id = hv_.CreateDomain(dc);
+  EXPECT_EQ(hv_.domain(id).home_nodes().size(), 8u);
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,103 @@
+#include "src/numa/perf_counters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/numa/topology.h"
+
+namespace xnuma {
+namespace {
+
+TrafficSnapshot MakeSnapshot(const Topology& topo, double epoch_s) {
+  TrafficSnapshot s;
+  s.epoch_seconds = epoch_s;
+  s.accesses_per_s.assign(topo.num_nodes(), std::vector<double>(topo.num_nodes(), 0.0));
+  s.dma_bytes_per_s.assign(topo.num_nodes(), 0.0);
+  s.mc_utilization.assign(topo.num_nodes(), 0.0);
+  s.link_utilization.assign(topo.num_links(), 0.0);
+  return s;
+}
+
+TEST(TrafficSnapshotTest, TotalsSumRowsAndColumns) {
+  const Topology topo = Topology::Synthetic(3, 1, 1ll << 30);
+  TrafficSnapshot s = MakeSnapshot(topo, 1.0);
+  s.accesses_per_s[0][1] = 10.0;
+  s.accesses_per_s[2][1] = 5.0;
+  s.accesses_per_s[0][0] = 3.0;
+  EXPECT_DOUBLE_EQ(s.TotalAccessesTo(1), 15.0);
+  EXPECT_DOUBLE_EQ(s.TotalAccessesFrom(0), 13.0);
+  EXPECT_DOUBLE_EQ(s.TotalAccessesTo(2), 0.0);
+}
+
+TEST(PerfCountersTest, ImbalanceZeroWhenBalanced) {
+  const Topology topo = Topology::Synthetic(4, 1, 1ll << 30);
+  PerfCounters pc(topo);
+  TrafficSnapshot s = MakeSnapshot(topo, 1.0);
+  for (NodeId n = 0; n < 4; ++n) {
+    s.accesses_per_s[0][n] = 100.0;
+  }
+  pc.CommitEpoch(s);
+  EXPECT_NEAR(pc.ImbalancePercent(), 0.0, 1e-9);
+}
+
+TEST(PerfCountersTest, ImbalanceMatchesSingleNodeFormula) {
+  // All accesses to one of 8 nodes: relative stddev = sqrt(7) * 100%.
+  const Topology topo = Topology::Amd48();
+  PerfCounters pc(topo);
+  TrafficSnapshot s = MakeSnapshot(topo, 1.0);
+  s.accesses_per_s[1][0] = 1000.0;
+  pc.CommitEpoch(s);
+  EXPECT_NEAR(pc.ImbalancePercent(), 100.0 * std::sqrt(7.0), 0.01);
+}
+
+TEST(PerfCountersTest, LinkUtilizationTimeAverage) {
+  const Topology topo = Topology::Synthetic(2, 1, 1ll << 30);
+  PerfCounters pc(topo);
+  TrafficSnapshot a = MakeSnapshot(topo, 1.0);
+  a.link_utilization[0] = 0.2;
+  TrafficSnapshot b = MakeSnapshot(topo, 3.0);
+  b.link_utilization[0] = 0.6;
+  pc.CommitEpoch(a);
+  pc.CommitEpoch(b);
+  EXPECT_NEAR(pc.AvgMaxLinkUtilizationPercent(), 100.0 * (0.2 + 3 * 0.6) / 4.0, 1e-9);
+}
+
+TEST(PerfCountersTest, ResetClears) {
+  const Topology topo = Topology::Synthetic(2, 1, 1ll << 30);
+  PerfCounters pc(topo);
+  TrafficSnapshot s = MakeSnapshot(topo, 1.0);
+  s.accesses_per_s[0][0] = 5.0;
+  pc.CommitEpoch(s);
+  EXPECT_TRUE(pc.has_epoch());
+  pc.Reset();
+  EXPECT_FALSE(pc.has_epoch());
+  EXPECT_DOUBLE_EQ(pc.AvgMaxLinkUtilizationPercent(), 0.0);
+}
+
+TEST(RelativeStddevTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(RelativeStddevPercent({}), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeStddevPercent({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeStddevPercent({0.0, 0.0}), 0.0);
+  EXPECT_NEAR(RelativeStddevPercent({0.0, 2.0}), 100.0, 1e-9);
+}
+
+TEST(PageAccessSampleTest, DominantSource) {
+  PageAccessSample s;
+  s.rate_by_node = {1.0, 8.0, 1.0, 0.0};
+  double share = 0.0;
+  EXPECT_EQ(s.DominantSource(&share), 1);
+  EXPECT_NEAR(share, 0.8, 1e-9);
+  EXPECT_NEAR(s.TotalRate(), 10.0, 1e-9);
+}
+
+TEST(PageAccessSampleTest, DominantSourceOfEmptyRates) {
+  PageAccessSample s;
+  s.rate_by_node = {0.0, 0.0};
+  double share = 1.0;
+  EXPECT_EQ(s.DominantSource(&share), 0);
+  EXPECT_DOUBLE_EQ(share, 0.0);
+}
+
+}  // namespace
+}  // namespace xnuma

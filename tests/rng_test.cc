@@ -1,0 +1,111 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xnuma {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextIntInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(13);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 13);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolProbabilityRoughlyRespected) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+  EXPECT_FALSE(rng.NextBool(-1.0));
+  EXPECT_TRUE(rng.NextBool(2.0));
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(21);
+  parent_copy.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextU64() == parent.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, UniformityAcrossBuckets) {
+  Rng rng(23);
+  const int buckets = 16;
+  std::vector<int> counts(buckets, 0);
+  const int n = 32000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.NextInt(buckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / buckets, 0.15 * n / buckets);
+  }
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,166 @@
+#include "src/hv/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/hv/hypervisor.h"
+#include "src/numa/topology.h"
+
+namespace xnuma {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : topo_(Topology::Amd48()), hv_(topo_) {}
+
+  // All vCPUs initially crammed onto one pCPU.
+  DomainId MakeCrammedDomain(int vcpus, CpuId cpu) {
+    DomainConfig dc;
+    dc.num_vcpus = vcpus;
+    dc.memory_pages = 64;
+    dc.pinned_cpus.assign(vcpus, cpu);
+    return hv_.CreateDomain(dc);
+  }
+
+  int MaxLoad(const CreditScheduler& sched) {
+    int max_load = 0;
+    for (int l : sched.load()) {
+      max_load = std::max(max_load, l);
+    }
+    return max_load;
+  }
+
+  Topology topo_;
+  Hypervisor hv_;
+};
+
+TEST_F(SchedulerTest, SpreadsCrammedVcpus) {
+  const DomainId id = MakeCrammedDomain(12, /*cpu=*/0);
+  SchedulerConfig cfg;
+  cfg.idle_steal_probability = 0.0;
+  CreditScheduler sched(topo_, cfg);
+  std::vector<Domain*> domains = {&hv_.domain(id)};
+  const int migrations = sched.Rebalance(domains);
+  EXPECT_GE(migrations, 11);
+  EXPECT_EQ(MaxLoad(sched), 1);  // 12 vCPUs, 48 pCPUs: all alone
+}
+
+TEST_F(SchedulerTest, SoftAffinityKeepsVcpusOnHomeNodes) {
+  DomainConfig dc;
+  dc.num_vcpus = 10;
+  dc.memory_pages = 64;
+  dc.pinned_cpus.assign(10, 0);  // home nodes derived from pin = {0}
+  const DomainId id = hv_.CreateDomain(dc);
+  hv_.domain(id).set_home_nodes({0, 1});
+
+  SchedulerConfig config;
+  config.numa_soft_affinity = true;
+  config.idle_steal_probability = 0.0;
+  CreditScheduler sched(topo_, config);
+  std::vector<Domain*> domains = {&hv_.domain(id)};
+  sched.Rebalance(domains);
+
+  // 10 vCPUs over the 12 home pCPUs: everything stays on nodes 0-1.
+  for (const VcpuDesc& v : hv_.domain(id).vcpus()) {
+    EXPECT_LE(topo_.node_of_cpu(v.pinned_cpu), 1);
+  }
+  EXPECT_EQ(MaxLoad(sched), 1);
+}
+
+TEST_F(SchedulerTest, SoftAffinitySpillsWhenHomeNodesOverloaded) {
+  DomainConfig dc;
+  dc.num_vcpus = 20;  // more than node 0's 6 pCPUs
+  dc.memory_pages = 64;
+  dc.pinned_cpus.assign(20, 0);
+  const DomainId id = hv_.CreateDomain(dc);
+  hv_.domain(id).set_home_nodes({0});
+
+  SchedulerConfig spill_cfg;
+  spill_cfg.idle_steal_probability = 0.0;
+  CreditScheduler sched(topo_, spill_cfg);
+  std::vector<Domain*> domains = {&hv_.domain(id)};
+  sched.Rebalance(domains);
+  EXPECT_EQ(MaxLoad(sched), 1);  // spilled rather than stacked
+
+  int off_home = 0;
+  for (const VcpuDesc& v : hv_.domain(id).vcpus()) {
+    if (topo_.node_of_cpu(v.pinned_cpu) != 0) {
+      ++off_home;
+    }
+  }
+  EXPECT_EQ(off_home, 14);  // 6 at home, the rest spilled
+}
+
+TEST_F(SchedulerTest, BalancedStateIsStableWithoutStealing) {
+  const DomainId id = MakeCrammedDomain(12, 0);
+  SchedulerConfig config;
+  config.idle_steal_probability = 0.0;
+  CreditScheduler sched(topo_, config);
+  std::vector<Domain*> domains = {&hv_.domain(id)};
+  sched.Rebalance(domains);
+  const int64_t after_first = sched.total_migrations();
+  EXPECT_EQ(sched.Rebalance(domains), 0);  // already balanced: no churn
+  EXPECT_EQ(sched.total_migrations(), after_first);
+}
+
+TEST_F(SchedulerTest, IdleStealingKeepsChurning) {
+  // Even once balanced, the credit scheduler keeps migrating vCPUs — the
+  // background churn the paper's pinning eliminates.
+  const DomainId id = MakeCrammedDomain(12, 0);
+  SchedulerConfig config;
+  config.idle_steal_probability = 1.0;
+  CreditScheduler sched(topo_, config);
+  std::vector<Domain*> domains = {&hv_.domain(id)};
+  sched.Rebalance(domains);
+  const int64_t after_first = sched.total_migrations();
+  for (int i = 0; i < 10; ++i) {
+    sched.Rebalance(domains);
+  }
+  EXPECT_GT(sched.total_migrations(), after_first + 5);
+}
+
+TEST_F(SchedulerTest, TwoDomainsShareTheMachine) {
+  const DomainId a = MakeCrammedDomain(32, 0);
+  const DomainId b = MakeCrammedDomain(32, 47);
+  hv_.domain(a).set_home_nodes({0, 1, 2, 3, 4, 5, 6, 7});
+  hv_.domain(b).set_home_nodes({0, 1, 2, 3, 4, 5, 6, 7});
+  SchedulerConfig two_cfg;
+  two_cfg.idle_steal_probability = 0.0;
+  CreditScheduler sched(topo_, two_cfg);
+  std::vector<Domain*> domains = {&hv_.domain(a), &hv_.domain(b)};
+  sched.Rebalance(domains);
+  // 64 vCPUs on 48 pCPUs: max load 2, min load 1.
+  int total = 0;
+  for (int l : sched.load()) {
+    EXPECT_LE(l, 2);
+    total += l;
+  }
+  EXPECT_EQ(total, 64);
+}
+
+TEST_F(SchedulerTest, DeterministicForSeed) {
+  auto run = [&](uint64_t seed) {
+    Hypervisor hv(topo_);
+    DomainConfig dc;
+    dc.num_vcpus = 20;
+    dc.memory_pages = 64;
+    dc.pinned_cpus.assign(20, 3);
+    const DomainId id = hv.CreateDomain(dc);
+    hv.domain(id).set_home_nodes({0});
+    SchedulerConfig config;
+    config.seed = seed;
+    CreditScheduler sched(topo_, config);
+    std::vector<Domain*> domains = {&hv.domain(id)};
+    sched.Rebalance(domains);
+    std::vector<CpuId> cpus;
+    for (const VcpuDesc& v : hv.domain(id).vcpus()) {
+      cpus.push_back(v.pinned_cpu);
+    }
+    return cpus;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+}  // namespace
+}  // namespace xnuma

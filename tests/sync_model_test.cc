@@ -1,0 +1,68 @@
+#include "src/guest/sync_model.h"
+
+#include <gtest/gtest.h>
+
+namespace xnuma {
+namespace {
+
+TEST(SyncModelTest, NoBlockingNoOverhead) {
+  const IpiModel ipi;
+  const SyncOutcome o = EvaluateSync(SyncPrimitive::kBlockingFutex, ExecMode::kGuest, 0.0, ipi);
+  EXPECT_DOUBLE_EQ(o.overhead_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(o.context_switches_per_s, 0.0);
+}
+
+TEST(SyncModelTest, GuestBlockingCostsMoreThanNative) {
+  const IpiModel ipi;
+  const double rate = 29500.0;  // streamcluster
+  const SyncOutcome guest = EvaluateSync(SyncPrimitive::kBlockingFutex, ExecMode::kGuest, rate, ipi);
+  const SyncOutcome native =
+      EvaluateSync(SyncPrimitive::kBlockingFutex, ExecMode::kNative, rate, ipi);
+  EXPECT_GT(guest.overhead_fraction, 4.0 * native.overhead_fraction);
+  EXPECT_DOUBLE_EQ(guest.context_switches_per_s, rate);
+}
+
+TEST(SyncModelTest, McsEliminatesContextSwitches) {
+  // §5.3.2: after the MCS substitution the applications generate zero
+  // intentional context switches.
+  const IpiModel ipi;
+  const SyncOutcome o = EvaluateSync(SyncPrimitive::kMcsSpin, ExecMode::kGuest, 29500.0, ipi);
+  EXPECT_DOUBLE_EQ(o.context_switches_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(o.overhead_fraction, kMcsSpinWasteFraction);
+}
+
+TEST(SyncModelTest, McsBeatsBlockingInGuestForLockBoundApps) {
+  const IpiModel ipi;
+  for (double rate : {11700.0, 29500.0}) {  // facesim, streamcluster
+    const SyncOutcome blocking =
+        EvaluateSync(SyncPrimitive::kBlockingFutex, ExecMode::kGuest, rate, ipi);
+    const SyncOutcome mcs = EvaluateSync(SyncPrimitive::kMcsSpin, ExecMode::kGuest, rate, ipi);
+    EXPECT_GT(blocking.overhead_fraction, mcs.overhead_fraction);
+  }
+}
+
+TEST(SyncModelTest, McsImprovementMagnitudeMatchesPaper) {
+  // The MCS substitution improves facesim by ~30% and streamcluster by ~55%
+  // (§5.3.2). The improvement equals the removed blocking overhead.
+  const IpiModel ipi;
+  const double facesim =
+      EvaluateSync(SyncPrimitive::kBlockingFutex, ExecMode::kGuest, 11700.0, ipi)
+          .overhead_fraction;
+  const double streamcluster =
+      EvaluateSync(SyncPrimitive::kBlockingFutex, ExecMode::kGuest, 29500.0, ipi)
+          .overhead_fraction;
+  EXPECT_NEAR(facesim, 0.30, 0.12);
+  EXPECT_NEAR(streamcluster, 0.55, 0.25);
+}
+
+TEST(SyncModelTest, OverheadScalesLinearlyWithRate) {
+  const IpiModel ipi;
+  const double o1 =
+      EvaluateSync(SyncPrimitive::kBlockingFutex, ExecMode::kGuest, 1000.0, ipi).overhead_fraction;
+  const double o2 =
+      EvaluateSync(SyncPrimitive::kBlockingFutex, ExecMode::kGuest, 2000.0, ipi).overhead_fraction;
+  EXPECT_NEAR(o2, 2.0 * o1, 1e-12);
+}
+
+}  // namespace
+}  // namespace xnuma

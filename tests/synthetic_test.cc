@@ -1,0 +1,64 @@
+#include "src/workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+
+namespace xnuma {
+namespace {
+
+TEST(SyntheticTest, MasterSlaveShape) {
+  const AppProfile app = MakeMasterSlaveApp();
+  ASSERT_EQ(app.regions.size(), 2u);
+  EXPECT_EQ(app.regions[0].init, AllocPattern::kMasterInit);
+  EXPECT_GE(app.regions[0].access_share, 0.7);
+  EXPECT_EQ(app.regions[1].init, AllocPattern::kOwnerPartitioned);
+  EXPECT_NEAR(app.regions[0].access_share + app.regions[1].access_share, 1.0, 1e-9);
+}
+
+TEST(SyntheticTest, ThreadLocalShape) {
+  const AppProfile app = MakeThreadLocalApp();
+  EXPECT_LE(app.regions[0].access_share, 0.05);
+  EXPECT_GE(app.regions[1].owner_affinity, 0.9);
+}
+
+TEST(SyntheticTest, ReadOnlyTableShape) {
+  const AppProfile app = MakeReadOnlyTableApp();
+  EXPECT_DOUBLE_EQ(app.regions[0].write_fraction, 0.0);
+  EXPECT_GE(app.regions[0].access_share, 0.8);
+}
+
+TEST(SyntheticTest, SpecOverridesApply) {
+  SyntheticSpec spec;
+  spec.name = "custom";
+  spec.cycles_per_access = 99;
+  spec.mlp = 3.5;
+  spec.nominal_seconds = 2.5;
+  spec.shared_mb = 64;
+  const AppProfile app = MakeMasterSlaveApp(spec);
+  EXPECT_EQ(app.name, "custom");
+  EXPECT_DOUBLE_EQ(app.cpu_cycles_per_access, 99);
+  EXPECT_DOUBLE_EQ(app.mlp, 3.5);
+  EXPECT_DOUBLE_EQ(app.nominal_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(app.regions[0].footprint_mb, 64);
+}
+
+TEST(SyntheticTest, PatternsReproduceTextbookPolicyRanking) {
+  // The §3.5.2 taxonomy on synthetic inputs: round-4K wins master-slave,
+  // first-touch wins thread-local.
+  SyntheticSpec spec;
+  spec.nominal_seconds = 0.8;
+  {
+    const AppProfile app = MakeMasterSlaveApp(spec);
+    const auto sweep = SweepPolicies(app, LinuxStack(), LinuxPolicyCandidates());
+    EXPECT_EQ(BestEntry(sweep).policy.placement, StaticPolicy::kRound4k) << "master-slave";
+  }
+  {
+    const AppProfile app = MakeThreadLocalApp(spec);
+    const auto sweep = SweepPolicies(app, LinuxStack(), LinuxPolicyCandidates());
+    EXPECT_EQ(BestEntry(sweep).policy.placement, StaticPolicy::kFirstTouch) << "thread-local";
+  }
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,119 @@
+// Property tests for multipath routing and latency-model structure.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+
+namespace xnuma {
+namespace {
+
+TEST(TopologyRoutesTest, EveryShortestPathHasCorrectLengthAndEndpoints) {
+  const Topology topo = Topology::Amd48();
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      const auto& paths = topo.Routes(a, b);
+      ASSERT_FALSE(paths.empty());
+      for (const auto& path : paths) {
+        EXPECT_EQ(static_cast<int>(path.size()), topo.Distance(a, b));
+        NodeId at = a;
+        std::set<NodeId> visited = {a};
+        for (LinkId l : path) {
+          const LinkDesc& link = topo.link(l);
+          ASSERT_TRUE(link.a == at || link.b == at);
+          at = (link.a == at) ? link.b : link.a;
+          EXPECT_TRUE(visited.insert(at).second) << "loop in path";
+        }
+        EXPECT_EQ(at, b);
+      }
+    }
+  }
+}
+
+TEST(TopologyRoutesTest, PathsAreDistinct) {
+  const Topology topo = Topology::Amd48();
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      const auto& paths = topo.Routes(a, b);
+      std::set<std::vector<LinkId>> unique(paths.begin(), paths.end());
+      EXPECT_EQ(unique.size(), paths.size());
+    }
+  }
+}
+
+TEST(TopologyRoutesTest, CrossParityPairsHaveTwoPaths) {
+  // 0 -> 3 can go via its twin (0-1, 1-3) or the destination's twin
+  // (0-2, 2-3): path diversity is what keeps the twin links from becoming
+  // artificial hotspots under uniform traffic.
+  const Topology topo = Topology::Amd48();
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      if (topo.Distance(a, b) == 2) {
+        EXPECT_GE(topo.Routes(a, b).size(), 2u) << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(TopologyRoutesTest, PrimaryRouteIsFirstOfRoutes) {
+  const Topology topo = Topology::Amd48();
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      EXPECT_EQ(topo.Route(a, b), topo.Routes(a, b)[0]);
+    }
+  }
+}
+
+TEST(TopologyRoutesTest, SelfRouteIsSingleEmptyPath) {
+  const Topology topo = Topology::Amd48();
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    ASSERT_EQ(topo.Routes(a, a).size(), 1u);
+    EXPECT_TRUE(topo.Routes(a, a)[0].empty());
+  }
+}
+
+TEST(TopologyRoutesTest, SyntheticTopologiesAlsoEnumeratePaths) {
+  for (int nodes : {2, 4, 6, 8}) {
+    const Topology topo = Topology::Synthetic(nodes, 2, 1ll << 30);
+    for (NodeId a = 0; a < nodes; ++a) {
+      for (NodeId b = 0; b < nodes; ++b) {
+        EXPECT_GE(topo.Routes(a, b).size(), 1u);
+      }
+    }
+  }
+}
+
+// Latency model structural properties across a parameter grid.
+class LatencyGridTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(LatencyGridTest, MoreHopsNeverFasterUpToSaturation) {
+  // Below saturation more hops cost more. Beyond overload the ordering
+  // legitimately flips: a fully contended *local* controller is worse than
+  // a remote access (the headline lesson of Table 3), so only the
+  // sub-saturation range is asserted.
+  const auto [hops, util] = GetParam();
+  const LatencyModel model;
+  if (hops == 0 || util > 1.0) {
+    return;
+  }
+  EXPECT_GE(model.AccessCycles(hops, util, util), model.AccessCycles(hops - 1, util, util));
+}
+
+TEST_P(LatencyGridTest, CongestionBounded) {
+  const auto [hops, util] = GetParam();
+  const LatencyModel model;
+  const double lat = model.AccessCycles(hops, util, 0.0);
+  EXPECT_GE(lat, model.UncontendedCycles(hops));
+  EXPECT_LE(lat, model.UncontendedCycles(hops) +
+                     model.params().max_congestion * model.params().saturated_extra_cycles[hops]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LatencyGridTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0.0, 0.3, 0.7, 0.95, 1.0, 1.5,
+                                                              5.0)));
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,111 @@
+#include "src/numa/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace xnuma {
+namespace {
+
+TEST(TopologyTest, Amd48Shape) {
+  const Topology topo = Topology::Amd48();
+  EXPECT_EQ(topo.num_nodes(), 8);
+  EXPECT_EQ(topo.num_cpus(), 48);
+  EXPECT_DOUBLE_EQ(topo.cpu_hz(), 2.2e9);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_EQ(static_cast<int>(topo.node(n).cpus.size()), 6);
+    EXPECT_EQ(topo.node(n).memory_bytes, 16ll << 30);
+  }
+  EXPECT_EQ(topo.total_memory_bytes(), 128ll << 30);
+}
+
+TEST(TopologyTest, Amd48DiameterIsTwo) {
+  const Topology topo = Topology::Amd48();
+  EXPECT_EQ(topo.Diameter(), 2);
+}
+
+TEST(TopologyTest, Amd48PciNodes) {
+  // §5.1: PCI buses on nodes 0 and 6.
+  const Topology topo = Topology::Amd48();
+  std::set<NodeId> pci;
+  for (const NumaNodeDesc& n : topo.nodes()) {
+    if (n.has_pci_bus) {
+      pci.insert(n.id);
+    }
+  }
+  EXPECT_EQ(pci, (std::set<NodeId>{0, 6}));
+}
+
+TEST(TopologyTest, NodeOfCpuPartitionsCpus) {
+  const Topology topo = Topology::Amd48();
+  for (CpuId c = 0; c < topo.num_cpus(); ++c) {
+    EXPECT_EQ(topo.node_of_cpu(c), c / 6);
+  }
+}
+
+TEST(TopologyTest, DistanceIsSymmetricAndZeroOnDiagonal) {
+  const Topology topo = Topology::Amd48();
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    EXPECT_EQ(topo.Distance(a, a), 0);
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      EXPECT_EQ(topo.Distance(a, b), topo.Distance(b, a));
+    }
+  }
+}
+
+TEST(TopologyTest, TwinNodesAreOneHop) {
+  const Topology topo = Topology::Amd48();
+  for (NodeId n = 0; n < 8; n += 2) {
+    EXPECT_EQ(topo.Distance(n, n + 1), 1);
+  }
+}
+
+TEST(TopologyTest, RouteLengthMatchesDistance) {
+  const Topology topo = Topology::Amd48();
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      EXPECT_EQ(static_cast<int>(topo.Route(a, b).size()), topo.Distance(a, b));
+    }
+  }
+}
+
+TEST(TopologyTest, RoutesAreContiguousPaths) {
+  const Topology topo = Topology::Amd48();
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      NodeId at = a;
+      for (LinkId l : topo.Route(a, b)) {
+        const LinkDesc& link = topo.link(l);
+        ASSERT_TRUE(link.a == at || link.b == at);
+        at = (link.a == at) ? link.b : link.a;
+      }
+      EXPECT_EQ(at, b);
+    }
+  }
+}
+
+TEST(TopologyTest, SyntheticIsConnected) {
+  for (int nodes : {1, 2, 3, 4, 6, 8}) {
+    const Topology topo = Topology::Synthetic(nodes, 4, 1ll << 30);
+    EXPECT_EQ(topo.num_nodes(), nodes);
+    EXPECT_EQ(topo.num_cpus(), nodes * 4);
+    for (NodeId a = 0; a < nodes; ++a) {
+      for (NodeId b = 0; b < nodes; ++b) {
+        EXPECT_GE(topo.Distance(a, b), 0);
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, LinkBandwidthMatchesPaper) {
+  const Topology topo = Topology::Amd48();
+  for (const LinkDesc& l : topo.links()) {
+    EXPECT_DOUBLE_EQ(l.bandwidth_bytes_per_s, 6.0 * kGiB);
+  }
+  for (const NumaNodeDesc& n : topo.nodes()) {
+    EXPECT_DOUBLE_EQ(n.mc_bandwidth_bytes_per_s, 13.0 * kGiB);
+  }
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,50 @@
+#include "src/common/types.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+namespace {
+
+TEST(TypesTest, PolicyNames) {
+  EXPECT_STREQ(ToString(StaticPolicy::kFirstTouch), "First-Touch");
+  EXPECT_STREQ(ToString(StaticPolicy::kRound4k), "Round-4K");
+  EXPECT_STREQ(ToString(StaticPolicy::kRound1g), "Round-1G");
+}
+
+TEST(TypesTest, PolicyConfigNames) {
+  EXPECT_STREQ(ToString(PolicyConfig{StaticPolicy::kFirstTouch, false}), "First-Touch");
+  EXPECT_STREQ(ToString(PolicyConfig{StaticPolicy::kFirstTouch, true}),
+               "First-Touch / Carrefour");
+  EXPECT_STREQ(ToString(PolicyConfig{StaticPolicy::kRound4k, true}), "Round-4K / Carrefour");
+  EXPECT_STREQ(ToString(PolicyConfig{StaticPolicy::kRound1g, true}), "Round-1G / Carrefour");
+}
+
+TEST(TypesTest, PolicyConfigEquality) {
+  const PolicyConfig a{StaticPolicy::kRound4k, true};
+  const PolicyConfig b{StaticPolicy::kRound4k, true};
+  const PolicyConfig c{StaticPolicy::kRound4k, false};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TypesTest, InvalidSentinels) {
+  EXPECT_LT(kInvalidNode, 0);
+  EXPECT_LT(kInvalidCpu, 0);
+  EXPECT_LT(kInvalidDomain, 0);
+  EXPECT_LT(kInvalidMfn, 0);
+  EXPECT_LT(kInvalidPfn, 0);
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  XNUMA_CHECK(1 + 1 == 2);
+  XNUMA_DCHECK(true);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(XNUMA_CHECK(false), "XNUMA_CHECK failed");
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,138 @@
+#include "src/workload/app_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace xnuma {
+namespace {
+
+TEST(WorkloadTest, TwentyNineApps) {
+  EXPECT_EQ(AllApps().size(), 29u);
+}
+
+TEST(WorkloadTest, NamesAreUniqueAndFindable) {
+  std::set<std::string> names;
+  for (const AppProfile& app : AllApps()) {
+    EXPECT_TRUE(names.insert(app.name).second) << app.name;
+    EXPECT_EQ(FindApp(app.name), &app);
+  }
+  EXPECT_EQ(FindApp("nonexistent"), nullptr);
+}
+
+TEST(WorkloadTest, SuiteSizesMatchPaper) {
+  std::map<Suite, int> counts;
+  for (const AppProfile& app : AllApps()) {
+    ++counts[app.suite];
+  }
+  EXPECT_EQ(counts[Suite::kParsec], 6);
+  EXPECT_EQ(counts[Suite::kNpb], 9);
+  EXPECT_EQ(counts[Suite::kMosbench], 7);
+  EXPECT_EQ(counts[Suite::kXstream], 5);
+  EXPECT_EQ(counts[Suite::kYcsb], 2);
+}
+
+TEST(WorkloadTest, AccessSharesSumToOne) {
+  for (const AppProfile& app : AllApps()) {
+    double total = 0.0;
+    for (const RegionSpec& r : app.regions) {
+      total += r.access_share;
+      EXPECT_GE(r.access_share, 0.0) << app.name;
+      EXPECT_GE(r.footprint_mb, 1.0) << app.name;
+      EXPECT_GE(r.owner_affinity, 0.0) << app.name;
+      EXPECT_LE(r.owner_affinity, 1.0) << app.name;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << app.name;
+  }
+}
+
+TEST(WorkloadTest, RegionStructure) {
+  // Every app: a small contiguous hot region + the bulk (both
+  // master-initialized) + one owner-partitioned private region.
+  for (const AppProfile& app : AllApps()) {
+    ASSERT_EQ(app.regions.size(), 3u) << app.name;
+    EXPECT_EQ(app.regions[0].init, AllocPattern::kMasterInit) << app.name;
+    EXPECT_EQ(app.regions[1].init, AllocPattern::kMasterInit) << app.name;
+    EXPECT_EQ(app.regions[2].init, AllocPattern::kOwnerPartitioned) << app.name;
+    // The hot region is genuinely shared and small (fits in one or two
+    // 1 GiB regions at most).
+    EXPECT_DOUBLE_EQ(app.regions[0].owner_affinity, 0.0) << app.name;
+    EXPECT_LE(app.regions[0].footprint_mb, 512.0) << app.name;
+    EXPECT_LE(app.regions[0].footprint_mb, app.regions[1].footprint_mb + 1.0) << app.name;
+  }
+}
+
+TEST(WorkloadTest, FootprintsTrackTable2) {
+  // Spot-check some Table 2 footprints (MB), within rounding of the split.
+  EXPECT_NEAR(FindApp("dc.B")->TotalFootprintMb(), 39273, 40);
+  EXPECT_NEAR(FindApp("mg.D")->TotalFootprintMb(), 27095, 30);
+  EXPECT_NEAR(FindApp("facesim")->TotalFootprintMb(), 328, 5);
+  EXPECT_NEAR(FindApp("swaptions")->TotalFootprintMb(), 4, 2);
+}
+
+TEST(WorkloadTest, ImbalanceCalibration) {
+  // The master-initialized (hot + bulk) access share must equal the Table 1
+  // imbalance / 264.6% (clamped); spot-check the extremes.
+  auto shared_share = [](const char* name) {
+    const AppProfile* app = FindApp(name);
+    return app->regions[0].access_share + app->regions[1].access_share;
+  };
+  EXPECT_NEAR(shared_share("facesim"), 253.0 / 264.6, 1e-6);
+  EXPECT_NEAR(shared_share("ep.D"), 0.97, 1e-6);  // clamped
+  EXPECT_NEAR(shared_share("ua.C"), 0.02, 1e-6);  // clamped
+}
+
+TEST(WorkloadTest, McsEligibleAppsMatchPaper) {
+  // §5.3.2: only facesim and streamcluster get the MCS substitution.
+  for (const AppProfile& app : AllApps()) {
+    const bool expected = app.name == "facesim" || app.name == "streamcluster";
+    EXPECT_EQ(app.mcs_eligible, expected) << app.name;
+  }
+}
+
+TEST(WorkloadTest, BlockingRatesMatchTable2) {
+  EXPECT_DOUBLE_EQ(FindApp("memcached")->blocking_rate_per_s, 127100);
+  EXPECT_DOUBLE_EQ(FindApp("ua.C")->blocking_rate_per_s, 37400);
+  EXPECT_DOUBLE_EQ(FindApp("swaptions")->blocking_rate_per_s, 0);
+}
+
+TEST(WorkloadTest, DiskHeavyAppsHaveIo) {
+  for (const char* name : {"dc.B", "belief", "bfs", "cc", "pagerank", "sssp", "mongodb"}) {
+    EXPECT_GT(FindApp(name)->disk_read_mb, 1000) << name;
+  }
+  EXPECT_DOUBLE_EQ(FindApp("cg.C")->disk_read_mb, 0);
+  // psearchy does many small reads (§5.5).
+  EXPECT_EQ(FindApp("psearchy")->io_request_kb, 4);
+}
+
+TEST(WorkloadTest, MosbenchReleaseRates) {
+  // §4.2.3: wrmem releases a page every 15 us.
+  EXPECT_NEAR(FindApp("wrmem")->release_rate_per_s, 1.0 / 15e-6, 500);
+  EXPECT_GT(FindApp("wr")->release_rate_per_s, 0);
+  EXPECT_GT(FindApp("wc")->release_rate_per_s, 0);
+  EXPECT_DOUBLE_EQ(FindApp("cg.C")->release_rate_per_s, 0);
+}
+
+TEST(WorkloadTest, SuiteToString) {
+  EXPECT_STREQ(ToString(Suite::kParsec), "Parsec");
+  EXPECT_STREQ(ToString(Suite::kYcsb), "YCSB");
+}
+
+class AllAppsParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllAppsParamTest, ProfileInvariants) {
+  const AppProfile& app = AllApps()[GetParam()];
+  EXPECT_FALSE(app.name.empty());
+  EXPECT_GT(app.cpu_cycles_per_access, 0.0);
+  EXPECT_GT(app.nominal_seconds, 0.0);
+  EXPECT_GE(app.blocking_rate_per_s, 0.0);
+  EXPECT_GE(app.disk_read_mb, 0.0);
+  EXPECT_GT(app.io_request_kb, 0);
+  EXPECT_GE(app.release_rate_per_s, 0.0);
+  EXPECT_EQ(app.regions.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AllAppsParamTest, ::testing::Range(0, 29));
+
+}  // namespace
+}  // namespace xnuma

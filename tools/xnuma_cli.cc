@@ -1,0 +1,208 @@
+// xnuma — command-line driver for the simulated AMD48 testbed.
+//
+//   xnuma list                                 # known applications
+//   xnuma run --app cg.C --stack xen+ --policy first-touch [--carrefour]
+//   xnuma sweep --app kmeans --stack linux
+//   xnuma pair --a cg.C --b sp.C --mode split|consolidated
+//   xnuma auto --app kmeans                    # §7 automatic selector
+//
+// Common options: --seconds N (nominal runtime scale), --threads N,
+// --seed N, --csv (machine-readable single-line output).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "src/common/flags.h"
+#include "src/core/experiment.h"
+#include "src/sim/trace.h"
+#include "src/workload/app_profile.h"
+
+namespace {
+
+using namespace xnuma;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xnuma <list|run|sweep|pair|auto> [options]\n"
+               "  run   --app NAME --stack linux|xen|xen+ [--policy P] [--carrefour]\n"
+               "  sweep --app NAME --stack linux|xen+\n"
+               "  pair  --a NAME --b NAME [--mode split|consolidated]\n"
+               "  auto  --app NAME\n"
+               "  options: --seconds N --threads N --seed N --csv --trace FILE.csv\n"
+               "  policies: first-touch, round-4k, round-1g\n");
+  return 2;
+}
+
+bool ParsePolicy(const std::string& name, StaticPolicy* out) {
+  if (name == "first-touch" || name == "ft") {
+    *out = StaticPolicy::kFirstTouch;
+  } else if (name == "round-4k" || name == "r4k") {
+    *out = StaticPolicy::kRound4k;
+  } else if (name == "round-1g" || name == "r1g") {
+    *out = StaticPolicy::kRound1g;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+AppProfile LoadApp(const Flags& flags, const std::string& key) {
+  const std::string name = flags.GetString(key);
+  const AppProfile* app = FindApp(name);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown application '%s' (try `xnuma list`)\n", name.c_str());
+    std::exit(2);
+  }
+  AppProfile copy = *app;
+  const double seconds = flags.GetDouble("seconds", copy.nominal_seconds);
+  const double scale = seconds / copy.nominal_seconds;
+  copy.nominal_seconds = seconds;
+  copy.disk_read_mb *= scale;
+  return copy;
+}
+
+RunOptions LoadOptions(const Flags& flags) {
+  RunOptions opts;
+  opts.threads = static_cast<int>(flags.GetInt("threads", 48));
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  return opts;
+}
+
+StackConfig LoadStack(const Flags& flags) {
+  const std::string stack = flags.GetString("stack", "xen+");
+  StaticPolicy placement = StaticPolicy::kRound1g;
+  const std::string policy = flags.GetString("policy", "");
+  if (!policy.empty() && !ParsePolicy(policy, &placement)) {
+    std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
+    std::exit(2);
+  }
+  const bool carrefour = flags.GetBool("carrefour", false);
+  if (stack == "linux") {
+    return LinuxStack({policy.empty() ? StaticPolicy::kFirstTouch : placement, carrefour});
+  }
+  if (stack == "xen") {
+    return XenStack();
+  }
+  if (stack == "xen+") {
+    return XenPlusStack({placement, carrefour});
+  }
+  std::fprintf(stderr, "unknown stack '%s'\n", stack.c_str());
+  std::exit(2);
+}
+
+void PrintResult(const Flags& flags, const std::string& label, const JobResult& r) {
+  if (flags.GetBool("csv", false)) {
+    std::printf("%s,%s,%.4f,%.1f,%.1f,%.0f,%lld,%lld\n", label.c_str(), r.app.c_str(),
+                r.completion_seconds, r.imbalance_pct, r.interconnect_pct, r.avg_latency_cycles,
+                static_cast<long long>(r.hv_page_faults),
+                static_cast<long long>(r.carrefour_migrations));
+  } else {
+    std::printf("%-36s %8.2f s  imbalance %5.0f%%  interconnect %5.1f%%  latency %4.0f cyc\n",
+                label.c_str(), r.completion_seconds, r.imbalance_pct, r.interconnect_pct,
+                r.avg_latency_cycles);
+  }
+}
+
+int CmdList() {
+  std::printf("%-14s %-9s %12s %10s %10s %8s\n", "app", "suite", "footprint MB", "ctx k/s",
+              "disk MB/s", "releases");
+  for (const AppProfile& app : AllApps()) {
+    std::printf("%-14s %-9s %12.0f %10.1f %10.0f %8.0f\n", app.name.c_str(),
+                ToString(app.suite), app.TotalFootprintMb(), app.blocking_rate_per_s / 1000.0,
+                app.disk_read_mb / app.nominal_seconds, app.release_rate_per_s);
+  }
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  const AppProfile app = LoadApp(flags, "app");
+  const StackConfig stack = LoadStack(flags);
+  RunOptions opts = LoadOptions(flags);
+  TraceRecorder trace;
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    opts.trace = &trace;
+  }
+  const JobResult r = RunSingleApp(app, stack, opts);
+  PrintResult(flags, stack.label, r);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    out << trace.ToCsv();
+    std::fprintf(stderr, "trace: %zu epochs -> %s\n", trace.samples().size(),
+                 trace_path.c_str());
+  }
+  return 0;
+}
+
+int CmdSweep(const Flags& flags) {
+  const AppProfile app = LoadApp(flags, "app");
+  const std::string stack_name = flags.GetString("stack", "xen+");
+  const StackConfig base = stack_name == "linux" ? LinuxStack() : XenPlusStack();
+  const auto candidates =
+      stack_name == "linux" ? LinuxPolicyCandidates() : XenPolicyCandidates();
+  const auto sweep = SweepPolicies(app, base, candidates, LoadOptions(flags));
+  for (const auto& entry : sweep) {
+    PrintResult(flags, ToString(entry.policy), entry.result);
+  }
+  const auto& best = BestEntry(sweep);
+  if (!flags.GetBool("csv", false)) {
+    std::printf("best: %s\n", ToString(best.policy));
+  }
+  return 0;
+}
+
+int CmdPair(const Flags& flags) {
+  const AppProfile a = LoadApp(flags, "a");
+  const AppProfile b = LoadApp(flags, "b");
+  const std::string mode_name = flags.GetString("mode", "split");
+  const PairMode mode =
+      mode_name == "consolidated" ? PairMode::kConsolidated : PairMode::kSplitHalves;
+  const StackConfig stack = LoadStack(flags);
+  const PairResult pair = RunAppPair(a, stack, b, stack, mode, LoadOptions(flags));
+  PrintResult(flags, a.name + " (vm1)", pair.first);
+  PrintResult(flags, b.name + " (vm2)", pair.second);
+  return 0;
+}
+
+int CmdAuto(const Flags& flags) {
+  const AppProfile app = LoadApp(flags, "app");
+  const JobResult r = RunSingleApp(app, XenAutoStack(), LoadOptions(flags));
+  PrintResult(flags, "Xen+/auto", r);
+  if (!flags.GetBool("csv", false)) {
+    std::printf("final policy: %s after %d switches\n", ToString(r.final_policy),
+                r.policy_switches);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  xnuma::Flags flags(argc - 1, argv + 1);
+
+  int status;
+  if (cmd == "list") {
+    status = CmdList();
+  } else if (cmd == "run") {
+    status = CmdRun(flags);
+  } else if (cmd == "sweep") {
+    status = CmdSweep(flags);
+  } else if (cmd == "pair") {
+    status = CmdPair(flags);
+  } else if (cmd == "auto") {
+    status = CmdAuto(flags);
+  } else {
+    return Usage();
+  }
+  for (const std::string& key : flags.UnusedKeys()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+  return status;
+}
