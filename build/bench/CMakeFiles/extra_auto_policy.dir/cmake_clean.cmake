@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_auto_policy.dir/bench_util.cc.o"
+  "CMakeFiles/extra_auto_policy.dir/bench_util.cc.o.d"
+  "CMakeFiles/extra_auto_policy.dir/extra_auto_policy.cc.o"
+  "CMakeFiles/extra_auto_policy.dir/extra_auto_policy.cc.o.d"
+  "extra_auto_policy"
+  "extra_auto_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_auto_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_carrefour_ablation.dir/bench_util.cc.o"
+  "CMakeFiles/extra_carrefour_ablation.dir/bench_util.cc.o.d"
+  "CMakeFiles/extra_carrefour_ablation.dir/extra_carrefour_ablation.cc.o"
+  "CMakeFiles/extra_carrefour_ablation.dir/extra_carrefour_ablation.cc.o.d"
+  "extra_carrefour_ablation"
+  "extra_carrefour_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_carrefour_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

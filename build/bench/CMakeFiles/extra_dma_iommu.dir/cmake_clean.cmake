@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_dma_iommu.dir/bench_util.cc.o"
+  "CMakeFiles/extra_dma_iommu.dir/bench_util.cc.o.d"
+  "CMakeFiles/extra_dma_iommu.dir/extra_dma_iommu.cc.o"
+  "CMakeFiles/extra_dma_iommu.dir/extra_dma_iommu.cc.o.d"
+  "extra_dma_iommu"
+  "extra_dma_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_dma_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extra_dma_iommu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_hypercall_batching.dir/bench_util.cc.o"
+  "CMakeFiles/extra_hypercall_batching.dir/bench_util.cc.o.d"
+  "CMakeFiles/extra_hypercall_batching.dir/extra_hypercall_batching.cc.o"
+  "CMakeFiles/extra_hypercall_batching.dir/extra_hypercall_batching.cc.o.d"
+  "extra_hypercall_batching"
+  "extra_hypercall_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_hypercall_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extra_hypercall_batching.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_replication.dir/bench_util.cc.o"
+  "CMakeFiles/extra_replication.dir/bench_util.cc.o.d"
+  "CMakeFiles/extra_replication.dir/extra_replication.cc.o"
+  "CMakeFiles/extra_replication.dir/extra_replication.cc.o.d"
+  "extra_replication"
+  "extra_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_scheduler.dir/bench_util.cc.o"
+  "CMakeFiles/extra_scheduler.dir/bench_util.cc.o.d"
+  "CMakeFiles/extra_scheduler.dir/extra_scheduler.cc.o"
+  "CMakeFiles/extra_scheduler.dir/extra_scheduler.cc.o.d"
+  "extra_scheduler"
+  "extra_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

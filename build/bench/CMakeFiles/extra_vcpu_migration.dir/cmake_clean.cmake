@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_vcpu_migration.dir/bench_util.cc.o"
+  "CMakeFiles/extra_vcpu_migration.dir/bench_util.cc.o.d"
+  "CMakeFiles/extra_vcpu_migration.dir/extra_vcpu_migration.cc.o"
+  "CMakeFiles/extra_vcpu_migration.dir/extra_vcpu_migration.cc.o.d"
+  "extra_vcpu_migration"
+  "extra_vcpu_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_vcpu_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

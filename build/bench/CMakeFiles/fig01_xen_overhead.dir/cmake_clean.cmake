@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_xen_overhead.dir/bench_util.cc.o"
+  "CMakeFiles/fig01_xen_overhead.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig01_xen_overhead.dir/fig01_xen_overhead.cc.o"
+  "CMakeFiles/fig01_xen_overhead.dir/fig01_xen_overhead.cc.o.d"
+  "fig01_xen_overhead"
+  "fig01_xen_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_xen_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_linux_policies.dir/bench_util.cc.o"
+  "CMakeFiles/fig02_linux_policies.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig02_linux_policies.dir/fig02_linux_policies.cc.o"
+  "CMakeFiles/fig02_linux_policies.dir/fig02_linux_policies.cc.o.d"
+  "fig02_linux_policies"
+  "fig02_linux_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_linux_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

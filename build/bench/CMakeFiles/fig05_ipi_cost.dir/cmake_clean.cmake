@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ipi_cost.dir/bench_util.cc.o"
+  "CMakeFiles/fig05_ipi_cost.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig05_ipi_cost.dir/fig05_ipi_cost.cc.o"
+  "CMakeFiles/fig05_ipi_cost.dir/fig05_ipi_cost.cc.o.d"
+  "fig05_ipi_cost"
+  "fig05_ipi_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ipi_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

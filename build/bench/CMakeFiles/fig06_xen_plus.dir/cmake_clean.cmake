@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_xen_plus.dir/bench_util.cc.o"
+  "CMakeFiles/fig06_xen_plus.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig06_xen_plus.dir/fig06_xen_plus.cc.o"
+  "CMakeFiles/fig06_xen_plus.dir/fig06_xen_plus.cc.o.d"
+  "fig06_xen_plus"
+  "fig06_xen_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_xen_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_xen_policy_gain.dir/bench_util.cc.o"
+  "CMakeFiles/fig07_xen_policy_gain.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig07_xen_policy_gain.dir/fig07_xen_policy_gain.cc.o"
+  "CMakeFiles/fig07_xen_policy_gain.dir/fig07_xen_policy_gain.cc.o.d"
+  "fig07_xen_policy_gain"
+  "fig07_xen_policy_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_xen_policy_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_colocated_vms.dir/bench_util.cc.o"
+  "CMakeFiles/fig08_colocated_vms.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig08_colocated_vms.dir/fig08_colocated_vms.cc.o"
+  "CMakeFiles/fig08_colocated_vms.dir/fig08_colocated_vms.cc.o.d"
+  "fig08_colocated_vms"
+  "fig08_colocated_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_colocated_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_consolidated_vms.dir/bench_util.cc.o"
+  "CMakeFiles/fig09_consolidated_vms.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig09_consolidated_vms.dir/fig09_consolidated_vms.cc.o"
+  "CMakeFiles/fig09_consolidated_vms.dir/fig09_consolidated_vms.cc.o.d"
+  "fig09_consolidated_vms"
+  "fig09_consolidated_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_consolidated_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

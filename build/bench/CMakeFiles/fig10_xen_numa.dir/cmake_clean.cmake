@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_xen_numa.dir/bench_util.cc.o"
+  "CMakeFiles/fig10_xen_numa.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig10_xen_numa.dir/fig10_xen_numa.cc.o"
+  "CMakeFiles/fig10_xen_numa.dir/fig10_xen_numa.cc.o.d"
+  "fig10_xen_numa"
+  "fig10_xen_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_xen_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_static_metrics.dir/bench_util.cc.o"
+  "CMakeFiles/table1_static_metrics.dir/bench_util.cc.o.d"
+  "CMakeFiles/table1_static_metrics.dir/table1_static_metrics.cc.o"
+  "CMakeFiles/table1_static_metrics.dir/table1_static_metrics.cc.o.d"
+  "table1_static_metrics"
+  "table1_static_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_static_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

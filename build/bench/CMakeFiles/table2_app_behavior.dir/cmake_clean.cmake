@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_app_behavior.dir/bench_util.cc.o"
+  "CMakeFiles/table2_app_behavior.dir/bench_util.cc.o.d"
+  "CMakeFiles/table2_app_behavior.dir/table2_app_behavior.cc.o"
+  "CMakeFiles/table2_app_behavior.dir/table2_app_behavior.cc.o.d"
+  "table2_app_behavior"
+  "table2_app_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_app_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

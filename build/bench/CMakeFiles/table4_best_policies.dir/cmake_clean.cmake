@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_best_policies.dir/bench_util.cc.o"
+  "CMakeFiles/table4_best_policies.dir/bench_util.cc.o.d"
+  "CMakeFiles/table4_best_policies.dir/table4_best_policies.cc.o"
+  "CMakeFiles/table4_best_policies.dir/table4_best_policies.cc.o.d"
+  "table4_best_policies"
+  "table4_best_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_best_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_policy.dir/auto_policy.cpp.o"
+  "CMakeFiles/auto_policy.dir/auto_policy.cpp.o.d"
+  "auto_policy"
+  "auto_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

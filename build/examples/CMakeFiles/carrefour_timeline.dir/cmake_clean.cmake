@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carrefour_timeline.dir/carrefour_timeline.cpp.o"
+  "CMakeFiles/carrefour_timeline.dir/carrefour_timeline.cpp.o.d"
+  "carrefour_timeline"
+  "carrefour_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carrefour_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

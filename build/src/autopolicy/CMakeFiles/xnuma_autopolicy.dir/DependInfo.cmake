@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autopolicy/auto_selector.cc" "src/autopolicy/CMakeFiles/xnuma_autopolicy.dir/auto_selector.cc.o" "gcc" "src/autopolicy/CMakeFiles/xnuma_autopolicy.dir/auto_selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/carrefour/CMakeFiles/xnuma_carrefour.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xnuma_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/xnuma_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/xnuma_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/xnuma_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xnuma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

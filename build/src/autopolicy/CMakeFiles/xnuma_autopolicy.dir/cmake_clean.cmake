@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_autopolicy.dir/auto_selector.cc.o"
+  "CMakeFiles/xnuma_autopolicy.dir/auto_selector.cc.o.d"
+  "libxnuma_autopolicy.a"
+  "libxnuma_autopolicy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_autopolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xnuma_autopolicy.
+# This may be replaced when dependencies are built.

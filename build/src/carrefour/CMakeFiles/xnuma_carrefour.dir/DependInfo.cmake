@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/carrefour/system_component.cc" "src/carrefour/CMakeFiles/xnuma_carrefour.dir/system_component.cc.o" "gcc" "src/carrefour/CMakeFiles/xnuma_carrefour.dir/system_component.cc.o.d"
+  "/root/repo/src/carrefour/user_component.cc" "src/carrefour/CMakeFiles/xnuma_carrefour.dir/user_component.cc.o" "gcc" "src/carrefour/CMakeFiles/xnuma_carrefour.dir/user_component.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xnuma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xnuma_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/xnuma_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/xnuma_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/xnuma_policy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_carrefour.dir/system_component.cc.o"
+  "CMakeFiles/xnuma_carrefour.dir/system_component.cc.o.d"
+  "CMakeFiles/xnuma_carrefour.dir/user_component.cc.o"
+  "CMakeFiles/xnuma_carrefour.dir/user_component.cc.o.d"
+  "libxnuma_carrefour.a"
+  "libxnuma_carrefour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_carrefour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_common.dir/flags.cc.o"
+  "CMakeFiles/xnuma_common.dir/flags.cc.o.d"
+  "CMakeFiles/xnuma_common.dir/rng.cc.o"
+  "CMakeFiles/xnuma_common.dir/rng.cc.o.d"
+  "CMakeFiles/xnuma_common.dir/types.cc.o"
+  "CMakeFiles/xnuma_common.dir/types.cc.o.d"
+  "libxnuma_common.a"
+  "libxnuma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_core.dir/experiment.cc.o"
+  "CMakeFiles/xnuma_core.dir/experiment.cc.o.d"
+  "libxnuma_core.a"
+  "libxnuma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_guest.dir/balloon.cc.o"
+  "CMakeFiles/xnuma_guest.dir/balloon.cc.o.d"
+  "CMakeFiles/xnuma_guest.dir/guest_os.cc.o"
+  "CMakeFiles/xnuma_guest.dir/guest_os.cc.o.d"
+  "CMakeFiles/xnuma_guest.dir/pv_queue.cc.o"
+  "CMakeFiles/xnuma_guest.dir/pv_queue.cc.o.d"
+  "CMakeFiles/xnuma_guest.dir/sync_model.cc.o"
+  "CMakeFiles/xnuma_guest.dir/sync_model.cc.o.d"
+  "libxnuma_guest.a"
+  "libxnuma_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

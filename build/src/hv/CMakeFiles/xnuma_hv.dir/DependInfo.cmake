@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/domain.cc" "src/hv/CMakeFiles/xnuma_hv.dir/domain.cc.o" "gcc" "src/hv/CMakeFiles/xnuma_hv.dir/domain.cc.o.d"
+  "/root/repo/src/hv/hv_backend.cc" "src/hv/CMakeFiles/xnuma_hv.dir/hv_backend.cc.o" "gcc" "src/hv/CMakeFiles/xnuma_hv.dir/hv_backend.cc.o.d"
+  "/root/repo/src/hv/hypervisor.cc" "src/hv/CMakeFiles/xnuma_hv.dir/hypervisor.cc.o" "gcc" "src/hv/CMakeFiles/xnuma_hv.dir/hypervisor.cc.o.d"
+  "/root/repo/src/hv/io_model.cc" "src/hv/CMakeFiles/xnuma_hv.dir/io_model.cc.o" "gcc" "src/hv/CMakeFiles/xnuma_hv.dir/io_model.cc.o.d"
+  "/root/repo/src/hv/iommu.cc" "src/hv/CMakeFiles/xnuma_hv.dir/iommu.cc.o" "gcc" "src/hv/CMakeFiles/xnuma_hv.dir/iommu.cc.o.d"
+  "/root/repo/src/hv/ipi_model.cc" "src/hv/CMakeFiles/xnuma_hv.dir/ipi_model.cc.o" "gcc" "src/hv/CMakeFiles/xnuma_hv.dir/ipi_model.cc.o.d"
+  "/root/repo/src/hv/p2m.cc" "src/hv/CMakeFiles/xnuma_hv.dir/p2m.cc.o" "gcc" "src/hv/CMakeFiles/xnuma_hv.dir/p2m.cc.o.d"
+  "/root/repo/src/hv/scheduler.cc" "src/hv/CMakeFiles/xnuma_hv.dir/scheduler.cc.o" "gcc" "src/hv/CMakeFiles/xnuma_hv.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xnuma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/xnuma_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/xnuma_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/xnuma_policy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_hv.dir/domain.cc.o"
+  "CMakeFiles/xnuma_hv.dir/domain.cc.o.d"
+  "CMakeFiles/xnuma_hv.dir/hv_backend.cc.o"
+  "CMakeFiles/xnuma_hv.dir/hv_backend.cc.o.d"
+  "CMakeFiles/xnuma_hv.dir/hypervisor.cc.o"
+  "CMakeFiles/xnuma_hv.dir/hypervisor.cc.o.d"
+  "CMakeFiles/xnuma_hv.dir/io_model.cc.o"
+  "CMakeFiles/xnuma_hv.dir/io_model.cc.o.d"
+  "CMakeFiles/xnuma_hv.dir/iommu.cc.o"
+  "CMakeFiles/xnuma_hv.dir/iommu.cc.o.d"
+  "CMakeFiles/xnuma_hv.dir/ipi_model.cc.o"
+  "CMakeFiles/xnuma_hv.dir/ipi_model.cc.o.d"
+  "CMakeFiles/xnuma_hv.dir/p2m.cc.o"
+  "CMakeFiles/xnuma_hv.dir/p2m.cc.o.d"
+  "CMakeFiles/xnuma_hv.dir/scheduler.cc.o"
+  "CMakeFiles/xnuma_hv.dir/scheduler.cc.o.d"
+  "libxnuma_hv.a"
+  "libxnuma_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_mm.dir/frame_allocator.cc.o"
+  "CMakeFiles/xnuma_mm.dir/frame_allocator.cc.o.d"
+  "libxnuma_mm.a"
+  "libxnuma_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

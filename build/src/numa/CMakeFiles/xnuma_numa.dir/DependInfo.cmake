@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numa/latency_model.cc" "src/numa/CMakeFiles/xnuma_numa.dir/latency_model.cc.o" "gcc" "src/numa/CMakeFiles/xnuma_numa.dir/latency_model.cc.o.d"
+  "/root/repo/src/numa/perf_counters.cc" "src/numa/CMakeFiles/xnuma_numa.dir/perf_counters.cc.o" "gcc" "src/numa/CMakeFiles/xnuma_numa.dir/perf_counters.cc.o.d"
+  "/root/repo/src/numa/topology.cc" "src/numa/CMakeFiles/xnuma_numa.dir/topology.cc.o" "gcc" "src/numa/CMakeFiles/xnuma_numa.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xnuma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

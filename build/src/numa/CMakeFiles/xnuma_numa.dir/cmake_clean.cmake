@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_numa.dir/latency_model.cc.o"
+  "CMakeFiles/xnuma_numa.dir/latency_model.cc.o.d"
+  "CMakeFiles/xnuma_numa.dir/perf_counters.cc.o"
+  "CMakeFiles/xnuma_numa.dir/perf_counters.cc.o.d"
+  "CMakeFiles/xnuma_numa.dir/topology.cc.o"
+  "CMakeFiles/xnuma_numa.dir/topology.cc.o.d"
+  "libxnuma_numa.a"
+  "libxnuma_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xnuma_numa.
+# This may be replaced when dependencies are built.

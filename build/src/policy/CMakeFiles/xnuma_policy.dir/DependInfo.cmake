@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/first_touch.cc" "src/policy/CMakeFiles/xnuma_policy.dir/first_touch.cc.o" "gcc" "src/policy/CMakeFiles/xnuma_policy.dir/first_touch.cc.o.d"
+  "/root/repo/src/policy/policy_lib.cc" "src/policy/CMakeFiles/xnuma_policy.dir/policy_lib.cc.o" "gcc" "src/policy/CMakeFiles/xnuma_policy.dir/policy_lib.cc.o.d"
+  "/root/repo/src/policy/round_robin.cc" "src/policy/CMakeFiles/xnuma_policy.dir/round_robin.cc.o" "gcc" "src/policy/CMakeFiles/xnuma_policy.dir/round_robin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xnuma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

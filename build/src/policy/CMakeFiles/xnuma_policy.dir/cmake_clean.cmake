@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_policy.dir/first_touch.cc.o"
+  "CMakeFiles/xnuma_policy.dir/first_touch.cc.o.d"
+  "CMakeFiles/xnuma_policy.dir/policy_lib.cc.o"
+  "CMakeFiles/xnuma_policy.dir/policy_lib.cc.o.d"
+  "CMakeFiles/xnuma_policy.dir/round_robin.cc.o"
+  "CMakeFiles/xnuma_policy.dir/round_robin.cc.o.d"
+  "libxnuma_policy.a"
+  "libxnuma_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

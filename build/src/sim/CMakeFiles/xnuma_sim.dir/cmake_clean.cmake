@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_sim.dir/engine.cc.o"
+  "CMakeFiles/xnuma_sim.dir/engine.cc.o.d"
+  "CMakeFiles/xnuma_sim.dir/trace.cc.o"
+  "CMakeFiles/xnuma_sim.dir/trace.cc.o.d"
+  "libxnuma_sim.a"
+  "libxnuma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

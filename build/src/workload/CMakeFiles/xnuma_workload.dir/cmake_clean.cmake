@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma_workload.dir/app_profile.cc.o"
+  "CMakeFiles/xnuma_workload.dir/app_profile.cc.o.d"
+  "CMakeFiles/xnuma_workload.dir/synthetic.cc.o"
+  "CMakeFiles/xnuma_workload.dir/synthetic.cc.o.d"
+  "libxnuma_workload.a"
+  "libxnuma_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_apps_smoke_test.dir/all_apps_smoke_test.cc.o"
+  "CMakeFiles/all_apps_smoke_test.dir/all_apps_smoke_test.cc.o.d"
+  "all_apps_smoke_test"
+  "all_apps_smoke_test.pdb"
+  "all_apps_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_apps_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_selector_test.dir/auto_selector_test.cc.o"
+  "CMakeFiles/auto_selector_test.dir/auto_selector_test.cc.o.d"
+  "auto_selector_test"
+  "auto_selector_test.pdb"
+  "auto_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

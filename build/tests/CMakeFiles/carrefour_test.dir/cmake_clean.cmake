@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carrefour_test.dir/carrefour_test.cc.o"
+  "CMakeFiles/carrefour_test.dir/carrefour_test.cc.o.d"
+  "carrefour_test"
+  "carrefour_test.pdb"
+  "carrefour_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carrefour_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_hv_integration_test.dir/guest_hv_integration_test.cc.o"
+  "CMakeFiles/guest_hv_integration_test.dir/guest_hv_integration_test.cc.o.d"
+  "guest_hv_integration_test"
+  "guest_hv_integration_test.pdb"
+  "guest_hv_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_hv_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

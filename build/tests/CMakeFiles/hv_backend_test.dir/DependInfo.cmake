@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hv_backend_test.cc" "tests/CMakeFiles/hv_backend_test.dir/hv_backend_test.cc.o" "gcc" "tests/CMakeFiles/hv_backend_test.dir/hv_backend_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xnuma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xnuma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/carrefour/CMakeFiles/xnuma_carrefour.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/xnuma_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xnuma_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/xnuma_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/xnuma_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xnuma_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/xnuma_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xnuma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/autopolicy/CMakeFiles/xnuma_autopolicy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

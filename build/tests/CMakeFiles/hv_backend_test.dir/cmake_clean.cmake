@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_backend_test.dir/hv_backend_test.cc.o"
+  "CMakeFiles/hv_backend_test.dir/hv_backend_test.cc.o.d"
+  "hv_backend_test"
+  "hv_backend_test.pdb"
+  "hv_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipi_model_test.dir/ipi_model_test.cc.o"
+  "CMakeFiles/ipi_model_test.dir/ipi_model_test.cc.o.d"
+  "ipi_model_test"
+  "ipi_model_test.pdb"
+  "ipi_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipi_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2m_test.dir/p2m_test.cc.o"
+  "CMakeFiles/p2m_test.dir/p2m_test.cc.o.d"
+  "p2m_test"
+  "p2m_test.pdb"
+  "p2m_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2m_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_counters_test.dir/perf_counters_test.cc.o"
+  "CMakeFiles/perf_counters_test.dir/perf_counters_test.cc.o.d"
+  "perf_counters_test"
+  "perf_counters_test.pdb"
+  "perf_counters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_queue_test.dir/pv_queue_test.cc.o"
+  "CMakeFiles/pv_queue_test.dir/pv_queue_test.cc.o.d"
+  "pv_queue_test"
+  "pv_queue_test.pdb"
+  "pv_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

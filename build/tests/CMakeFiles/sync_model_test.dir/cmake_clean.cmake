@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_model_test.dir/sync_model_test.cc.o"
+  "CMakeFiles/sync_model_test.dir/sync_model_test.cc.o.d"
+  "sync_model_test"
+  "sync_model_test.pdb"
+  "sync_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_property_test.dir/topology_property_test.cc.o"
+  "CMakeFiles/topology_property_test.dir/topology_property_test.cc.o.d"
+  "topology_property_test"
+  "topology_property_test.pdb"
+  "topology_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

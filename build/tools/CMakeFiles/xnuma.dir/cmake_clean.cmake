@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnuma.dir/xnuma_cli.cc.o"
+  "CMakeFiles/xnuma.dir/xnuma_cli.cc.o.d"
+  "xnuma"
+  "xnuma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
