@@ -1,0 +1,160 @@
+// Engine epoch-loop microbenchmark: epochs/second with the incremental
+// placement cache on vs. the full per-epoch rescan (EngineConfig::
+// incremental_placement = false, the pre-cache hot loop).
+//
+// A multi-job mix (4 domains x 12 threads on Amd48) runs at several
+// footprints with allocator churn active, so dirty events flow every epoch.
+// The machine uses 1 MiB frames to reach page counts where the per-epoch
+// rescan dominates, exactly the regime the cache is for. Jobs never finish
+// within the measured window; every epoch exercises the full refresh +
+// distributions + fixed-point pipeline.
+//
+// Timing protocol: each (config, mode) pair runs twice — a 1-epoch run and
+// an N-epoch run on identically-seeded machines — and reports
+//   (epochs_N - epochs_1) / (wall_N - wall_1),
+// which cancels the one-time init (page touching) cost out of the rate.
+//
+// Output: one JSON document on stdout (tools/run_bench.sh tees it into
+// BENCH_engine.json at the repo root).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/guest/guest_os.h"
+#include "src/hv/hypervisor.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+#include "src/sim/engine.h"
+#include "src/workload/app_profile.h"
+
+namespace xnuma {
+namespace {
+
+constexpr int64_t kBytesPerFrame = 1ll << 20;  // 1 MiB frames
+constexpr int kJobs = 4;
+constexpr int kThreads = 12;
+constexpr int kEpochs = 40;
+
+struct BenchConfig {
+  const char* name;
+  double footprint_mb;  // per job
+};
+
+AppProfile BenchApp(double footprint_mb) {
+  AppProfile app;
+  app.name = "epoch-bench";
+  app.cpu_cycles_per_access = 150;
+  app.nominal_seconds = 1e6;  // never finishes inside the measured window
+  app.release_rate_per_s = 20000.0;  // allocator churn feeds the dirty sets
+  RegionSpec shared;
+  shared.name = "shared";
+  shared.footprint_mb = footprint_mb * 0.75;
+  shared.init = AllocPattern::kMasterInit;
+  shared.access_share = 0.6;
+  shared.hot_fraction = 0.1;
+  shared.hot_share = 0.8;
+  app.regions.push_back(shared);
+  RegionSpec priv;
+  priv.name = "private";
+  priv.footprint_mb = footprint_mb * 0.25;
+  priv.init = AllocPattern::kOwnerPartitioned;
+  priv.access_share = 0.4;
+  priv.owner_affinity = 0.9;
+  app.regions.push_back(priv);
+  return app;
+}
+
+struct RunStats {
+  double wall_s = 0.0;
+  int64_t epochs = 0;
+};
+
+RunStats RunOnce(const AppProfile& app, bool incremental, int epochs) {
+  Topology topo = Topology::Amd48();
+  Hypervisor hv(topo, kBytesPerFrame);
+  LatencyModel latency;
+  EngineConfig ec;
+  ec.seed = 7;
+  ec.incremental_placement = incremental;
+  ec.max_sim_seconds = epochs * ec.epoch_seconds;
+
+  std::vector<std::unique_ptr<GuestOs>> guests;
+  Engine engine(hv, latency, ec);
+  const int64_t pages = AppSimPages(app, kBytesPerFrame, ec.min_region_pages);
+  for (int j = 0; j < kJobs; ++j) {
+    DomainConfig dc;
+    dc.name = "dom" + std::to_string(j);
+    dc.num_vcpus = kThreads;
+    dc.memory_pages = pages + 64;
+    for (int t = 0; t < kThreads; ++t) {
+      dc.pinned_cpus.push_back(j * kThreads + t);
+    }
+    dc.policy.placement = StaticPolicy::kFirstTouch;
+    const DomainId dom = hv.CreateDomain(dc);
+    guests.push_back(std::make_unique<GuestOs>(hv, dom));
+    JobSpec spec;
+    spec.app = &app;
+    spec.domain = dom;
+    spec.guest = guests.back().get();
+    spec.threads = kThreads;
+    engine.AddJob(spec);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  engine.Run();
+  const auto end = std::chrono::steady_clock::now();
+  RunStats stats;
+  stats.wall_s = std::chrono::duration<double>(end - start).count();
+  stats.epochs = engine.epochs_run();
+  return stats;
+}
+
+// Steady-state epochs/second: a long run minus a 1-epoch run cancels init.
+double EpochsPerSecond(const AppProfile& app, bool incremental) {
+  const RunStats one = RunOnce(app, incremental, 1);
+  const RunStats many = RunOnce(app, incremental, kEpochs);
+  const double dt = many.wall_s - one.wall_s;
+  const int64_t de = many.epochs - one.epochs;
+  return dt > 0.0 ? de / dt : 0.0;
+}
+
+}  // namespace
+}  // namespace xnuma
+
+int main() {
+  using namespace xnuma;
+  const BenchConfig configs[] = {
+      {"1gb_per_job", 1024.0},
+      {"4gb_per_job", 4096.0},
+      {"16gb_per_job", 16384.0},
+  };
+
+  std::printf("{\n  \"bench\": \"micro_engine_epoch\",\n");
+  std::printf("  \"machine\": \"amd48\",\n  \"frame_mb\": %lld,\n",
+              static_cast<long long>(kBytesPerFrame >> 20));
+  std::printf("  \"jobs\": %d,\n  \"threads_per_job\": %d,\n  \"epochs\": %d,\n", kJobs,
+              kThreads, kEpochs);
+  std::printf("  \"configs\": [\n");
+  bool first = true;
+  for (const BenchConfig& cfg : configs) {
+    const AppProfile app = BenchApp(cfg.footprint_mb);
+    const int64_t pages = AppSimPages(app, kBytesPerFrame, EngineConfig{}.min_region_pages);
+    const double full = EpochsPerSecond(app, /*incremental=*/false);
+    const double incr = EpochsPerSecond(app, /*incremental=*/true);
+    if (!first) {
+      std::printf(",\n");
+    }
+    first = false;
+    std::printf("    {\"name\": \"%s\", \"pages_per_job\": %lld,\n", cfg.name,
+                static_cast<long long>(pages));
+    std::printf("     \"full_rescan_epochs_per_s\": %.2f,\n", full);
+    std::printf("     \"incremental_epochs_per_s\": %.2f,\n", incr);
+    std::printf("     \"speedup\": %.2f}", full > 0.0 ? incr / full : 0.0);
+    std::fflush(stdout);
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

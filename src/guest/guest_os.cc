@@ -1,5 +1,7 @@
 #include "src/guest/guest_os.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace xnuma {
@@ -10,6 +12,7 @@ GuestOs::GuestOs(Hypervisor& hv, DomainId domain, Options options)
   for (Pfn pfn = 0; pfn < pages; ++pfn) {
     free_list_.push_back(pfn);
   }
+  pfn_owner_.assign(pages, VpageEvent{});
   queue_ = std::make_unique<PvPageQueue>(
       [this](std::span<const PageQueueOp> ops) {
         return hv_->HypercallPageQueueFlush(domain_, ops);
@@ -21,8 +24,58 @@ int GuestOs::CreateProcess(int64_t num_vpages) {
   XNUMA_CHECK(num_vpages > 0);
   Process p;
   p.vpage_to_pfn.assign(num_vpages, kInvalidPfn);
+  p.vpage_dirty.assign(num_vpages, 0);
   processes_.push_back(std::move(p));
+  total_vpages_ += num_vpages;
   return static_cast<int>(processes_.size()) - 1;
+}
+
+int64_t GuestOs::DirtyLimit() const { return std::max<int64_t>(1024, total_vpages_ / 4); }
+
+void GuestOs::MarkVpageDirty(int pid, Vpn vpn) {
+  ++placement_generation_;
+  if (dirty_overflow_) {
+    return;
+  }
+  Process& proc = processes_[pid];
+  if (proc.vpage_dirty[vpn] != 0) {
+    return;
+  }
+  if (static_cast<int64_t>(dirty_vpages_.size()) >= DirtyLimit()) {
+    // Bulk churn: a drain would cost as much as the rescan it avoids.
+    for (const VpageEvent& ev : dirty_vpages_) {
+      processes_[ev.pid].vpage_dirty[ev.vpn] = 0;
+    }
+    dirty_vpages_.clear();
+    dirty_overflow_ = true;
+    return;
+  }
+  proc.vpage_dirty[vpn] = 1;
+  dirty_vpages_.push_back({pid, vpn});
+}
+
+bool GuestOs::DrainDirtyVpages(std::vector<VpageEvent>* out) {
+  const bool complete = !dirty_overflow_;
+  for (const VpageEvent& ev : dirty_vpages_) {
+    processes_[ev.pid].vpage_dirty[ev.vpn] = 0;
+    out->push_back(ev);
+  }
+  dirty_vpages_.clear();
+  dirty_overflow_ = false;
+  return complete;
+}
+
+bool GuestOs::VpageOfPfn(Pfn pfn, int* pid, Vpn* vpn) const {
+  if (pfn < 0 || pfn >= static_cast<Pfn>(pfn_owner_.size())) {
+    return false;
+  }
+  const VpageEvent& owner = pfn_owner_[pfn];
+  if (owner.pid < 0) {
+    return false;
+  }
+  *pid = owner.pid;
+  *vpn = owner.vpn;
+  return true;
 }
 
 Pfn GuestOs::AllocPhysPage() {
@@ -47,6 +100,7 @@ TouchResult GuestOs::TouchPage(int pid, Vpn vpn, CpuId cpu) {
     // and maps the virtual page to a physical page from its free list.
     pfn = AllocPhysPage();
     proc.vpage_to_pfn[vpn] = pfn;
+    pfn_owner_[pfn] = {pid, vpn};
     result.guest_alloc = true;
     ++stats_.guest_minor_faults;
   }
@@ -60,6 +114,9 @@ TouchResult GuestOs::TouchPage(int pid, Vpn vpn, CpuId cpu) {
   } else {
     result.node = be.NodeOf(pfn);
   }
+  if (result.guest_alloc || result.hv_fault) {
+    MarkVpageDirty(pid, vpn);
+  }
   return result;
 }
 
@@ -72,6 +129,8 @@ void GuestOs::ReleasePage(int pid, Vpn vpn) {
     return;
   }
   proc.vpage_to_pfn[vpn] = kInvalidPfn;
+  pfn_owner_[pfn] = VpageEvent{};
+  MarkVpageDirty(pid, vpn);
   if (options_.zero_on_free) {
     ++stats_.pages_zeroed;
   }

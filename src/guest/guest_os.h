@@ -82,12 +82,36 @@ class GuestOs {
   PvPageQueue& pv_queue() { return *queue_; }
   const GuestOsStats& stats() const { return stats_; }
 
+  // ---- Incremental placement tracking (simulator hot path). ----
+  // One virtual page whose vpn->pfn mapping changed since the last drain.
+  struct VpageEvent {
+    int pid = -1;
+    Vpn vpn = 0;
+  };
+
+  // Monotonically increasing counter, bumped whenever a vpn->pfn mapping
+  // changes (lazy allocation, release, hypervisor fault resolution).
+  uint64_t placement_generation() const { return placement_generation_; }
+
+  // Appends every changed vpage since the last drain and clears the set.
+  // Returns false when the tracker overflowed (bulk churn): the set is
+  // empty in that case and the caller must rescan its address ranges.
+  bool DrainDirtyVpages(std::vector<VpageEvent>* out);
+
+  // Reverse of PfnOfVpage: the vpage currently backed by `pfn`, if any.
+  // Lets a consumer holding hypervisor-side pfn events find the affected
+  // virtual page without scanning address spaces.
+  bool VpageOfPfn(Pfn pfn, int* pid, Vpn* vpn) const;
+
  private:
   struct Process {
     std::vector<Pfn> vpage_to_pfn;  // kInvalidPfn when unmapped
+    std::vector<uint8_t> vpage_dirty;  // dedup bitmap for the dirty set
   };
 
   Pfn AllocPhysPage();
+  void MarkVpageDirty(int pid, Vpn vpn);
+  int64_t DirtyLimit() const;
 
   Hypervisor* hv_;
   DomainId domain_;
@@ -96,6 +120,12 @@ class GuestOs {
   std::deque<Pfn> free_list_;  // LIFO: recently freed pages are reused first
   std::unique_ptr<PvPageQueue> queue_;
   GuestOsStats stats_;
+
+  uint64_t placement_generation_ = 0;
+  std::vector<VpageEvent> dirty_vpages_;
+  bool dirty_overflow_ = false;
+  int64_t total_vpages_ = 0;
+  std::vector<VpageEvent> pfn_owner_;  // [domain pages], pid < 0 when free
 };
 
 }  // namespace xnuma

@@ -1,11 +1,54 @@
 #include "src/hv/hv_backend.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace xnuma {
 
 HvPlacementBackend::HvPlacementBackend(Domain& domain, FrameAllocator& frames)
-    : domain_(&domain), frames_(&frames) {}
+    : domain_(&domain), frames_(&frames) {
+  dirty_flag_.assign(domain.memory_pages(), 0);
+}
+
+int64_t HvPlacementBackend::DirtyLimit() const {
+  // Past this point a drain would cost as much as the rescan it is meant to
+  // avoid; degrade to "everything changed".
+  return std::max<int64_t>(4096, num_pages() / 4);
+}
+
+void HvPlacementBackend::MarkDirty(Pfn pfn) {
+  ++placement_generation_;
+  if (dirty_overflow_ || dirty_flag_[pfn] != 0) {
+    return;
+  }
+  if (static_cast<int64_t>(dirty_pfns_.size()) >= DirtyLimit()) {
+    MarkAllDirty();
+    return;
+  }
+  dirty_flag_[pfn] = 1;
+  dirty_pfns_.push_back(pfn);
+}
+
+void HvPlacementBackend::MarkAllDirty() {
+  ++placement_generation_;
+  for (Pfn pfn : dirty_pfns_) {
+    dirty_flag_[pfn] = 0;
+  }
+  dirty_pfns_.clear();
+  dirty_overflow_ = true;
+}
+
+bool HvPlacementBackend::DrainDirtyPfns(std::vector<Pfn>* out) {
+  const bool complete = !dirty_overflow_;
+  for (Pfn pfn : dirty_pfns_) {
+    dirty_flag_[pfn] = 0;
+    out->push_back(pfn);
+  }
+  dirty_pfns_.clear();
+  dirty_overflow_ = false;
+  return complete;
+}
 
 int64_t HvPlacementBackend::num_pages() const { return domain_->memory_pages(); }
 
@@ -29,6 +72,7 @@ bool HvPlacementBackend::MapOnNode(Pfn pfn, NodeId node) {
     return false;
   }
   domain_->p2m().Map(pfn, mfn);
+  MarkDirty(pfn);
   return true;
 }
 
@@ -46,6 +90,13 @@ bool HvPlacementBackend::MapRangeOnNode(Pfn first, int64_t count, NodeId node) {
   }
   for (int64_t k = 0; k < count; ++k) {
     domain_->p2m().Map(first + k, base + k);
+  }
+  if (count >= DirtyLimit()) {
+    MarkAllDirty();  // bulk placement: cheaper to signal a full rescan
+  } else {
+    for (int64_t k = 0; k < count; ++k) {
+      MarkDirty(first + k);
+    }
   }
   return true;
 }
@@ -75,6 +126,7 @@ bool HvPlacementBackend::Replicate(Pfn pfn) {
   p2m.WriteProtect(pfn);
   domain_->mutable_replicas()[pfn] = std::move(replicas);
   ++domain_->stats().pages_replicated;
+  MarkDirty(pfn);
   return true;
 }
 
@@ -91,6 +143,7 @@ void HvPlacementBackend::CollapseReplicas(Pfn pfn) {
     domain_->p2m().WriteUnprotect(pfn);
   }
   ++domain_->stats().replicas_collapsed;
+  MarkDirty(pfn);
 }
 
 bool HvPlacementBackend::IsReplicated(Pfn pfn) const { return domain_->IsReplicated(pfn); }
@@ -124,6 +177,7 @@ bool HvPlacementBackend::Migrate(Pfn pfn, NodeId node) {
   window_.bytes += frames_->bytes_per_frame();
   ++domain_->stats().pages_migrated;
   domain_->stats().bytes_migrated += frames_->bytes_per_frame();
+  MarkDirty(pfn);
   return true;
 }
 
@@ -134,6 +188,7 @@ void HvPlacementBackend::Invalidate(Pfn pfn) {
   }
   CollapseReplicas(pfn);
   frames_->Free(p2m.Unmap(pfn));
+  MarkDirty(pfn);
 }
 
 int64_t HvPlacementBackend::FreeFramesOnNode(NodeId node) const {

@@ -47,10 +47,31 @@ class HvPlacementBackend : public PlacementBackend {
   };
   MigrationWindow DrainMigrationWindow();
 
+  // ---- Incremental placement tracking (simulator hot path). ----
+  // Monotonically increasing counter, bumped on every placement mutation
+  // (map, migrate, invalidate, replicate, collapse). A consumer that cached
+  // placement state can compare generations to detect staleness cheaply.
+  uint64_t placement_generation() const { return placement_generation_; }
+
+  // Appends every pfn whose placement changed since the last drain and
+  // clears the set. Returns false when the tracker overflowed (a bulk
+  // change such as an eager-policy re-initialization): the set is empty in
+  // that case and the caller must rescan the whole address space.
+  bool DrainDirtyPfns(std::vector<Pfn>* out);
+
  private:
+  void MarkDirty(Pfn pfn);
+  void MarkAllDirty();
+  int64_t DirtyLimit() const;
+
   Domain* domain_;
   FrameAllocator* frames_;
   MigrationWindow window_;
+
+  uint64_t placement_generation_ = 0;
+  std::vector<Pfn> dirty_pfns_;
+  std::vector<uint8_t> dirty_flag_;  // [num_pages] dedup bitmap
+  bool dirty_overflow_ = false;
 };
 
 }  // namespace xnuma

@@ -19,8 +19,23 @@ constexpr double kTouchCostSeconds = 0.2e-6;
 constexpr double kQueueAppendSeconds = 0.1e-6;
 }  // namespace
 
+// Cached placement of one simulated page, as last read from the guest
+// vpn->pfn table and the hypervisor P2M. The epoch loop updates entries only
+// for pages named in the drained dirty sets.
+struct Engine::PagePlacement {
+  Pfn pfn = kInvalidPfn;       // guest physical page backing the vpage
+  NodeId node = kInvalidNode;  // node backing the pfn (unreplicated pages)
+  bool mapped = false;         // P2M entry valid
+  bool replicated = false;     // served locally on every node (§3.4)
+
+  bool operator==(const PagePlacement&) const = default;
+};
+
 // Placement mass of one region: per-node and per-slice-per-node weighted
-// page counts, refreshed each epoch from the live P2M state.
+// page counts. Kept as exact integer page counts (every page of a region
+// weighs either w_hot or w_cold), so incremental add/subtract updates are
+// order-independent and bit-identical to a from-scratch rescan; the double
+// masses the solver consumes are derived from the counts on demand.
 struct Engine::RegionState {
   const RegionSpec* spec = nullptr;
   Vpn first_vpn = 0;
@@ -37,6 +52,69 @@ struct Engine::RegionState {
   double replicated_mass = 0.0;
   std::vector<std::vector<double>> slice_mass;  // [threads][nodes]
   std::vector<double> slice_total;              // [threads]
+
+  // Integer page-count aggregates behind the derived masses above.
+  struct Counts {
+    std::vector<int64_t> hot_by_node;                // [nodes]
+    std::vector<int64_t> cold_by_node;               // [nodes]
+    std::vector<std::vector<int64_t>> slice_hot;     // [threads][nodes]
+    std::vector<std::vector<int64_t>> slice_cold;    // [threads][nodes]
+    std::vector<int64_t> slice_hot_total;            // [threads]
+    std::vector<int64_t> slice_cold_total;           // [threads]
+    int64_t hot_total = 0;
+    int64_t cold_total = 0;
+    int64_t rep_hot = 0;
+    int64_t rep_cold = 0;
+
+    bool operator==(const Counts&) const = default;
+
+    void Init(int threads, int nodes) {
+      hot_by_node.assign(nodes, 0);
+      cold_by_node.assign(nodes, 0);
+      slice_hot.assign(threads, std::vector<int64_t>(nodes, 0));
+      slice_cold.assign(threads, std::vector<int64_t>(nodes, 0));
+      slice_hot_total.assign(threads, 0);
+      slice_cold_total.assign(threads, 0);
+      hot_total = cold_total = rep_hot = rep_cold = 0;
+    }
+
+    void Zero() {
+      std::fill(hot_by_node.begin(), hot_by_node.end(), 0);
+      std::fill(cold_by_node.begin(), cold_by_node.end(), 0);
+      for (auto& row : slice_hot) {
+        std::fill(row.begin(), row.end(), 0);
+      }
+      for (auto& row : slice_cold) {
+        std::fill(row.begin(), row.end(), 0);
+      }
+      std::fill(slice_hot_total.begin(), slice_hot_total.end(), 0);
+      std::fill(slice_cold_total.begin(), slice_cold_total.end(), 0);
+      hot_total = cold_total = rep_hot = rep_cold = 0;
+    }
+
+    void Apply(const PagePlacement& page, bool hot, int64_t slice, int64_t sign) {
+      if (!page.mapped) {
+        return;
+      }
+      if (page.replicated) {
+        (hot ? rep_hot : rep_cold) += sign;
+        return;
+      }
+      if (hot) {
+        hot_by_node[page.node] += sign;
+        hot_total += sign;
+        slice_hot[slice][page.node] += sign;
+        slice_hot_total[slice] += sign;
+      } else {
+        cold_by_node[page.node] += sign;
+        cold_total += sign;
+        slice_cold[slice][page.node] += sign;
+        slice_cold_total[slice] += sign;
+      }
+    }
+  };
+  Counts counts;
+  std::vector<PagePlacement> page_cache;  // [pages]
 
   bool IsHot(int64_t idx) const {
     return idx % hot_stride == 0 && idx / hot_stride < hot_count;
@@ -103,6 +181,15 @@ struct Engine::JobState {
 
   int shared_region = 0;   // index of the DMA buffer region
   int private_region = 1;  // index of the churn target region
+
+  // ---- Incremental placement state. ----
+  // Vpns drained from the guest/backend dirty sets, awaiting re-read.
+  std::vector<Vpn> pending_dirty;
+  // First refresh, or a dirty-set overflow: rescan every region page.
+  bool needs_full_rescan = true;
+  // Counts changed since the double masses were last derived from them.
+  bool masses_stale = true;
+  int64_t refresh_count = 0;
 };
 
 int64_t RegionSimPages(const RegionSpec& region, int64_t bytes_per_frame,
@@ -127,11 +214,36 @@ Engine::Engine(Hypervisor& hv, const LatencyModel& latency, EngineConfig config)
       config_(config),
       rng_(config.seed),
       counters_(hv.topology()) {
-  const int nodes = hv.topology().num_nodes();
+  const Topology& topo = hv.topology();
+  const int nodes = topo.num_nodes();
   mc_util_.assign(nodes, 0.0);
-  link_util_.assign(hv.topology().num_links(), 0.0);
+  link_util_.assign(topo.num_links(), 0.0);
   traffic_.assign(nodes, std::vector<double>(nodes, 0.0));
   dma_bytes_per_node_.assign(nodes, 0.0);
+  mc_scratch_.assign(nodes, 0.0);
+  link_scratch_.assign(topo.num_links(), 0.0);
+  cpu_sharers_.assign(topo.num_cpus(), 0);
+  // Flatten the all-shortest-paths table once; the solver's inner loops walk
+  // this index instead of the nested Routes() vectors.
+  route_pairs_.resize(static_cast<size_t>(nodes) * nodes);
+  for (NodeId s = 0; s < nodes; ++s) {
+    for (NodeId d = 0; d < nodes; ++d) {
+      RoutePair& pair = route_pairs_[static_cast<size_t>(s) * nodes + d];
+      const auto& paths = topo.Routes(s, d);
+      pair.first_path = static_cast<int32_t>(route_paths_.size());
+      pair.num_paths = static_cast<int32_t>(paths.size());
+      for (const auto& path : paths) {
+        RoutePath rp;
+        rp.first_link = static_cast<int32_t>(route_links_.size());
+        rp.num_links = static_cast<int32_t>(path.size());
+        route_paths_.push_back(rp);
+        route_links_.insert(route_links_.end(), path.begin(), path.end());
+      }
+    }
+  }
+  if (const char* verify = getenv("XNUMA_VERIFY_PLACEMENT_CACHE"); verify != nullptr) {
+    verify_cache_period_ = std::max(0, atoi(verify));
+  }
   carrefour_system_ = std::make_unique<CarrefourSystemComponent>(hv, counters_, *this);
   carrefour_user_ =
       std::make_unique<CarrefourUserComponent>(*carrefour_system_, config_.carrefour, config.seed);
@@ -175,6 +287,8 @@ int Engine::AddJob(const JobSpec& spec) {
     region.node_mass.assign(topo.num_nodes(), 0.0);
     region.slice_mass.assign(spec.threads, std::vector<double>(topo.num_nodes(), 0.0));
     region.slice_total.assign(spec.threads, 0.0);
+    region.counts.Init(spec.threads, topo.num_nodes());
+    region.page_cache.assign(region.pages, PagePlacement{});
     if (rs.init == AllocPattern::kMasterInit) {
       // The DMA buffer lives in the biggest master-initialized region (the
       // streamed bulk data).
@@ -188,6 +302,7 @@ int Engine::AddJob(const JobSpec& spec) {
     job->regions.push_back(std::move(region));
   }
   job->pid = spec.guest->CreateProcess(next_vpn);
+  job_by_guest_pid_[{spec.guest, job->pid}] = job->job_id;
 
   const Domain& dom = hv_->domain(spec.domain);
   job->threads.resize(spec.threads);
@@ -248,35 +363,261 @@ void Engine::InitJob(JobState& job) {
   job.init_seconds = master_seconds + max_owner;
 }
 
-void Engine::RefreshPlacementTables(JobState& job) {
-  const GuestOs& guest = *job.spec.guest;
-  HvPlacementBackend& be = hv_->backend(job.spec.domain);
-  for (RegionState& region : job.regions) {
-    std::fill(region.node_mass.begin(), region.node_mass.end(), 0.0);
-    for (auto& row : region.slice_mass) {
-      std::fill(row.begin(), row.end(), 0.0);
-    }
-    std::fill(region.slice_total.begin(), region.slice_total.end(), 0.0);
-    region.total_mass = 0.0;
-    region.replicated_mass = 0.0;
-    for (int64_t idx = 0; idx < region.pages; ++idx) {
-      const Pfn pfn = guest.PfnOfVpage(job.pid, region.first_vpn + idx);
-      if (pfn == kInvalidPfn || !be.IsMapped(pfn)) {
-        continue;  // Released and not yet retouched.
-      }
-      const double w = region.Weight(idx);
-      if (be.IsReplicated(pfn)) {
-        region.replicated_mass += w;
-        continue;
-      }
-      const NodeId node = be.NodeOf(pfn);
-      const int64_t slice = region.SliceOf(idx, job.spec.threads);
-      region.node_mass[node] += w;
-      region.total_mass += w;
-      region.slice_mass[slice][node] += w;
-      region.slice_total[slice] += w;
+Engine::PagePlacement Engine::ReadPagePlacement(const JobState& job, Vpn vpn) const {
+  PagePlacement page;
+  page.pfn = job.spec.guest->PfnOfVpage(job.pid, vpn);
+  if (page.pfn == kInvalidPfn) {
+    return page;
+  }
+  const HvPlacementBackend& be = hv_->backend(job.spec.domain);
+  if (!be.IsMapped(page.pfn)) {
+    return page;  // Released and not yet retouched.
+  }
+  page.mapped = true;
+  if (be.IsReplicated(page.pfn)) {
+    page.replicated = true;
+    return page;
+  }
+  page.node = be.NodeOf(page.pfn);
+  return page;
+}
+
+void Engine::FullRescanRegion(const JobState& job, RegionState& region) {
+  region.counts.Zero();
+  for (int64_t idx = 0; idx < region.pages; ++idx) {
+    const PagePlacement page = ReadPagePlacement(job, region.first_vpn + idx);
+    region.page_cache[idx] = page;
+    region.counts.Apply(page, region.IsHot(idx), region.SliceOf(idx, job.spec.threads), +1);
+  }
+}
+
+void Engine::ApplyPageDelta(JobState& job, Vpn vpn) {
+  RegionState* region = nullptr;
+  for (RegionState& r : job.regions) {
+    if (vpn >= r.first_vpn && vpn < r.first_vpn + r.pages) {
+      region = &r;
+      break;
     }
   }
+  if (region == nullptr) {
+    return;  // vpn outside any simulated region
+  }
+  const int64_t idx = vpn - region->first_vpn;
+  const PagePlacement current = ReadPagePlacement(job, vpn);
+  PagePlacement& cached = region->page_cache[idx];
+  if (cached == current) {
+    return;
+  }
+  const bool hot = region->IsHot(idx);
+  const int64_t slice = region->SliceOf(idx, job.spec.threads);
+  region->counts.Apply(cached, hot, slice, -1);
+  region->counts.Apply(current, hot, slice, +1);
+  cached = current;
+  job.masses_stale = true;
+}
+
+void Engine::DeriveRegionMasses(JobState& job) {
+  const int nodes = hv_->topology().num_nodes();
+  for (RegionState& region : job.regions) {
+    const RegionState::Counts& c = region.counts;
+    const double wh = region.w_hot;
+    const double wc = region.w_cold;
+    for (NodeId n = 0; n < nodes; ++n) {
+      region.node_mass[n] = c.hot_by_node[n] * wh + c.cold_by_node[n] * wc;
+    }
+    region.total_mass = c.hot_total * wh + c.cold_total * wc;
+    region.replicated_mass = c.rep_hot * wh + c.rep_cold * wc;
+    for (int t = 0; t < job.spec.threads; ++t) {
+      for (NodeId n = 0; n < nodes; ++n) {
+        region.slice_mass[t][n] = c.slice_hot[t][n] * wh + c.slice_cold[t][n] * wc;
+      }
+      region.slice_total[t] = c.slice_hot_total[t] * wh + c.slice_cold_total[t] * wc;
+    }
+  }
+}
+
+void Engine::DrainPlacementEvents() {
+  if (!config_.incremental_placement) {
+    return;
+  }
+  // Guest-side events name the affected vpage directly.
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    GuestOs* guest = jobs_[i]->spec.guest;
+    bool first = true;
+    for (size_t j = 0; j < i; ++j) {
+      if (jobs_[j]->spec.guest == guest) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) {
+      continue;  // this guest was already drained via an earlier job
+    }
+    vpage_event_scratch_.clear();
+    if (!guest->DrainDirtyVpages(&vpage_event_scratch_)) {
+      for (auto& jptr : jobs_) {
+        if (jptr->spec.guest == guest) {
+          jptr->needs_full_rescan = true;
+        }
+      }
+      continue;
+    }
+    for (const GuestOs::VpageEvent& ev : vpage_event_scratch_) {
+      const auto it = job_by_guest_pid_.find({guest, ev.pid});
+      if (it == job_by_guest_pid_.end()) {
+        continue;
+      }
+      JobState& job = *jobs_[it->second];
+      if (job.finished || job.needs_full_rescan) {
+        continue;
+      }
+      job.pending_dirty.push_back(ev.vpn);
+    }
+  }
+  // Hypervisor-side events name a pfn (migration, replication, invalidation);
+  // translate through the owning vpage. A pfn with no owner was released, and
+  // the release already produced a guest-side event for its old vpage.
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    const DomainId dom = jobs_[i]->spec.domain;
+    bool first = true;
+    for (size_t j = 0; j < i; ++j) {
+      if (jobs_[j]->spec.domain == dom) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) {
+      continue;
+    }
+    pfn_event_scratch_.clear();
+    if (!hv_->backend(dom).DrainDirtyPfns(&pfn_event_scratch_)) {
+      for (auto& jptr : jobs_) {
+        if (jptr->spec.domain == dom) {
+          jptr->needs_full_rescan = true;
+        }
+      }
+      continue;
+    }
+    for (size_t gi = 0; gi < jobs_.size(); ++gi) {
+      if (jobs_[gi]->spec.domain != dom) {
+        continue;
+      }
+      GuestOs* guest = jobs_[gi]->spec.guest;
+      bool first_guest = true;
+      for (size_t gj = 0; gj < gi; ++gj) {
+        if (jobs_[gj]->spec.domain == dom && jobs_[gj]->spec.guest == guest) {
+          first_guest = false;
+          break;
+        }
+      }
+      if (!first_guest) {
+        continue;
+      }
+      int pid = -1;
+      Vpn vpn = 0;
+      for (Pfn pfn : pfn_event_scratch_) {
+        if (!guest->VpageOfPfn(pfn, &pid, &vpn)) {
+          continue;
+        }
+        const auto it = job_by_guest_pid_.find({guest, pid});
+        if (it == job_by_guest_pid_.end()) {
+          continue;
+        }
+        JobState& job = *jobs_[it->second];
+        if (job.finished || job.needs_full_rescan) {
+          continue;
+        }
+        job.pending_dirty.push_back(vpn);
+      }
+    }
+  }
+}
+
+void Engine::RefreshPlacementTables(JobState& job) {
+  if (!config_.incremental_placement || job.needs_full_rescan) {
+    for (RegionState& region : job.regions) {
+      FullRescanRegion(job, region);
+    }
+    job.pending_dirty.clear();
+    job.needs_full_rescan = false;
+    job.masses_stale = true;
+  } else {
+    for (Vpn vpn : job.pending_dirty) {
+      ApplyPageDelta(job, vpn);
+    }
+    job.pending_dirty.clear();
+  }
+  if (job.masses_stale) {
+    DeriveRegionMasses(job);
+    job.masses_stale = false;
+  }
+  ++job.refresh_count;
+  if (verify_cache_period_ > 0 && job.refresh_count % verify_cache_period_ == 0) {
+    XNUMA_CHECK(VerifyPlacementCache(job));
+  }
+}
+
+bool Engine::VerifyPlacementCache(const JobState& job) {
+  const int nodes = hv_->topology().num_nodes();
+  for (const RegionState& region : job.regions) {
+    RegionState::Counts scratch;
+    scratch.Init(job.spec.threads, nodes);
+    for (int64_t idx = 0; idx < region.pages; ++idx) {
+      const PagePlacement page = ReadPagePlacement(job, region.first_vpn + idx);
+      if (!(page == region.page_cache[idx])) {
+        return false;
+      }
+      scratch.Apply(page, region.IsHot(idx), region.SliceOf(idx, job.spec.threads), +1);
+    }
+    if (!(scratch == region.counts)) {
+      return false;
+    }
+    // The derived masses must be exactly what the scratch counts produce.
+    for (NodeId n = 0; n < nodes; ++n) {
+      if (region.node_mass[n] != scratch.hot_by_node[n] * region.w_hot +
+                                     scratch.cold_by_node[n] * region.w_cold) {
+        return false;
+      }
+    }
+    if (region.total_mass != scratch.hot_total * region.w_hot + scratch.cold_total * region.w_cold) {
+      return false;
+    }
+    if (region.replicated_mass !=
+        scratch.rep_hot * region.w_hot + scratch.rep_cold * region.w_cold) {
+      return false;
+    }
+    for (int t = 0; t < job.spec.threads; ++t) {
+      for (NodeId n = 0; n < nodes; ++n) {
+        if (region.slice_mass[t][n] != scratch.slice_hot[t][n] * region.w_hot +
+                                           scratch.slice_cold[t][n] * region.w_cold) {
+          return false;
+        }
+      }
+      if (region.slice_total[t] != scratch.slice_hot_total[t] * region.w_hot +
+                                       scratch.slice_cold_total[t] * region.w_cold) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Engine::DebugRefreshPlacement() {
+  DrainPlacementEvents();
+  for (auto& jptr : jobs_) {
+    if (!jptr->finished) {
+      RefreshPlacementTables(*jptr);
+    }
+  }
+}
+
+bool Engine::DebugVerifyPlacementCache() {
+  for (auto& jptr : jobs_) {
+    if (!jptr->finished && !VerifyPlacementCache(*jptr)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void Engine::ComputeAccessDistributions(JobState& job) {
@@ -328,31 +669,39 @@ void Engine::ComputeAccessDistributions(JobState& job) {
 double Engine::PathLinkUtil(NodeId src, NodeId dst) const {
   // Traffic splits evenly over equal-cost paths; the experienced link
   // congestion is the average over paths of the hottest link on each.
-  const auto& paths = hv_->topology().Routes(src, dst);
+  const int nodes = hv_->topology().num_nodes();
+  const RoutePair& pair = route_pairs_[static_cast<size_t>(src) * nodes + dst];
   double total = 0.0;
-  for (const auto& path : paths) {
+  for (int32_t p = 0; p < pair.num_paths; ++p) {
+    const RoutePath& path = route_paths_[pair.first_path + p];
     double worst = 0.0;
-    for (LinkId l : path) {
-      worst = std::max(worst, link_util_[l]);
+    for (int32_t k = 0; k < path.num_links; ++k) {
+      worst = std::max(worst, link_util_[route_links_[path.first_link + k]]);
     }
     total += worst;
   }
-  return total / static_cast<double>(paths.size());
+  return total / static_cast<double>(pair.num_paths);
 }
 
-double Engine::CpuShare(const JobState& job, CpuId cpu) const {
-  int sharers = 0;
-  for (const auto& other : jobs_) {
-    if (other->finished) {
+void Engine::ComputeCpuSharers() {
+  // Sharer counts only change when threads finish or jobs start/stop, which
+  // happens between epochs — one pass here replaces a jobs x threads rescan
+  // per thread per solver iteration.
+  std::fill(cpu_sharers_.begin(), cpu_sharers_.end(), 0);
+  for (const auto& jptr : jobs_) {
+    if (jptr->finished) {
       continue;
     }
-    for (const ThreadState& th : other->threads) {
-      if (!th.done && th.cpu == cpu) {
-        ++sharers;
+    for (const ThreadState& th : jptr->threads) {
+      if (!th.done) {
+        ++cpu_sharers_[th.cpu];
       }
     }
   }
-  (void)job;
+}
+
+double Engine::CpuShare(CpuId cpu) const {
+  const int sharers = cpu_sharers_[cpu];
   return sharers <= 1 ? 1.0 : 1.0 / sharers;
 }
 
@@ -374,6 +723,8 @@ void Engine::SolveUtilizationFixedPoint(double dt) {
   const int nodes = topo.num_nodes();
   const LatencyParams& lp = latency_->params();
 
+  ComputeCpuSharers();
+  last_fixed_point_iterations_ = 0;
   for (int iter = 0; iter < config_.fixed_point_iterations; ++iter) {
     // Rates from current utilizations.
     for (auto& jptr : jobs_) {
@@ -400,7 +751,7 @@ void Engine::SolveUtilizationFixedPoint(double dt) {
         // other outstanding accesses; the visible stall per access shrinks.
         const double service_cycles =
             job.spec.app->cpu_cycles_per_access + lat / job.spec.app->mlp;
-        const double share = CpuShare(job, th.cpu);
+        const double share = CpuShare(th.cpu);
         th.rate = share * topo.cpu_hz() / service_cycles;
       }
     }
@@ -437,7 +788,8 @@ void Engine::SolveUtilizationFixedPoint(double dt) {
       }
     }
 
-    std::vector<double> mc_new(nodes, 0.0);
+    std::vector<double>& mc_new = mc_scratch_;
+    mc_new.assign(nodes, 0.0);
     for (NodeId n = 0; n < nodes; ++n) {
       double demand_bytes = dma_bytes_per_node_[n];
       for (NodeId src = 0; src < nodes; ++src) {
@@ -447,14 +799,16 @@ void Engine::SolveUtilizationFixedPoint(double dt) {
       mc_new[n] = demand_bytes / capacity;
     }
 
-    std::vector<double> link_new(topo.num_links(), 0.0);
+    std::vector<double>& link_new = link_scratch_;
+    link_new.assign(topo.num_links(), 0.0);
     const NodeId disk_node = 6 < nodes ? 6 : nodes - 1;  // benchmark-data disk bus (§5.1)
     auto spread = [&](NodeId s, NodeId d, double bytes) {
-      const auto& paths = topo.Routes(s, d);
-      const double share = bytes / static_cast<double>(paths.size());
-      for (const auto& path : paths) {
-        for (LinkId l : path) {
-          link_new[l] += share;
+      const RoutePair& pair = route_pairs_[static_cast<size_t>(s) * nodes + d];
+      const double share = bytes / static_cast<double>(pair.num_paths);
+      for (int32_t p = 0; p < pair.num_paths; ++p) {
+        const RoutePath& path = route_paths_[pair.first_path + p];
+        for (int32_t k = 0; k < path.num_links; ++k) {
+          link_new[route_links_[path.first_link + k]] += share;
         }
       }
     };
@@ -481,13 +835,23 @@ void Engine::SolveUtilizationFixedPoint(double dt) {
     }
 
     const double damp = config_.utilization_damping;
+    double max_delta = 0.0;
     for (NodeId n = 0; n < nodes; ++n) {
-      mc_util_[n] = (1.0 - damp) * mc_util_[n] + damp * mc_new[n];
+      const double updated = (1.0 - damp) * mc_util_[n] + damp * mc_new[n];
+      max_delta = std::max(max_delta, std::fabs(updated - mc_util_[n]));
+      mc_util_[n] = updated;
     }
     for (LinkId l = 0; l < topo.num_links(); ++l) {
-      link_util_[l] = (1.0 - damp) * link_util_[l] + damp * link_new[l];
+      const double updated = (1.0 - damp) * link_util_[l] + damp * link_new[l];
+      max_delta = std::max(max_delta, std::fabs(updated - link_util_[l]));
+      link_util_[l] = updated;
+    }
+    last_fixed_point_iterations_ = iter + 1;
+    if (config_.fixed_point_tolerance > 0.0 && max_delta <= config_.fixed_point_tolerance) {
+      break;  // converged: further iterations would change nothing material
     }
   }
+  fixed_point_iterations_total_ += last_fixed_point_iterations_;
 }
 
 void Engine::AdvanceProgress(JobState& job, double dt, double now) {
@@ -696,7 +1060,6 @@ void Engine::TickCarrefour(double now) {
 void Engine::AccumulatePageRates(const JobState& job,
                                  std::vector<PageAccessSample>* out) const {
   const int nodes = hv_->topology().num_nodes();
-  const GuestOs& guest = *job.spec.guest;
 
   for (const RegionState& region : job.regions) {
     const double share = region.spec->access_share;
@@ -721,15 +1084,15 @@ void Engine::AccumulatePageRates(const JobState& job,
     }
 
     for (int64_t idx = 0; idx < region.pages; ++idx) {
-      const Pfn pfn = guest.PfnOfVpage(job.pid, region.first_vpn + idx);
-      if (pfn == kInvalidPfn || hv_->backend(job.spec.domain).IsReplicated(pfn)) {
+      const PagePlacement& page = region.page_cache[idx];
+      if (page.pfn == kInvalidPfn || page.replicated) {
         continue;  // replicated pages are already local everywhere
       }
       const double w = region.Weight(idx);
       const int64_t slice = region.SliceOf(idx, job.spec.threads);
       PageAccessSample sample;
       sample.domain = job.spec.domain;
-      sample.pfn = pfn;
+      sample.pfn = page.pfn;
       sample.rate_by_node.assign(nodes, 0.0);
       for (NodeId n = 0; n < nodes; ++n) {
         sample.rate_by_node[n] = uniform_by_node[n] * w / region.total_mass;
@@ -746,9 +1109,14 @@ void Engine::AccumulatePageRates(const JobState& job,
 
 void Engine::SampleHotPages(DomainId domain, int max_pages,
                             std::vector<PageAccessSample>* out) {
-  std::vector<PageAccessSample> candidates;
+  // Carrefour samples mid-epoch, after churn/migrations may have moved
+  // pages; bring the placement cache up to the live state first.
+  DrainPlacementEvents();
+  std::vector<PageAccessSample>& candidates = sample_scratch_;
+  candidates.clear();
   for (const auto& jptr : jobs_) {
     if (jptr->spec.domain == domain && !jptr->finished) {
+      RefreshPlacementTables(*jptr);
       AccumulatePageRates(*jptr, &candidates);
     }
   }
@@ -767,6 +1135,7 @@ void Engine::SampleHotPages(DomainId domain, int max_pages,
   for (PageAccessSample& s : candidates) {
     out->push_back(std::move(s));
   }
+  candidates.clear();
 }
 
 void Engine::TickScheduler(double now) {
@@ -865,6 +1234,7 @@ RunResult Engine::Run() {
       break;
     }
 
+    DrainPlacementEvents();
     for (auto& job : jobs_) {
       if (job->finished) {
         continue;
@@ -875,6 +1245,7 @@ RunResult Engine::Run() {
     }
 
     SolveUtilizationFixedPoint(dt);
+    ++epochs_run_;
 
     // Commit the hardware counters for this epoch.
     TrafficSnapshot snapshot;

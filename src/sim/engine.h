@@ -20,8 +20,10 @@
 #ifndef XENNUMA_SRC_SIM_ENGINE_H_
 #define XENNUMA_SRC_SIM_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/autopolicy/auto_selector.h"
@@ -50,6 +52,16 @@ struct EngineConfig {
   // Picard iteration needs damping < 2/(1+|d'|) to contract.
   int fixed_point_iterations = 24;
   double utilization_damping = 0.15;
+  // Early exit for the Picard iteration: stop once the largest per-iteration
+  // utilization change (controllers and links) drops below this tolerance.
+  // 0 keeps the fixed iteration count — bit-identical legacy behavior.
+  double fixed_point_tolerance = 0.0;
+  // Event-driven placement refresh (the default): the engine keeps per-page
+  // placement and mass aggregates incrementally from the backend/guest dirty
+  // sets. When false it rescans every page of every region each epoch — the
+  // pre-cache behavior, kept as the measurable baseline for
+  // bench/micro_engine_epoch. Both paths compute identical values.
+  bool incremental_placement = true;
   double max_sim_seconds = 600.0;
   uint64_t seed = 7;
 
@@ -160,14 +172,37 @@ class Engine : public PageAccessSource {
     scheduler_period_s_ = period_s;
   }
 
+  // Picard iterations consumed by the most recent fixed-point solve, and the
+  // running total / epoch count over the whole run (early-exit telemetry).
+  int last_fixed_point_iterations() const { return last_fixed_point_iterations_; }
+  int64_t fixed_point_iterations_total() const { return fixed_point_iterations_total_; }
+  int64_t epochs_run() const { return epochs_run_; }
+
+  // ---- Placement-cache test hooks. ----
+  // Drains pending placement events and refreshes every unfinished job's
+  // placement tables, exactly as the epoch loop does.
+  void DebugRefreshPlacement();
+  // Cross-checks every job's incremental aggregates and per-page cache
+  // against a from-scratch rescan; true when they match exactly. Call after
+  // DebugRefreshPlacement (pending events are not part of the contract).
+  bool DebugVerifyPlacementCache();
+
  private:
   struct RegionState;
   struct ThreadState;
   struct JobState;
+  struct PagePlacement;
 
   void InitJob(JobState& job);
+  void DrainPlacementEvents();
   void RefreshPlacementTables(JobState& job);
+  void FullRescanRegion(const JobState& job, RegionState& region);
+  void ApplyPageDelta(JobState& job, Vpn vpn);
+  void DeriveRegionMasses(JobState& job);
+  bool VerifyPlacementCache(const JobState& job);
+  PagePlacement ReadPagePlacement(const JobState& job, Vpn vpn) const;
   void ComputeAccessDistributions(JobState& job);
+  void ComputeCpuSharers();
   void SolveUtilizationFixedPoint(double dt);
   double PathLinkUtil(NodeId src, NodeId dst) const;
   void AdvanceProgress(JobState& job, double dt, double now);
@@ -175,12 +210,13 @@ class Engine : public PageAccessSource {
   void MigrateVcpus(JobState& job, double now);
   void TickCarrefour(double now);
   double ThreadOverheadFraction(const JobState& job) const;
-  double CpuShare(const JobState& job, CpuId cpu) const;
+  double CpuShare(CpuId cpu) const;
   bool ComputeDone(const JobState& job) const;
   void FinishJob(JobState& job, double now);
   void RecordTrace(double now);
   void TickScheduler(double now);
   // Per-page access rates by source node for sampling; appends candidates.
+  // Reads the per-page placement cache (refresh the job first).
   void AccumulatePageRates(const JobState& job, std::vector<PageAccessSample>* out) const;
 
   Hypervisor* hv_;
@@ -206,6 +242,41 @@ class Engine : public PageAccessSource {
   CreditScheduler* scheduler_ = nullptr;
   double scheduler_period_s_ = 0.0;
   double last_scheduler_tick_ = 0.0;
+
+  // ---- Fixed-point solver caches (allocated once, reused per iteration). --
+  std::vector<double> mc_scratch_;
+  std::vector<double> link_scratch_;
+  // Worst-link-per-path route index: route_pairs_[src * nodes + dst] names
+  // the equal-cost paths of the pair; each path is a contiguous run of link
+  // ids in route_links_. Replaces topology().Routes() calls (and their
+  // nested vector walks) in the solver's inner loops.
+  struct RoutePath {
+    int32_t first_link = 0;
+    int32_t num_links = 0;
+  };
+  struct RoutePair {
+    int32_t first_path = 0;
+    int32_t num_paths = 0;
+  };
+  std::vector<RoutePair> route_pairs_;
+  std::vector<RoutePath> route_paths_;
+  std::vector<LinkId> route_links_;
+  // Per-epoch sharer count per physical CPU (replaces the O(jobs x threads)
+  // rescan that CpuShare used to do per thread per iteration).
+  std::vector<int> cpu_sharers_;
+  int last_fixed_point_iterations_ = 0;
+  int64_t fixed_point_iterations_total_ = 0;
+  int64_t epochs_run_ = 0;
+
+  // ---- Incremental placement bookkeeping. ----
+  // (guest, pid) -> job index, for dispatching drained placement events.
+  std::map<std::pair<const GuestOs*, int>, int> job_by_guest_pid_;
+  std::vector<GuestOs::VpageEvent> vpage_event_scratch_;
+  std::vector<Pfn> pfn_event_scratch_;
+  std::vector<PageAccessSample> sample_scratch_;
+  // XNUMA_VERIFY_PLACEMENT_CACHE=N cross-checks the incremental aggregates
+  // against a full rescan every N refreshes of each job (0 = off).
+  int verify_cache_period_ = 0;
 };
 
 }  // namespace xnuma

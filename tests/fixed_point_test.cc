@@ -1,0 +1,127 @@
+// Tests for the fixed-point solver's early-exit tolerance and iteration
+// telemetry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/guest/guest_os.h"
+#include "src/hv/hypervisor.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+#include "src/sim/engine.h"
+#include "src/workload/app_profile.h"
+
+namespace xnuma {
+namespace {
+
+AppProfile SmallApp(double cycles_per_access = 150.0) {
+  AppProfile app;
+  app.name = "fp-app";
+  app.cpu_cycles_per_access = cycles_per_access;
+  app.nominal_seconds = 0.5;
+  RegionSpec shared;
+  shared.name = "shared";
+  shared.footprint_mb = 512;
+  shared.init = AllocPattern::kMasterInit;
+  shared.access_share = 0.7;
+  app.regions.push_back(shared);
+  RegionSpec priv;
+  priv.name = "private";
+  priv.footprint_mb = 256;
+  priv.init = AllocPattern::kOwnerPartitioned;
+  priv.access_share = 0.3;
+  priv.owner_affinity = 0.9;
+  app.regions.push_back(priv);
+  return app;
+}
+
+struct FpMachine {
+  Topology topo = Topology::Amd48();
+  Hypervisor hv{topo};
+  LatencyModel latency;
+  std::unique_ptr<GuestOs> guest;
+  std::unique_ptr<Engine> engine;
+
+  FpMachine(const EngineConfig& ec, const AppProfile& app, int threads = 12) {
+    DomainConfig dc;
+    dc.name = "dom";
+    dc.num_vcpus = threads;
+    dc.memory_pages = AppSimPages(app, hv.frames().bytes_per_frame(), ec.min_region_pages) + 64;
+    for (int i = 0; i < threads; ++i) {
+      dc.pinned_cpus.push_back(i);
+    }
+    dc.policy.placement = StaticPolicy::kRound4k;
+    const DomainId dom = hv.CreateDomain(dc);
+    guest = std::make_unique<GuestOs>(hv, dom);
+    engine = std::make_unique<Engine>(hv, latency, ec);
+    JobSpec spec;
+    spec.app = &app;
+    spec.domain = dom;
+    spec.guest = guest.get();
+    spec.threads = threads;
+    engine->AddJob(spec);
+  }
+};
+
+TEST(FixedPointTest, ZeroToleranceRunsEveryIteration) {
+  const AppProfile app = SmallApp();
+  EngineConfig ec;
+  ec.seed = 5;
+  ec.fixed_point_tolerance = 0.0;  // legacy behavior: fixed iteration count
+  FpMachine m(ec, app);
+  RunResult r = m.engine->Run();
+  ASSERT_TRUE(r.jobs.back().finished);
+  ASSERT_GT(m.engine->epochs_run(), 0);
+  EXPECT_EQ(m.engine->fixed_point_iterations_total(),
+            m.engine->epochs_run() * ec.fixed_point_iterations);
+}
+
+TEST(FixedPointTest, EarlyExitSavesIterationsAndMatchesWithinTolerance) {
+  const AppProfile app = SmallApp();
+  JobResult results[2];
+  int64_t totals[2];
+  int64_t epochs[2];
+  for (int i = 0; i < 2; ++i) {
+    EngineConfig ec;
+    ec.seed = 5;
+    ec.fixed_point_tolerance = i == 0 ? 0.0 : 1e-7;
+    FpMachine m(ec, app);
+    RunResult r = m.engine->Run();
+    ASSERT_TRUE(r.jobs.back().finished);
+    results[i] = r.jobs.back();
+    totals[i] = m.engine->fixed_point_iterations_total();
+    epochs[i] = m.engine->epochs_run();
+  }
+  // The converged steady state makes most epochs exit after a handful of
+  // iterations.
+  EXPECT_LT(totals[1], totals[0]);
+  EXPECT_LT(totals[1], epochs[1] * EngineConfig{}.fixed_point_iterations);
+  // Results agree within a tolerance-scale relative error.
+  EXPECT_NEAR(results[1].completion_seconds, results[0].completion_seconds,
+              1e-4 * results[0].completion_seconds);
+  EXPECT_NEAR(results[1].avg_latency_cycles, results[0].avg_latency_cycles,
+              1e-4 * results[0].avg_latency_cycles);
+}
+
+TEST(FixedPointTest, OverloadStillTerminatesAtIterationCap) {
+  // A bandwidth-hungry app (few CPU cycles per access, all 48 threads) that
+  // drives the controllers into the overload region, where the iteration
+  // oscillates and never meets a tiny tolerance.
+  const AppProfile app = SmallApp(/*cycles_per_access=*/20.0);
+  EngineConfig ec;
+  ec.seed = 5;
+  ec.fixed_point_tolerance = 1e-13;
+  ec.max_sim_seconds = 30.0;
+  FpMachine m(ec, app, /*threads=*/48);
+  RunResult r = m.engine->Run();
+  ASSERT_TRUE(r.jobs.back().finished);
+  EXPECT_LE(m.engine->last_fixed_point_iterations(), ec.fixed_point_iterations);
+  EXPECT_LE(m.engine->fixed_point_iterations_total(),
+            m.engine->epochs_run() * ec.fixed_point_iterations);
+  EXPECT_GT(m.engine->fixed_point_iterations_total(), 0);
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds and runs the engine epoch-loop microbenchmark, recording the JSON
+# result (epochs/sec with the incremental placement cache vs the full
+# per-epoch rescan) into BENCH_engine.json at the repo root.
+#
+# Usage: tools/run_bench.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" -j --target micro_engine_epoch >/dev/null
+
+"$BUILD/bench/micro_engine_epoch" | tee "$ROOT/BENCH_engine.json"
