@@ -72,7 +72,8 @@ struct RunStats {
   int64_t epochs = 0;
 };
 
-RunStats RunOnce(const AppProfile& app, bool incremental, int epochs) {
+RunStats RunOnce(const AppProfile& app, bool incremental, int epochs,
+                 bool fault_armed = false) {
   Topology topo = Topology::Amd48();
   Hypervisor hv(topo, kBytesPerFrame);
   LatencyModel latency;
@@ -80,6 +81,12 @@ RunStats RunOnce(const AppProfile& app, bool incremental, int epochs) {
   ec.seed = 7;
   ec.incremental_placement = incremental;
   ec.max_sim_seconds = epochs * ec.epoch_seconds;
+  if (fault_armed) {
+    // The fault layer enabled at probability 0: every injection hook is
+    // reached but never draws. tools/run_bench.sh asserts this costs < 2%.
+    ec.fault.enabled = true;
+    ec.fault.seed = 99;
+  }
 
   std::vector<std::unique_ptr<GuestOs>> guests;
   Engine engine(hv, latency, ec);
@@ -113,9 +120,9 @@ RunStats RunOnce(const AppProfile& app, bool incremental, int epochs) {
 }
 
 // Steady-state epochs/second: a long run minus a 1-epoch run cancels init.
-double EpochsPerSecond(const AppProfile& app, bool incremental) {
-  const RunStats one = RunOnce(app, incremental, 1);
-  const RunStats many = RunOnce(app, incremental, kEpochs);
+double EpochsPerSecond(const AppProfile& app, bool incremental, bool fault_armed = false) {
+  const RunStats one = RunOnce(app, incremental, 1, fault_armed);
+  const RunStats many = RunOnce(app, incremental, kEpochs, fault_armed);
   const double dt = many.wall_s - one.wall_s;
   const int64_t de = many.epochs - one.epochs;
   return dt > 0.0 ? de / dt : 0.0;
@@ -139,11 +146,18 @@ int main() {
               kThreads, kEpochs);
   std::printf("  \"configs\": [\n");
   bool first = true;
+  double overhead_sum_pct = 0.0;
+  int overhead_samples = 0;
   for (const BenchConfig& cfg : configs) {
     const AppProfile app = BenchApp(cfg.footprint_mb);
     const int64_t pages = AppSimPages(app, kBytesPerFrame, EngineConfig{}.min_region_pages);
     const double full = EpochsPerSecond(app, /*incremental=*/false);
     const double incr = EpochsPerSecond(app, /*incremental=*/true);
+    const double fault_p0 =
+        EpochsPerSecond(app, /*incremental=*/true, /*fault_armed=*/true);
+    const double overhead_pct = incr > 0.0 ? (1.0 - fault_p0 / incr) * 100.0 : 0.0;
+    overhead_sum_pct += overhead_pct;
+    ++overhead_samples;
     if (!first) {
       std::printf(",\n");
     }
@@ -152,9 +166,13 @@ int main() {
                 static_cast<long long>(pages));
     std::printf("     \"full_rescan_epochs_per_s\": %.2f,\n", full);
     std::printf("     \"incremental_epochs_per_s\": %.2f,\n", incr);
+    std::printf("     \"fault_p0_epochs_per_s\": %.2f,\n", fault_p0);
+    std::printf("     \"fault_p0_overhead_pct\": %.2f,\n", overhead_pct);
     std::printf("     \"speedup\": %.2f}", full > 0.0 ? incr / full : 0.0);
     std::fflush(stdout);
   }
-  std::printf("\n  ]\n}\n");
+  std::printf("\n  ],\n");
+  std::printf("  \"fault_p0_mean_overhead_pct\": %.2f\n}\n",
+              overhead_samples > 0 ? overhead_sum_pct / overhead_samples : 0.0);
   return 0;
 }

@@ -10,6 +10,17 @@ CarrefourUserComponent::CarrefourUserComponent(CarrefourSystemComponent& system,
 
 CarrefourTickStats CarrefourUserComponent::Tick(DomainId domain) {
   CarrefourTickStats stats;
+  BackoffState& backoff = backoff_[domain];
+  if (backoff.skip_remaining > 0) {
+    // Recovery contract: after injected migration failures the daemon sits
+    // out a few decision periods instead of hammering a failing path.
+    --backoff.skip_remaining;
+    stats.skipped_by_backoff = true;
+    ++total_skipped_ticks_;
+    return stats;
+  }
+  FaultInjector& fi = system_->fault_injector();
+  const int64_t injected_before = fi.stats().TotalInjected();
   const TrafficSnapshot& metrics = system_->ReadMetrics();
   if (metrics.mc_utilization.empty()) {
     return stats;  // No epoch committed yet.
@@ -56,6 +67,8 @@ CarrefourTickStats CarrefourUserComponent::Tick(DomainId domain) {
         ++stats.locality_migrations;
         ++total_locality_;
         --budget;
+      } else {
+        ++stats.failed_migrations;
       }
     }
   }
@@ -96,7 +109,31 @@ CarrefourTickStats CarrefourUserComponent::Tick(DomainId domain) {
         ++stats.interleave_migrations;
         ++total_interleave_;
         --budget;
+      } else {
+        ++stats.failed_migrations;
       }
+    }
+  }
+
+  // Backoff bookkeeping, engaged only when an injection actually fired this
+  // tick so the fault-free path is untouched (genuine out-of-memory failures
+  // keep the original retry-next-tick behaviour, and a plan at rate 0 stays
+  // bit-identical to no plan at all).
+  if (fi.enabled()) {
+    if (stats.failed_migrations > 0 && fi.stats().TotalInjected() > injected_before) {
+      backoff.streak = std::min(backoff.streak + 1, 8);
+      backoff.skip_remaining = std::min(
+          config_.backoff_max_ticks, config_.backoff_base_ticks << (backoff.streak - 1));
+      backoff.had_failure = true;
+    } else {
+      if (backoff.had_failure &&
+          stats.locality_migrations + stats.interleave_migrations > 0) {
+        // Migrations flow again after a failing streak: the fault is ridden
+        // out, not fatal.
+        fi.NoteRecovered(FaultSite::kMigrate);
+        backoff.had_failure = false;
+      }
+      backoff.streak = 0;
     }
   }
   return stats;

@@ -16,6 +16,7 @@
 #ifndef XENNUMA_SRC_CARREFOUR_USER_COMPONENT_H_
 #define XENNUMA_SRC_CARREFOUR_USER_COMPONENT_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "src/carrefour/system_component.h"
@@ -43,14 +44,21 @@ struct CarrefourConfig {
   bool enable_replication = false;
   // A page qualifies when no single node exceeds this share of its accesses.
   double replication_max_dominant_share = 0.60;
+  // Fault recovery (docs/MODEL.md §10): after a tick in which migrations
+  // failed under fault injection, skip the next `base << (streak-1)` ticks
+  // for that domain (capped), doubling per consecutive failing tick.
+  int backoff_base_ticks = 1;
+  int backoff_max_ticks = 16;
 };
 
 struct CarrefourTickStats {
   int interleave_migrations = 0;
   int locality_migrations = 0;
   int replications = 0;
+  int failed_migrations = 0;
   bool mc_overloaded = false;
   bool interconnect_saturated = false;
+  bool skipped_by_backoff = false;
 };
 
 class CarrefourUserComponent {
@@ -68,13 +76,24 @@ class CarrefourUserComponent {
   int64_t total_locality_migrations() const { return total_locality_; }
   int64_t total_replications() const { return total_replications_; }
 
+  int64_t total_skipped_ticks() const { return total_skipped_ticks_; }
+
  private:
+  // Per-domain capped exponential backoff under injected migration failures.
+  struct BackoffState {
+    int streak = 0;          // consecutive ticks with failed migrations
+    int skip_remaining = 0;  // ticks left to sit out
+    bool had_failure = false;
+  };
+
   CarrefourSystemComponent* system_;
   CarrefourConfig config_;
   Rng rng_;
   int64_t total_interleave_ = 0;
   int64_t total_locality_ = 0;
   int64_t total_replications_ = 0;
+  int64_t total_skipped_ticks_ = 0;
+  std::unordered_map<DomainId, BackoffState> backoff_;
 };
 
 }  // namespace xnuma

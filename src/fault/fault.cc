@@ -1,0 +1,188 @@
+#include "src/fault/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+const char* ToString(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFrameAlloc:
+      return "frame-alloc";
+    case FaultSite::kNodeExhaustion:
+      return "node-exhaustion";
+    case FaultSite::kMap:
+      return "map";
+    case FaultSite::kMapRange:
+      return "map-range";
+    case FaultSite::kMigrate:
+      return "migrate";
+    case FaultSite::kReplicate:
+      return "replicate";
+    case FaultSite::kP2mRemap:
+      return "p2m-remap";
+    case FaultSite::kQueueDrop:
+      return "queue-drop";
+    case FaultSite::kQueueOverflow:
+      return "queue-overflow";
+    case FaultSite::kHypercallDelay:
+      return "hypercall-delay";
+    case FaultSite::kNumSites:
+      break;
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::Uniform(uint64_t seed, double rate) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  plan.frame_alloc_rate = rate;
+  plan.node_exhaustion_rate = rate;
+  plan.map_rate = rate;
+  plan.map_range_rate = rate;
+  plan.migrate_rate = rate;
+  plan.replicate_rate = rate;
+  plan.p2m_remap_rate = rate;
+  plan.queue_drop_rate = rate;
+  plan.hypercall_delay_rate = rate;
+  return plan;
+}
+
+int64_t FaultStats::TotalInjected() const {
+  int64_t total = 0;
+  for (int64_t v : injected) {
+    total += v;
+  }
+  return total;
+}
+
+int64_t FaultStats::TotalRecovered() const {
+  int64_t total = 0;
+  for (int64_t v : recovered) {
+    total += v;
+  }
+  return total;
+}
+
+int64_t FaultStats::TotalAborted() const {
+  int64_t total = 0;
+  for (int64_t v : aborted) {
+    total += v;
+  }
+  return total;
+}
+
+std::string FaultStats::Summary() const {
+  std::string out;
+  char line[128];
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    if (injected[s] == 0 && recovered[s] == 0 && aborted[s] == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-16s injected %8lld  recovered %8lld  aborted %8lld\n",
+                  ToString(static_cast<FaultSite>(s)),
+                  static_cast<long long>(injected[s]),
+                  static_cast<long long>(recovered[s]),
+                  static_cast<long long>(aborted[s]));
+    out += line;
+  }
+  return out;
+}
+
+void FaultInjector::Configure(const FaultPlan& plan) {
+  plan_ = plan;
+  rng_ = Rng(plan.seed);
+  stats_ = FaultStats();
+  last_site_ = FaultSite::kNumSites;
+  exhaustion_left_.clear();
+}
+
+void FaultInjector::NoteInjected(FaultSite site) {
+  XNUMA_CHECK(site != FaultSite::kNumSites);
+  ++stats_.injected[static_cast<int>(site)];
+  last_site_ = site;
+}
+
+void FaultInjector::NoteRecovered(FaultSite site) {
+  XNUMA_CHECK(site != FaultSite::kNumSites);
+  ++stats_.recovered[static_cast<int>(site)];
+}
+
+void FaultInjector::NoteAborted(FaultSite site) {
+  XNUMA_CHECK(site != FaultSite::kNumSites);
+  ++stats_.aborted[static_cast<int>(site)];
+}
+
+bool FaultInjector::Draw(double rate, FaultSite site) {
+  if (!enabled() || rate <= 0.0) {
+    return false;  // no rng draw: probability 0 is bit-identical to disabled
+  }
+  if (!rng_.NextBool(rate)) {
+    return false;
+  }
+  NoteInjected(site);
+  return true;
+}
+
+bool FaultInjector::FireFrameAllocFailure(NodeId node) {
+  if (!enabled()) {
+    return false;
+  }
+  if (node >= 0 && node < static_cast<NodeId>(exhaustion_left_.size()) &&
+      exhaustion_left_[node] > 0) {
+    --exhaustion_left_[node];
+    NoteInjected(FaultSite::kNodeExhaustion);
+    return true;
+  }
+  if (Draw(plan_.node_exhaustion_rate, FaultSite::kNodeExhaustion)) {
+    if (node >= static_cast<NodeId>(exhaustion_left_.size())) {
+      exhaustion_left_.resize(node + 1, 0);
+    }
+    // This allocation fails now; the window covers the following ones.
+    exhaustion_left_[node] = std::max(0, plan_.exhaustion_window_ops - 1);
+    return true;
+  }
+  return Draw(plan_.frame_alloc_rate, FaultSite::kFrameAlloc);
+}
+
+bool FaultInjector::FireMapFailure() { return Draw(plan_.map_rate, FaultSite::kMap); }
+
+int64_t FaultInjector::FireMapRangeCommitFailure(int64_t count) {
+  XNUMA_CHECK(count > 0);
+  if (!Draw(plan_.map_range_rate, FaultSite::kMapRange)) {
+    return -1;
+  }
+  return rng_.NextInt(count);
+}
+
+bool FaultInjector::FireMigrateFailure() {
+  return Draw(plan_.migrate_rate, FaultSite::kMigrate);
+}
+
+bool FaultInjector::FireReplicateFailure() {
+  return Draw(plan_.replicate_rate, FaultSite::kReplicate);
+}
+
+bool FaultInjector::FireP2mRemapFailure() {
+  return Draw(plan_.p2m_remap_rate, FaultSite::kP2mRemap);
+}
+
+bool FaultInjector::FireQueueDrop() {
+  return Draw(plan_.queue_drop_rate, FaultSite::kQueueDrop);
+}
+
+double FaultInjector::FireHypercallDelay() {
+  if (!Draw(plan_.hypercall_delay_rate, FaultSite::kHypercallDelay)) {
+    return 0.0;
+  }
+  // The hypercall still completes — merely late. The delay is absorbed into
+  // simulated time, so the fault is recovered by construction.
+  NoteRecovered(FaultSite::kHypercallDelay);
+  return plan_.hypercall_delay_seconds;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,172 @@
+// Deterministic fault injection across the hypervisor/guest boundary.
+//
+// Real hypervisor memory paths fail constantly: a node runs out of frames
+// mid-run, a remap races with a concurrent update, the PV page queue
+// overflows under churn, a hypercall completes late. The happy-path
+// simulation never exercised those branches, so `FaultInjector` makes them
+// reachable on demand: every failure-capable call site in src/mm, src/hv and
+// src/guest asks the injector whether to fail *before* doing real work, and
+// every site has a documented recovery contract (docs/MODEL.md §10).
+//
+// Determinism: the injector owns a private xnuma::Rng seeded from
+// FaultPlan::seed, so (a) two runs with the same plan replay bit-identically
+// and (b) a run with injection enabled at probability 0 makes *zero* draws
+// (Rng::NextBool short-circuits p <= 0) and is bit-identical to a run with
+// the fault layer disabled — the differential-test guarantee. The injector
+// is not thread-safe; the simulation drives all injection sites from the
+// single-threaded epoch loop.
+
+#ifndef XENNUMA_SRC_FAULT_FAULT_H_
+#define XENNUMA_SRC_FAULT_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace xnuma {
+
+// One failure-capable call site. Used to index the FaultStats counters.
+enum class FaultSite : int {
+  kFrameAlloc = 0,   // FrameAllocator::AllocOnNode/AllocContiguous, transient
+  kNodeExhaustion,   // FrameAllocator: a node refuses the next N allocations
+  kMap,              // HvPlacementBackend::MapOnNode
+  kMapRange,         // HvPlacementBackend::MapRangeOnNode mid-commit
+  kMigrate,          // HvPlacementBackend::Migrate
+  kReplicate,        // HvPlacementBackend::Replicate
+  kP2mRemap,         // P2mTable::TryRemap (migration commit race)
+  kQueueDrop,        // PvPageQueue flush hypercall loses the batch
+  kQueueOverflow,    // PvPageQueue partition over capacity drops oldest ops
+  kHypercallDelay,   // HypercallPageQueueFlush completes late
+  kNumSites,
+};
+
+constexpr int kNumFaultSites = static_cast<int>(FaultSite::kNumSites);
+
+const char* ToString(FaultSite site);
+
+// What to inject and how often. Rates are per-call probabilities in [0, 1].
+struct FaultPlan {
+  bool enabled = false;
+  uint64_t seed = 1;
+
+  double frame_alloc_rate = 0.0;      // transient single-allocation failure
+  double node_exhaustion_rate = 0.0;  // opens a window of forced failures
+  double map_rate = 0.0;
+  double map_range_rate = 0.0;
+  double migrate_rate = 0.0;
+  double replicate_rate = 0.0;
+  double p2m_remap_rate = 0.0;
+  double queue_drop_rate = 0.0;
+  double hypercall_delay_rate = 0.0;
+
+  // Length (in refused allocations) of one injected exhaustion window.
+  int exhaustion_window_ops = 16;
+  // Extra simulated completion time of one delayed hypercall.
+  double hypercall_delay_seconds = 50e-6;
+
+  // Every site at the same rate — the `--fault_rate` chaos configuration.
+  static FaultPlan Uniform(uint64_t seed, double rate);
+};
+
+// Injected/recovered/aborted event counters, per site.
+//
+// `injected` counts faults fired; `recovered` counts faults the recovery
+// contract absorbed (fallback mapped elsewhere, rollback restored a
+// consistent state, a retry or re-enqueue eventually succeeded); `aborted`
+// counts faults surfaced to the caller as a definitive failure. A fault can
+// first abort an operation and later be recovered by a caller-level retry,
+// so the three columns are independent event counts, not a partition.
+struct FaultStats {
+  std::array<int64_t, kNumFaultSites> injected{};
+  std::array<int64_t, kNumFaultSites> recovered{};
+  std::array<int64_t, kNumFaultSites> aborted{};
+
+  int64_t TotalInjected() const;
+  int64_t TotalRecovered() const;
+  int64_t TotalAborted() const;
+
+  // One line per site with nonzero activity (CLI summary).
+  std::string Summary() const;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs a plan, reseeds the private Rng, and clears the counters.
+  void Configure(const FaultPlan& plan);
+
+  bool enabled() const { return plan_.enabled && bypass_ == 0; }
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  FaultStats& stats() { return stats_; }
+
+  // Site of the most recent injection; lets a recovery path attribute its
+  // success without threading the site through every return value.
+  FaultSite last_injected_site() const { return last_site_; }
+
+  // ---- Injection hooks. Each returns whether the caller must fail. ----
+  // All hooks are no-ops (no rng draw, `false`/0 result) when the injector
+  // is disabled, bypassed, or the relevant rate is zero.
+
+  // Single-frame or contiguous allocation on `node`. Fires either a
+  // transient failure or opens/extends a per-node exhaustion window in which
+  // the next `exhaustion_window_ops` allocations on that node also fail.
+  bool FireFrameAllocFailure(NodeId node);
+
+  bool FireMapFailure();
+  // One draw per range; returns the index in [0, count) at which the commit
+  // loop must fail, or -1 for no injection.
+  int64_t FireMapRangeCommitFailure(int64_t count);
+  bool FireMigrateFailure();
+  bool FireReplicateFailure();
+  bool FireP2mRemapFailure();
+  bool FireQueueDrop();
+  // Extra simulated seconds this hypercall takes (0.0 = no injection).
+  double FireHypercallDelay();
+
+  // ---- Recovery/abort accounting for the contracts in docs/MODEL.md §10.
+  void NoteInjected(FaultSite site);
+  void NoteRecovered(FaultSite site);
+  void NoteAborted(FaultSite site);
+
+  // Disables injection for a scope: the non-failable slow path a kernel
+  // falls back to after bounded retries (cf. __GFP_NOFAIL). Nestable.
+  class ScopedBypass {
+   public:
+    explicit ScopedBypass(FaultInjector& injector) : injector_(&injector) {
+      ++injector_->bypass_;
+    }
+    ~ScopedBypass() { --injector_->bypass_; }
+    ScopedBypass(const ScopedBypass&) = delete;
+    ScopedBypass& operator=(const ScopedBypass&) = delete;
+
+   private:
+    FaultInjector* injector_;
+  };
+
+ private:
+  friend class ScopedBypass;
+
+  // One injection decision: draws only when enabled and rate > 0.
+  bool Draw(double rate, FaultSite site);
+
+  FaultPlan plan_;
+  Rng rng_{1};
+  FaultStats stats_;
+  FaultSite last_site_ = FaultSite::kNumSites;
+  int bypass_ = 0;
+  // Remaining forced allocation failures per node (exhaustion windows).
+  std::vector<int> exhaustion_left_;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_FAULT_FAULT_H_

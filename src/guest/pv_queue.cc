@@ -4,14 +4,17 @@
 
 namespace xnuma {
 
-PvPageQueue::PvPageQueue(FlushFn flush, int partition_bits, int batch_size)
+PvPageQueue::PvPageQueue(FlushFn flush, int partition_bits, int batch_size,
+                         int max_pending)
     : flush_(std::move(flush)),
       batch_size_(batch_size),
+      max_pending_(max_pending),
       partitions_(1 << partition_bits),
       partition_mask_((1 << partition_bits) - 1) {
   XNUMA_CHECK(flush_ != nullptr);
   XNUMA_CHECK(partition_bits >= 0 && partition_bits <= 8);
   XNUMA_CHECK(batch_size_ >= 1);
+  XNUMA_CHECK(max_pending_ >= 0);
   for (Partition& p : partitions_) {
     p.ops.reserve(batch_size_);
   }
@@ -32,6 +35,20 @@ void PvPageQueue::PushRelease(Pfn pfn) {
 void PvPageQueue::Push(PageQueueOp op) {
   Partition& p = PartitionOf(op.pfn);
   std::lock_guard<std::mutex> lock(p.mu);
+  if (max_pending_ > 0 && static_cast<int>(p.ops.size()) >= max_pending_) {
+    // A full fixed-size ring overwrites its oldest entry; the victim goes to
+    // the dropped set so the guest can replay it later.
+    {
+      std::lock_guard<std::mutex> dlock(dropped_mu_);
+      dropped_.push_back(p.ops.front());
+    }
+    p.ops.erase(p.ops.begin());
+    if (injector_ != nullptr) {
+      injector_->NoteInjected(FaultSite::kQueueOverflow);
+    }
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.dropped_ops;
+  }
   p.ops.push_back(op);
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
@@ -49,11 +66,38 @@ void PvPageQueue::FlushLocked(Partition& p) {
   if (p.ops.empty()) {
     return;
   }
+  if (injector_ != nullptr && injector_->FireQueueDrop()) {
+    // The flush hypercall was lost: the batch never reaches the hypervisor.
+    // Park it in the dropped set for guest-side replay.
+    {
+      std::lock_guard<std::mutex> dlock(dropped_mu_);
+      dropped_.insert(dropped_.end(), p.ops.begin(), p.ops.end());
+    }
+    const int64_t n = static_cast<int64_t>(p.ops.size());
+    p.ops.clear();
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.dropped_ops += n;
+    return;
+  }
   const double hv_time = flush_(std::span<const PageQueueOp>(p.ops));
   p.ops.clear();
   std::lock_guard<std::mutex> slock(stats_mu_);
   ++stats_.flushes;
   stats_.hypervisor_seconds += hv_time;
+}
+
+void PvPageQueue::TakeDropped(std::vector<PageQueueOp>* out) {
+  std::lock_guard<std::mutex> lock(dropped_mu_);
+  out->insert(out->end(), dropped_.begin(), dropped_.end());
+  dropped_.clear();
+}
+
+void PvPageQueue::Requeue(PageQueueOp op) {
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.requeued_ops;
+  }
+  Push(op);
 }
 
 void PvPageQueue::FlushAll() {

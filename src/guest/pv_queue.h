@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/fault/fault.h"
 #include "src/hv/hypervisor.h"
 
 namespace xnuma {
@@ -36,8 +37,11 @@ class PvPageQueue {
   using FlushFn = std::function<double(std::span<const PageQueueOp>)>;
 
   // `partition_bits` = 2 reproduces the paper's four queues; `batch_size` is
-  // the number of entries accumulated before a flush.
-  PvPageQueue(FlushFn flush, int partition_bits = 2, int batch_size = 64);
+  // the number of entries accumulated before a flush. `max_pending` caps the
+  // entries a partition may hold (0 = unbounded); pushing past the cap drops
+  // the oldest entry into the dropped set (see TakeDropped).
+  PvPageQueue(FlushFn flush, int partition_bits = 2, int batch_size = 64,
+              int max_pending = 0);
 
   PvPageQueue(const PvPageQueue&) = delete;
   PvPageQueue& operator=(const PvPageQueue&) = delete;
@@ -54,9 +58,22 @@ class PvPageQueue {
   // switch to first-touch).
   void FlushAll();
 
+  // Optional fault injection: when set, a flush may drop its whole batch
+  // (a lost hypercall) instead of delivering it. Dropped entries land in the
+  // dropped set; the guest recovers them via TakeDropped + Requeue.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  // Moves every dropped entry into `out` (appended) and clears the set.
+  void TakeDropped(std::vector<PageQueueOp>* out);
+
+  // Re-enqueues an operation recovered from the dropped set.
+  void Requeue(PageQueueOp op);
+
   struct Stats {
     int64_t pushes = 0;
     int64_t flushes = 0;
+    int64_t dropped_ops = 0;   // entries lost to drops/overflow so far
+    int64_t requeued_ops = 0;  // dropped entries the guest re-enqueued
     double hypervisor_seconds = 0.0;  // simulated time spent in flushes
   };
   Stats GetStats() const;
@@ -75,8 +92,13 @@ class PvPageQueue {
 
   FlushFn flush_;
   int batch_size_;
+  int max_pending_;
   std::vector<Partition> partitions_;
   int partition_mask_;
+  FaultInjector* injector_ = nullptr;
+
+  std::mutex dropped_mu_;
+  std::vector<PageQueueOp> dropped_;
 
   mutable std::mutex stats_mu_;
   Stats stats_;

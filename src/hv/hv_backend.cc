@@ -52,6 +52,12 @@ bool HvPlacementBackend::DrainDirtyPfns(std::vector<Pfn>* out) {
 
 int64_t HvPlacementBackend::num_pages() const { return domain_->memory_pages(); }
 
+int HvPlacementBackend::num_nodes() const { return frames_->num_nodes(); }
+
+FaultInjector* HvPlacementBackend::fault_injector() const {
+  return frames_->fault_injector();
+}
+
 const std::vector<NodeId>& HvPlacementBackend::home_nodes() const {
   return domain_->home_nodes();
 }
@@ -66,6 +72,10 @@ NodeId HvPlacementBackend::NodeOf(Pfn pfn) const {
 bool HvPlacementBackend::MapOnNode(Pfn pfn, NodeId node) {
   if (domain_->p2m().IsValid(pfn)) {
     return false;
+  }
+  FaultInjector* fi = frames_->fault_injector();
+  if (fi != nullptr && fi->FireMapFailure()) {
+    return false;  // injected hypercall failure before the allocation
   }
   const Mfn mfn = frames_->AllocOnNode(node);
   if (mfn == kInvalidMfn) {
@@ -88,7 +98,20 @@ bool HvPlacementBackend::MapRangeOnNode(Pfn first, int64_t count, NodeId node) {
   if (base == kInvalidMfn) {
     return false;
   }
+  FaultInjector* fi = frames_->fault_injector();
+  const int64_t fail_at =
+      fi != nullptr ? fi->FireMapRangeCommitFailure(count) : -1;
   for (int64_t k = 0; k < count; ++k) {
+    if (k == fail_at) {
+      // The commit loop died mid-range: undo the pages mapped so far and
+      // release the whole contiguous run, leaving no partial range behind.
+      for (int64_t u = 0; u < k; ++u) {
+        domain_->p2m().Unmap(first + u);
+      }
+      frames_->FreeContiguous(base, count);
+      fi->NoteRecovered(FaultSite::kMapRange);
+      return false;
+    }
     domain_->p2m().Map(first + k, base + k);
   }
   if (count >= DirtyLimit()) {
@@ -105,6 +128,10 @@ bool HvPlacementBackend::Replicate(Pfn pfn) {
   P2mTable& p2m = domain_->p2m();
   if (!p2m.IsValid(pfn) || domain_->IsReplicated(pfn)) {
     return false;
+  }
+  FaultInjector* fi = frames_->fault_injector();
+  if (fi != nullptr && fi->FireReplicateFailure()) {
+    return false;  // injected failure before any copy is allocated
   }
   const NodeId primary = frames_->NodeOf(p2m.Lookup(pfn));
   std::vector<Mfn> replicas;
@@ -153,6 +180,10 @@ bool HvPlacementBackend::Migrate(Pfn pfn, NodeId node) {
   if (!p2m.IsValid(pfn)) {
     return false;
   }
+  FaultInjector* fi = frames_->fault_injector();
+  if (fi != nullptr && fi->FireMigrateFailure()) {
+    return false;  // injected failure before any state is touched
+  }
   if (domain_->IsReplicated(pfn)) {
     // A replicated page already serves every node locally; collapse before
     // moving the primary copy.
@@ -169,7 +200,16 @@ bool HvPlacementBackend::Migrate(Pfn pfn, NodeId node) {
   // §4.1: write-protect the entry so no store lands in the page while it is
   // being copied, copy, then commit the new mapping and drop protection.
   p2m.WriteProtect(pfn);
-  p2m.Remap(pfn, new_mfn);
+  if (!p2m.TryRemap(pfn, new_mfn)) {
+    // Injected commit race: drop protection, release the copy target, and
+    // leave the page on its old node as if the migration never started.
+    p2m.WriteUnprotect(pfn);
+    frames_->Free(new_mfn);
+    if (fi != nullptr) {
+      fi->NoteRecovered(FaultSite::kP2mRemap);
+    }
+    return false;
+  }
   p2m.WriteUnprotect(pfn);
   frames_->Free(old_mfn);
 

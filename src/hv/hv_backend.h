@@ -20,6 +20,8 @@ class HvPlacementBackend : public PlacementBackend {
   HvPlacementBackend(Domain& domain, FrameAllocator& frames);
 
   int64_t num_pages() const override;
+  int num_nodes() const override;
+  FaultInjector* fault_injector() const override;
   const std::vector<NodeId>& home_nodes() const override;
   bool IsMapped(Pfn pfn) const override;
   NodeId NodeOf(Pfn pfn) const override;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/fault/fault.h"
 #include "src/hv/costs.h"
 #include "src/hv/domain.h"
 #include "src/hv/hv_backend.h"
@@ -57,6 +58,12 @@ class Hypervisor {
   FrameAllocator& frames() { return frames_; }
   const HvCosts& costs() const { return costs_; }
 
+  // Deterministic fault-injection layer (disabled by default). Owned here so
+  // every machine-memory mutation path — frame allocation, P2M commits,
+  // hypercalls — draws from one seeded plan.
+  FaultInjector& fault_injector() { return faults_; }
+  const FaultInjector& fault_injector() const { return faults_; }
+
   // Creates and places a domain. Aborts on unsatisfiable configs (tests use
   // TryCreateDomain to probe failure paths).
   DomainId CreateDomain(const DomainConfig& config);
@@ -96,6 +103,7 @@ class Hypervisor {
 
  private:
   const Topology* topo_;
+  FaultInjector faults_;
   FrameAllocator frames_;
   HvCosts costs_;
   std::vector<std::unique_ptr<Domain>> domains_;

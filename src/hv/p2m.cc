@@ -36,6 +36,15 @@ void P2mTable::Remap(Pfn pfn, Mfn new_mfn) {
   e.mfn = new_mfn;
 }
 
+bool P2mTable::TryRemap(Pfn pfn, Mfn new_mfn) {
+  XNUMA_CHECK(At(pfn).valid);
+  if (injector_ != nullptr && injector_->FireP2mRemapFailure()) {
+    return false;  // injected commit race: the entry keeps its old target
+  }
+  Remap(pfn, new_mfn);
+  return true;
+}
+
 Mfn P2mTable::Unmap(Pfn pfn) {
   P2mEntry& e = At(pfn);
   XNUMA_CHECK(e.valid);

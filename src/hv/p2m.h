@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/fault/fault.h"
 
 namespace xnuma {
 
@@ -39,6 +40,14 @@ class P2mTable {
   // Atomically replaces the target of a valid entry (migration commit).
   void Remap(Pfn pfn, Mfn new_mfn);
 
+  // Remap that can lose the commit race injected through the fault layer:
+  // returns false (entry unchanged) when the injector fires, true after a
+  // successful remap. Identical to Remap() when no injector is attached.
+  bool TryRemap(Pfn pfn, Mfn new_mfn);
+
+  // Optional fault injection for TryRemap. nullptr detaches.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   // Drops a valid mapping; returns the machine frame that backed it.
   Mfn Unmap(Pfn pfn);
 
@@ -53,6 +62,7 @@ class P2mTable {
 
   std::vector<P2mEntry> entries_;
   int64_t valid_count_ = 0;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace xnuma

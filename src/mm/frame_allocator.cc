@@ -49,6 +49,9 @@ NodeId FrameAllocator::NodeOf(Mfn mfn) const {
 
 Mfn FrameAllocator::AllocOnNode(NodeId node) {
   XNUMA_CHECK(node >= 0 && node < topo_->num_nodes());
+  if (injector_ != nullptr && injector_->FireFrameAllocFailure(node)) {
+    return kInvalidMfn;  // injected transient failure or exhaustion window
+  }
   if (free_count_[node] == 0) {
     return kInvalidMfn;
   }
@@ -70,6 +73,9 @@ Mfn FrameAllocator::AllocOnNode(NodeId node) {
 Mfn FrameAllocator::AllocContiguous(NodeId node, int64_t count) {
   XNUMA_CHECK(node >= 0 && node < topo_->num_nodes());
   XNUMA_CHECK(count > 0);
+  if (injector_ != nullptr && injector_->FireFrameAllocFailure(node)) {
+    return kInvalidMfn;
+  }
   if (free_count_[node] < count) {
     return kInvalidMfn;
   }

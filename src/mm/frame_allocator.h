@@ -19,6 +19,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/types.h"
+#include "src/fault/fault.h"
 #include "src/numa/topology.h"
 
 namespace xnuma {
@@ -32,6 +33,13 @@ class FrameAllocator {
   int64_t bytes_per_frame() const { return bytes_per_frame_; }
   int64_t frames_per_node(NodeId n) const { return node_sizes_[n]; }
   int64_t total_frames() const { return total_frames_; }
+  int num_nodes() const { return static_cast<int>(node_sizes_.size()); }
+
+  // Optional fault injection: when set, AllocOnNode/AllocContiguous consult
+  // the injector and fail with kInvalidMfn on an injected transient failure
+  // or node-exhaustion window. nullptr detaches.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   // Number of frames in a region of the given order at this scale (at least
   // one: regions smaller than a frame collapse onto the frame quantum).
@@ -72,6 +80,7 @@ class FrameAllocator {
   std::vector<bool> used_;
   // Next-fit rover per node keeps single-frame allocation O(1) amortized.
   std::vector<int64_t> rover_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace xnuma

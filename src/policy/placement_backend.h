@@ -20,12 +20,23 @@
 
 namespace xnuma {
 
+class FaultInjector;
+
 class PlacementBackend {
  public:
   virtual ~PlacementBackend() = default;
 
   // Size of the physical address space being placed, in pages.
   virtual int64_t num_pages() const = 0;
+
+  // Number of NUMA nodes in the machine backing this address space.
+  virtual int num_nodes() const = 0;
+
+  // Fault-injection layer active behind this backend, or nullptr when the
+  // backend cannot fail spuriously. MapWithFallback consults it to decide
+  // whether an allocation failure is injected (and thus recoverable by
+  // retrying elsewhere) and to account the recovery.
+  virtual FaultInjector* fault_injector() const { return nullptr; }
 
   // Nodes this address space should prefer (Xen's home-nodes, §3.3). Never
   // empty; native backends report every node.

@@ -178,6 +178,10 @@ struct Engine::JobState {
   double max_mc_integral = 0.0;
   int64_t carrefour_migrations = 0;
   double last_vcpu_migration = 0.0;
+  // Machine-wide fault counters snapshotted when the job finished.
+  int64_t faults_injected_at_finish = 0;
+  int64_t faults_recovered_at_finish = 0;
+  int64_t faults_aborted_at_finish = 0;
 
   int shared_region = 0;   // index of the DMA buffer region
   int private_region = 1;  // index of the churn target region
@@ -214,6 +218,9 @@ Engine::Engine(Hypervisor& hv, const LatencyModel& latency, EngineConfig config)
       config_(config),
       rng_(config.seed),
       counters_(hv.topology()) {
+  // Install the fault plan before any placement work: eager policies map
+  // pages at domain creation, and those paths must already see the plan.
+  hv.fault_injector().Configure(config_.fault);
   const Topology& topo = hv.topology();
   const int nodes = topo.num_nodes();
   mc_util_.assign(nodes, 0.0);
@@ -940,6 +947,10 @@ bool Engine::ComputeDone(const JobState& job) const {
 void Engine::FinishJob(JobState& job, double now) {
   job.finished = true;
   job.finished_at = now;
+  const FaultStats& fs = hv_->fault_injector().stats();
+  job.faults_injected_at_finish = fs.TotalInjected();
+  job.faults_recovered_at_finish = fs.TotalRecovered();
+  job.faults_aborted_at_finish = fs.TotalAborted();
 }
 
 void Engine::RunAllocatorChurn(JobState& job, double dt) {
@@ -1195,6 +1206,10 @@ void Engine::RecordTrace(double now) {
     link_sum += u;
   }
   sample.avg_link_util = link_util_.empty() ? 0.0 : link_sum / link_util_.size();
+  const FaultStats& fs = hv_->fault_injector().stats();
+  sample.faults_injected = fs.TotalInjected();
+  sample.faults_recovered = fs.TotalRecovered();
+  sample.faults_aborted = fs.TotalAborted();
   for (const auto& jptr : jobs_) {
     const JobState& job = *jptr;
     JobEpochSample js;
@@ -1268,10 +1283,14 @@ RunResult Engine::Run() {
     TickCarrefour(now);
     TickScheduler(now);
     RecordTrace(now);
+    if (epoch_hook_) {
+      epoch_hook_(now);
+    }
   }
 
   RunResult result;
   result.sim_seconds = now;
+  result.faults = hv_->fault_injector().stats();
   for (auto& jptr : jobs_) {
     JobState& job = *jptr;
     JobResult jr;
@@ -1304,6 +1323,15 @@ RunResult Engine::Run() {
     jr.final_policy = hv_->domain(job.spec.domain).policy_config();
     if (job.spec.auto_policy) {
       jr.policy_switches = auto_selector_->stats(job.spec.domain).policy_switches;
+    }
+    if (job.finished) {
+      jr.faults_injected = job.faults_injected_at_finish;
+      jr.faults_recovered = job.faults_recovered_at_finish;
+      jr.faults_aborted = job.faults_aborted_at_finish;
+    } else {
+      jr.faults_injected = result.faults.TotalInjected();
+      jr.faults_recovered = result.faults.TotalRecovered();
+      jr.faults_aborted = result.faults.TotalAborted();
     }
     result.jobs.push_back(std::move(jr));
   }

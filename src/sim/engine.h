@@ -20,6 +20,7 @@
 #ifndef XENNUMA_SRC_SIM_ENGINE_H_
 #define XENNUMA_SRC_SIM_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,6 +32,7 @@
 #include "src/carrefour/user_component.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
+#include "src/fault/fault.h"
 #include "src/guest/guest_os.h"
 #include "src/guest/sync_model.h"
 #include "src/hv/hypervisor.h"
@@ -86,6 +88,9 @@ struct EngineConfig {
 
   CarrefourConfig carrefour;
   AutoSelectorConfig auto_selector;
+  // Deterministic fault injection (disabled by default); installed into the
+  // hypervisor's injector when the engine is constructed.
+  FaultPlan fault;
 };
 
 struct JobSpec {
@@ -127,11 +132,17 @@ struct JobResult {
   // Auto-selector outcome (when enabled): policy at completion + switches.
   PolicyConfig final_policy;
   int policy_switches = 0;
+  // Machine-wide fault-layer counters at the moment this job finished.
+  int64_t faults_injected = 0;
+  int64_t faults_recovered = 0;
+  int64_t faults_aborted = 0;
 };
 
 struct RunResult {
   std::vector<JobResult> jobs;
   double sim_seconds = 0.0;
+  // Final fault-layer counters (all zero when injection is disabled).
+  FaultStats faults;
 };
 
 // Simulated pages the engine lays out for one region / a whole application,
@@ -163,6 +174,10 @@ class Engine : public PageAccessSource {
   // Optional per-epoch time-series recording; the recorder must outlive the
   // run. Pass nullptr to detach.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  // Optional hook invoked at the end of every epoch with the simulated time;
+  // the property-based fault tests use it to assert invariants mid-run.
+  void set_epoch_hook(std::function<void(double)> hook) { epoch_hook_ = std::move(hook); }
 
   // Optional vCPU scheduler: every `period_s` the scheduler rebalances the
   // vCPUs of running jobs' domains and threads follow their vCPUs. Without
@@ -239,6 +254,7 @@ class Engine : public PageAccessSource {
   std::vector<double> dma_bytes_per_node_;
   double last_carrefour_tick_ = 0.0;
   TraceRecorder* trace_ = nullptr;
+  std::function<void(double)> epoch_hook_;
   CreditScheduler* scheduler_ = nullptr;
   double scheduler_period_s_ = 0.0;
   double last_scheduler_tick_ = 0.0;

@@ -6,14 +6,20 @@
 namespace xnuma {
 
 std::string TraceRecorder::ToCsv() const {
-  std::string out = "time,app,latency_cycles,rate_per_s,overhead,migrations,max_mc,max_link\n";
-  char line[256];
+  std::string out =
+      "time,app,latency_cycles,rate_per_s,overhead,migrations,max_mc,max_link,"
+      "faults_injected,faults_recovered,faults_aborted\n";
+  char line[320];
   for (const EpochSample& e : samples_) {
     for (const JobEpochSample& j : e.jobs) {
-      std::snprintf(line, sizeof(line), "%.3f,%s,%.1f,%.0f,%.4f,%lld,%.4f,%.4f\n",
+      std::snprintf(line, sizeof(line),
+                    "%.3f,%s,%.1f,%.0f,%.4f,%lld,%.4f,%.4f,%lld,%lld,%lld\n",
                     e.time_seconds, j.app.c_str(), j.avg_latency_cycles, j.total_rate,
                     j.overhead_fraction, static_cast<long long>(j.carrefour_migrations),
-                    e.max_mc_util, e.max_link_util);
+                    e.max_mc_util, e.max_link_util,
+                    static_cast<long long>(e.faults_injected),
+                    static_cast<long long>(e.faults_recovered),
+                    static_cast<long long>(e.faults_aborted));
       out += line;
     }
   }

@@ -1,0 +1,141 @@
+// Differential tests: the fault layer armed at probability zero must be
+// bit-identical to the fault layer disabled, for every placement policy.
+//
+// This is the property that makes chaos results trustworthy: the injection
+// hooks sit on hot paths (allocation, mapping, migration, the PV queue
+// flush), and any stray rng draw or behavioral branch taken merely because a
+// plan is installed would (a) change every seeded experiment in the repo and
+// (b) make "fault run vs clean run" comparisons meaningless. The injector
+// draws from a private Rng and short-circuits rate-0 sites, so enabling it
+// with all rates at zero must leave every simulation observable unchanged.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/guest/guest_os.h"
+#include "src/hv/hypervisor.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+#include "src/sim/engine.h"
+#include "src/workload/app_profile.h"
+
+namespace xnuma {
+namespace {
+
+AppProfile DiffChurnApp(const char* name) {
+  AppProfile app;
+  app.name = name;
+  app.cpu_cycles_per_access = 150;
+  app.nominal_seconds = 0.5;
+  app.release_rate_per_s = 20000.0;  // churn drives the PV queue every epoch
+  app.disk_read_mb = 64.0;
+  RegionSpec shared;
+  shared.name = "shared";
+  shared.footprint_mb = 512;
+  shared.init = AllocPattern::kMasterInit;
+  shared.access_share = 0.6;
+  shared.hot_fraction = 0.25;
+  shared.hot_share = 0.8;
+  app.regions.push_back(shared);
+  RegionSpec priv;
+  priv.name = "private";
+  priv.footprint_mb = 256;
+  priv.init = AllocPattern::kOwnerPartitioned;
+  priv.access_share = 0.4;
+  priv.owner_affinity = 0.9;
+  app.regions.push_back(priv);
+  return app;
+}
+
+struct PolicyCase {
+  const char* label;
+  StaticPolicy placement;
+  bool carrefour;
+};
+
+class FaultDifferentialTest : public ::testing::TestWithParam<PolicyCase> {};
+
+// One full simulation; `armed` installs an enabled plan with every rate 0.
+JobResult RunOnce(const AppProfile& app, const PolicyCase& pc, bool armed,
+                  FaultStats* fault_stats) {
+  EngineConfig ec;
+  ec.seed = 21;
+  ec.max_sim_seconds = 20.0;
+  if (armed) {
+    ec.fault.enabled = true;  // all rates stay 0.0
+    ec.fault.seed = 99;
+  }
+  PolicyConfig policy;
+  policy.placement = pc.placement;
+  policy.carrefour = pc.carrefour;
+
+  Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  LatencyModel latency;
+  DomainConfig dc;
+  dc.name = "dom";
+  dc.num_vcpus = 12;
+  dc.memory_pages = 4096;
+  for (int i = 0; i < 12; ++i) {
+    dc.pinned_cpus.push_back(i);
+  }
+  dc.policy = policy;
+  const DomainId dom = hv.CreateDomain(dc);
+  GuestOs guest(hv, dom);
+  Engine engine(hv, latency, ec);
+  JobSpec spec;
+  spec.app = &app;
+  spec.domain = dom;
+  spec.guest = &guest;
+  spec.threads = 12;
+  spec.vcpu_migration_period_s = 0.2;
+  engine.AddJob(spec);
+  const RunResult r = engine.Run();
+  *fault_stats = r.faults;
+  return r.jobs.back();
+}
+
+TEST_P(FaultDifferentialTest, ArmedAtProbabilityZeroIsBitIdentical) {
+  const PolicyCase pc = GetParam();
+  const AppProfile app = DiffChurnApp("diff-churn");
+
+  FaultStats off_stats;
+  FaultStats armed_stats;
+  const JobResult off = RunOnce(app, pc, /*armed=*/false, &off_stats);
+  const JobResult armed = RunOnce(app, pc, /*armed=*/true, &armed_stats);
+
+  EXPECT_TRUE(off.finished);
+  EXPECT_TRUE(armed.finished);
+  EXPECT_EQ(off.completion_seconds, armed.completion_seconds);
+  EXPECT_EQ(off.init_seconds, armed.init_seconds);
+  EXPECT_EQ(off.imbalance_pct, armed.imbalance_pct);
+  EXPECT_EQ(off.interconnect_pct, armed.interconnect_pct);
+  EXPECT_EQ(off.avg_mc_util_pct, armed.avg_mc_util_pct);
+  EXPECT_EQ(off.avg_latency_cycles, armed.avg_latency_cycles);
+  EXPECT_EQ(off.hv_page_faults, armed.hv_page_faults);
+  EXPECT_EQ(off.carrefour_migrations, armed.carrefour_migrations);
+
+  // A rate-0 plan must not merely behave identically — it must never fire.
+  EXPECT_EQ(off_stats.TotalInjected(), 0);
+  EXPECT_EQ(armed_stats.TotalInjected(), 0);
+  EXPECT_EQ(armed_stats.TotalRecovered(), 0);
+  EXPECT_EQ(armed_stats.TotalAborted(), 0);
+  EXPECT_EQ(armed.faults_injected, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, FaultDifferentialTest,
+    ::testing::Values(PolicyCase{"first_touch", StaticPolicy::kFirstTouch, false},
+                      PolicyCase{"round_4k", StaticPolicy::kRound4k, false},
+                      PolicyCase{"round_1g", StaticPolicy::kRound1g, false},
+                      PolicyCase{"first_touch_carrefour", StaticPolicy::kFirstTouch, true}),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace
+}  // namespace xnuma

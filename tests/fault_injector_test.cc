@@ -1,0 +1,177 @@
+// Unit tests for the deterministic fault-injection layer itself: plan
+// handling, determinism, the rate-0 no-draw guarantee, exhaustion windows,
+// and the bypass scope.
+
+#include "src/fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xnuma {
+namespace {
+
+int Idx(FaultSite site) { return static_cast<int>(site); }
+
+TEST(FaultInjectorTest, DisabledInjectorNeverFires) {
+  FaultInjector fi;
+  EXPECT_FALSE(fi.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fi.FireFrameAllocFailure(0));
+    EXPECT_FALSE(fi.FireMapFailure());
+    EXPECT_FALSE(fi.FireMigrateFailure());
+    EXPECT_FALSE(fi.FireReplicateFailure());
+    EXPECT_FALSE(fi.FireP2mRemapFailure());
+    EXPECT_FALSE(fi.FireQueueDrop());
+    EXPECT_EQ(fi.FireMapRangeCommitFailure(8), -1);
+    EXPECT_EQ(fi.FireHypercallDelay(), 0.0);
+  }
+  EXPECT_EQ(fi.stats().TotalInjected(), 0);
+}
+
+TEST(FaultInjectorTest, EnabledAtRateZeroNeverFires) {
+  // The differential-test guarantee: a live plan with all rates at zero
+  // behaves exactly like no plan at all.
+  FaultPlan plan;
+  plan.enabled = true;
+  FaultInjector fi;
+  fi.Configure(plan);
+  EXPECT_TRUE(fi.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fi.FireFrameAllocFailure(2));
+    EXPECT_FALSE(fi.FireMapFailure());
+    EXPECT_FALSE(fi.FireMigrateFailure());
+    EXPECT_FALSE(fi.FireQueueDrop());
+    EXPECT_EQ(fi.FireMapRangeCommitFailure(16), -1);
+    EXPECT_EQ(fi.FireHypercallDelay(), 0.0);
+  }
+  EXPECT_EQ(fi.stats().TotalInjected(), 0);
+}
+
+TEST(FaultInjectorTest, UniformRateOneFiresEverySite) {
+  FaultInjector fi;
+  fi.Configure(FaultPlan::Uniform(/*seed=*/7, /*rate=*/1.0));
+  EXPECT_TRUE(fi.FireMapFailure());
+  EXPECT_EQ(fi.last_injected_site(), FaultSite::kMap);
+  EXPECT_TRUE(fi.FireMigrateFailure());
+  EXPECT_TRUE(fi.FireReplicateFailure());
+  EXPECT_TRUE(fi.FireP2mRemapFailure());
+  EXPECT_TRUE(fi.FireQueueDrop());
+  const int64_t at = fi.FireMapRangeCommitFailure(8);
+  EXPECT_GE(at, 0);
+  EXPECT_LT(at, 8);
+  EXPECT_GT(fi.FireHypercallDelay(), 0.0);
+  EXPECT_TRUE(fi.FireFrameAllocFailure(0));
+  EXPECT_GE(fi.stats().TotalInjected(), 7);
+  // Delays are absorbed by construction: the hypercall still completes.
+  EXPECT_EQ(fi.stats().recovered[Idx(FaultSite::kHypercallDelay)], 1);
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysBitIdentically) {
+  const FaultPlan plan = FaultPlan::Uniform(/*seed=*/42, /*rate=*/0.3);
+  FaultInjector a;
+  FaultInjector b;
+  a.Configure(plan);
+  b.Configure(plan);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.FireMapFailure(), b.FireMapFailure()) << "call " << i;
+    EXPECT_EQ(a.FireFrameAllocFailure(i % 8), b.FireFrameAllocFailure(i % 8)) << "call " << i;
+    EXPECT_EQ(a.FireMapRangeCommitFailure(4), b.FireMapRangeCommitFailure(4)) << "call " << i;
+  }
+  EXPECT_EQ(a.stats().TotalInjected(), b.stats().TotalInjected());
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a;
+  FaultInjector b;
+  FaultPlan plan_a = FaultPlan::Uniform(1, 0.5);
+  FaultPlan plan_b = FaultPlan::Uniform(2, 0.5);
+  a.Configure(plan_a);
+  b.Configure(plan_b);
+  int differences = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.FireMapFailure() != b.FireMapFailure()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FaultInjectorTest, ExhaustionWindowForcesConsecutiveFailures) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.node_exhaustion_rate = 1.0;
+  plan.exhaustion_window_ops = 4;
+  FaultInjector fi;
+  fi.Configure(plan);
+  // First call opens the window; the next three are forced by it (no draw).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(fi.FireFrameAllocFailure(3)) << "call " << i;
+  }
+  EXPECT_EQ(fi.stats().injected[Idx(FaultSite::kNodeExhaustion)], 4);
+  // The window is per node: another node draws independently.
+  EXPECT_TRUE(fi.FireFrameAllocFailure(5));
+}
+
+TEST(FaultInjectorTest, ScopedBypassSuppressesInjectionAndNests) {
+  FaultInjector fi;
+  fi.Configure(FaultPlan::Uniform(9, 1.0));
+  EXPECT_TRUE(fi.FireMapFailure());
+  {
+    FaultInjector::ScopedBypass outer(fi);
+    EXPECT_FALSE(fi.enabled());
+    EXPECT_FALSE(fi.FireMapFailure());
+    {
+      FaultInjector::ScopedBypass inner(fi);
+      EXPECT_FALSE(fi.FireMapFailure());
+    }
+    EXPECT_FALSE(fi.FireMapFailure());
+  }
+  EXPECT_TRUE(fi.enabled());
+  EXPECT_TRUE(fi.FireMapFailure());
+}
+
+TEST(FaultInjectorTest, ConfigureResetsCountersAndRng) {
+  FaultInjector fi;
+  fi.Configure(FaultPlan::Uniform(11, 1.0));
+  ASSERT_TRUE(fi.FireMapFailure());
+  ASSERT_GT(fi.stats().TotalInjected(), 0);
+  std::vector<bool> first;
+  fi.Configure(FaultPlan::Uniform(11, 0.4));
+  EXPECT_EQ(fi.stats().TotalInjected(), 0);
+  for (int i = 0; i < 100; ++i) {
+    first.push_back(fi.FireMapFailure());
+  }
+  fi.Configure(FaultPlan::Uniform(11, 0.4));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fi.FireMapFailure(), first[i]) << "call " << i;
+  }
+}
+
+TEST(FaultInjectorTest, SummaryListsOnlyActiveSites) {
+  FaultInjector fi;
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.map_rate = 1.0;
+  fi.Configure(plan);
+  ASSERT_TRUE(fi.FireMapFailure());
+  fi.NoteRecovered(FaultSite::kMap);
+  const std::string summary = fi.stats().Summary();
+  EXPECT_NE(summary.find(ToString(FaultSite::kMap)), std::string::npos);
+  EXPECT_EQ(summary.find(ToString(FaultSite::kMigrate)), std::string::npos);
+}
+
+TEST(FaultInjectorTest, RecoveryAccountingIsPerSite) {
+  FaultInjector fi;
+  fi.Configure(FaultPlan::Uniform(3, 1.0));
+  ASSERT_TRUE(fi.FireMigrateFailure());
+  fi.NoteRecovered(fi.last_injected_site());
+  fi.NoteAborted(FaultSite::kMap);
+  EXPECT_EQ(fi.stats().recovered[Idx(FaultSite::kMigrate)], 1);
+  EXPECT_EQ(fi.stats().aborted[Idx(FaultSite::kMap)], 1);
+  EXPECT_EQ(fi.stats().TotalRecovered(), 1);
+  EXPECT_EQ(fi.stats().TotalAborted(), 1);
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,224 @@
+// Property-based chaos tests: randomized fault plans over randomized
+// workloads, with machine invariants asserted while the run is in flight.
+//
+// Per checked epoch:
+//  (a) every valid P2M entry is backed by an allocated machine frame with a
+//      well-defined home node, and a replicated page's replica set is
+//      consistent (allocated frames, no duplicate of the primary);
+//  (b) the engine's incremental placement aggregates match a full rescan;
+//  (c) every touched (owned) virtual page resolves to a mapped physical
+//      page — no recovery contract may leave a live page unmapped.
+// After the run: every job finished despite injection, and a nonzero fault
+// plan actually injected and recovered faults.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/guest/guest_os.h"
+#include "src/hv/hv_backend.h"
+#include "src/hv/hypervisor.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+#include "src/sim/engine.h"
+#include "src/workload/app_profile.h"
+
+namespace xnuma {
+namespace {
+
+AppProfile FaultChurnApp(const char* name) {
+  AppProfile app;
+  app.name = name;
+  app.cpu_cycles_per_access = 150;
+  app.nominal_seconds = 0.5;
+  app.release_rate_per_s = 20000.0;  // allocator churn: PV queue every epoch
+  app.disk_read_mb = 64.0;
+  RegionSpec shared;
+  shared.name = "shared";
+  shared.footprint_mb = 512;
+  shared.init = AllocPattern::kMasterInit;
+  shared.access_share = 0.6;
+  shared.hot_fraction = 0.25;
+  shared.hot_share = 0.8;
+  app.regions.push_back(shared);
+  RegionSpec priv;
+  priv.name = "private";
+  priv.footprint_mb = 256;
+  priv.init = AllocPattern::kOwnerPartitioned;
+  priv.access_share = 0.4;
+  priv.owner_affinity = 0.9;
+  app.regions.push_back(priv);
+  return app;
+}
+
+struct ChaosMachine {
+  Topology topo = Topology::Amd48();
+  Hypervisor hv{topo};
+  LatencyModel latency;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<GuestOs> guest;
+  DomainId dom = kInvalidDomain;
+
+  ChaosMachine(const EngineConfig& ec, PolicyConfig policy, int64_t memory_pages,
+               int threads = 12) {
+    DomainConfig dc;
+    dc.name = "dom";
+    dc.num_vcpus = threads;
+    dc.memory_pages = memory_pages;
+    for (int i = 0; i < threads; ++i) {
+      dc.pinned_cpus.push_back(i);
+    }
+    dc.policy = policy;
+    dom = hv.CreateDomain(dc);
+    guest = std::make_unique<GuestOs>(hv, dom);
+    engine = std::make_unique<Engine>(hv, latency, ec);
+  }
+
+  int AddJob(const AppProfile& app, int threads = 12) {
+    JobSpec spec;
+    spec.app = &app;
+    spec.domain = dom;
+    spec.guest = guest.get();
+    spec.threads = threads;
+    return engine->AddJob(spec);
+  }
+};
+
+// Invariant (a): P2M entries, frames, and replica sets are consistent.
+void CheckMappingInvariants(ChaosMachine& m) {
+  Domain& dom = m.hv.domain(m.dom);
+  HvPlacementBackend& be = m.hv.backend(m.dom);
+  const int64_t pages = dom.memory_pages();
+  for (Pfn pfn = 0; pfn < pages; ++pfn) {
+    if (!be.IsMapped(pfn)) {
+      ASSERT_FALSE(dom.IsReplicated(pfn)) << "unmapped page " << pfn << " has replicas";
+      continue;
+    }
+    const Mfn mfn = dom.p2m().Lookup(pfn);
+    ASSERT_TRUE(m.hv.frames().IsAllocated(mfn)) << "page " << pfn;
+    const NodeId home = m.hv.frames().NodeOf(mfn);
+    ASSERT_GE(home, 0) << "page " << pfn;
+    ASSERT_LT(home, m.topo.num_nodes()) << "page " << pfn;
+    if (dom.IsReplicated(pfn)) {
+      const auto& replicas = dom.replicas().at(pfn);
+      ASSERT_FALSE(replicas.empty()) << "page " << pfn;
+      for (const Mfn replica : replicas) {
+        ASSERT_TRUE(m.hv.frames().IsAllocated(replica))
+            << "page " << pfn << " replica " << replica;
+        ASSERT_NE(replica, mfn) << "page " << pfn << " replicates its primary";
+      }
+    }
+  }
+}
+
+// Invariant (c): a virtual page the guest believes is live must be mapped.
+void CheckTouchedPagesMapped(ChaosMachine& m, int64_t vpages) {
+  HvPlacementBackend& be = m.hv.backend(m.dom);
+  for (int pid = 0; pid < m.guest->num_processes(); ++pid) {
+    for (Vpn vpn = 0; vpn < vpages; ++vpn) {
+      const Pfn pfn = m.guest->PfnOfVpage(pid, vpn);
+      if (pfn == kInvalidPfn) {
+        continue;  // never touched, or released
+      }
+      ASSERT_TRUE(be.IsMapped(pfn)) << "pid " << pid << " vpn " << vpn << " pfn " << pfn;
+    }
+  }
+}
+
+struct ChaosParam {
+  uint64_t fault_seed;
+  double rate;
+  bool carrefour;
+};
+
+class FaultPropertyTest : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(FaultPropertyTest, InvariantsHoldUnderRandomizedInjection) {
+  const ChaosParam param = GetParam();
+  const AppProfile app = FaultChurnApp("chaos-churn");
+  PolicyConfig policy;
+  policy.placement = StaticPolicy::kFirstTouch;
+  policy.carrefour = param.carrefour;
+  EngineConfig ec;
+  ec.seed = 17;
+  ec.max_sim_seconds = 20.0;
+  ec.fault = FaultPlan::Uniform(param.fault_seed, param.rate);
+  ChaosMachine m(ec, policy, 4096);
+  m.AddJob(app);
+  const int64_t vpages =
+      AppSimPages(app, m.hv.frames().bytes_per_frame(), ec.min_region_pages);
+
+  int64_t epoch = 0;
+  m.engine->set_epoch_hook([&](double) {
+    if (++epoch % 8 != 0) {
+      return;  // a full sweep every epoch would dominate the test's runtime
+    }
+    CheckMappingInvariants(m);
+    m.engine->DebugRefreshPlacement();
+    ASSERT_TRUE(m.engine->DebugVerifyPlacementCache()) << "epoch " << epoch;
+    CheckTouchedPagesMapped(m, vpages);
+  });
+
+  const RunResult r = m.engine->Run();
+  ASSERT_GT(epoch, 8) << "run too short to exercise the invariants";
+  CheckMappingInvariants(m);
+  CheckTouchedPagesMapped(m, vpages);
+
+  // The injected storm must not stop the workload.
+  ASSERT_FALSE(r.jobs.empty());
+  EXPECT_TRUE(r.jobs.back().finished);
+  EXPECT_GT(r.faults.TotalInjected(), 0);
+  EXPECT_GT(r.faults.TotalRecovered(), 0);
+  EXPECT_EQ(r.faults.TotalInjected(), m.hv.fault_injector().stats().TotalInjected());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, FaultPropertyTest,
+    ::testing::Values(ChaosParam{3, 0.005, true}, ChaosParam{9, 0.01, false},
+                      ChaosParam{23, 0.05, true}),
+    [](const ::testing::TestParamInfo<ChaosParam>& info) {
+      return "seed" + std::to_string(info.param.fault_seed) + "_rate" +
+             std::to_string(static_cast<int>(info.param.rate * 1000)) + "permille" +
+             (info.param.carrefour ? "_carrefour" : "");
+    });
+
+TEST(FaultReplayTest, SameFaultSeedReplaysBitIdentically) {
+  const AppProfile app = FaultChurnApp("chaos-replay");
+  PolicyConfig policy;
+  policy.placement = StaticPolicy::kFirstTouch;
+  policy.carrefour = true;
+
+  JobResult results[2];
+  FaultStats fault_stats[2];
+  for (int run = 0; run < 2; ++run) {
+    EngineConfig ec;
+    ec.seed = 21;
+    ec.max_sim_seconds = 20.0;
+    ec.fault = FaultPlan::Uniform(/*seed=*/77, /*rate=*/0.01);
+    ChaosMachine m(ec, policy, 4096);
+    m.AddJob(app);
+    const RunResult r = m.engine->Run();
+    results[run] = r.jobs.back();
+    fault_stats[run] = r.faults;
+  }
+  EXPECT_TRUE(results[0].finished);
+  EXPECT_TRUE(results[1].finished);
+  EXPECT_EQ(results[0].completion_seconds, results[1].completion_seconds);
+  EXPECT_EQ(results[0].imbalance_pct, results[1].imbalance_pct);
+  EXPECT_EQ(results[0].interconnect_pct, results[1].interconnect_pct);
+  EXPECT_EQ(results[0].avg_latency_cycles, results[1].avg_latency_cycles);
+  EXPECT_EQ(results[0].hv_page_faults, results[1].hv_page_faults);
+  EXPECT_EQ(results[0].carrefour_migrations, results[1].carrefour_migrations);
+  EXPECT_GT(fault_stats[0].TotalInjected(), 0);
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    EXPECT_EQ(fault_stats[0].injected[s], fault_stats[1].injected[s]) << "site " << s;
+    EXPECT_EQ(fault_stats[0].recovered[s], fault_stats[1].recovered[s]) << "site " << s;
+    EXPECT_EQ(fault_stats[0].aborted[s], fault_stats[1].aborted[s]) << "site " << s;
+  }
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -13,3 +13,18 @@ cmake -B "$BUILD" -S "$ROOT" >/dev/null
 cmake --build "$BUILD" -j --target micro_engine_epoch >/dev/null
 
 "$BUILD/bench/micro_engine_epoch" | tee "$ROOT/BENCH_engine.json"
+
+# The fault-injection layer armed at probability 0 must cost < 2% epochs/sec
+# (mean over configs): its hooks sit on the allocation/mapping/queue hot
+# paths and are supposed to be branch-only when they never fire.
+awk -F': ' '/"fault_p0_mean_overhead_pct"/ {
+  gsub(/[,}]/, "", $2); overhead = $2 + 0
+  if (overhead >= 2.0) {
+    printf "FAIL: fault layer at p=0 costs %.2f%% epochs/sec (budget: 2%%)\n", overhead
+    exit 1
+  }
+  printf "OK: fault layer at p=0 costs %.2f%% epochs/sec (budget: 2%%)\n", overhead
+  found = 1
+}
+END { if (!found) { print "FAIL: fault_p0_mean_overhead_pct missing from bench output"; exit 1 } }
+' "$ROOT/BENCH_engine.json"

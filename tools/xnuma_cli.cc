@@ -32,6 +32,7 @@ int Usage() {
                "  pair  --a NAME --b NAME [--mode split|consolidated]\n"
                "  auto  --app NAME\n"
                "  options: --seconds N --threads N --seed N --csv --trace FILE.csv\n"
+               "           --fault_rate P --fault_seed N  (seeded chaos injection)\n"
                "  policies: first-touch, round-4k, round-1g\n");
   return 2;
 }
@@ -68,7 +69,22 @@ RunOptions LoadOptions(const Flags& flags) {
   RunOptions opts;
   opts.threads = static_cast<int>(flags.GetInt("threads", 48));
   opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const double fault_rate = flags.GetDouble("fault_rate", 0.0);
+  const uint64_t fault_seed = static_cast<uint64_t>(flags.GetInt("fault_seed", 1));
+  if (fault_rate > 0.0) {
+    opts.engine.fault = FaultPlan::Uniform(fault_seed, fault_rate);
+  }
   return opts;
+}
+
+void PrintFaultSummary(const Flags& flags, const JobResult& r) {
+  if (flags.GetBool("csv", false) || r.faults_injected == 0) {
+    return;
+  }
+  std::printf("faults: injected %lld  recovered %lld  aborted %lld\n",
+              static_cast<long long>(r.faults_injected),
+              static_cast<long long>(r.faults_recovered),
+              static_cast<long long>(r.faults_aborted));
 }
 
 StackConfig LoadStack(const Flags& flags) {
@@ -128,6 +144,7 @@ int CmdRun(const Flags& flags) {
   }
   const JobResult r = RunSingleApp(app, stack, opts);
   PrintResult(flags, stack.label, r);
+  PrintFaultSummary(flags, r);
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);
     out << trace.ToCsv();
