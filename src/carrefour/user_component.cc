@@ -8,8 +8,41 @@ CarrefourUserComponent::CarrefourUserComponent(CarrefourSystemComponent& system,
                                                CarrefourConfig config, uint64_t seed)
     : system_(&system), config_(config), rng_(seed) {}
 
+void CarrefourUserComponent::set_observability(Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    tick_count_ = backoff_skip_count_ = interleave_count_ = locality_count_ = nullptr;
+    replication_count_ = failed_migration_count_ = nullptr;
+    scan_seconds_ = migrate_seconds_ = nullptr;
+    return;
+  }
+  MetricsRegistry& m = obs_->metrics();
+  tick_count_ =
+      m.RegisterCounter("carrefour.ticks", "ticks", "Carrefour decision periods run");
+  backoff_skip_count_ = m.RegisterCounter(
+      "carrefour.backoff_skips", "ticks",
+      "Decision periods sat out under the fault-recovery backoff");
+  interleave_count_ = m.RegisterCounter("carrefour.interleave_migrations", "pages",
+                                        "Hot pages moved by the interleave heuristic");
+  locality_count_ = m.RegisterCounter("carrefour.locality_migrations", "pages",
+                                      "Hot pages moved to their dominant source node");
+  replication_count_ = m.RegisterCounter(
+      "carrefour.replications", "pages",
+      "Hot read-only pages replicated (opt-in §3.4 extension)");
+  failed_migration_count_ = m.RegisterCounter(
+      "carrefour.failed_migrations", "pages", "Migrations the heuristics could not commit");
+  scan_seconds_ = m.RegisterHistogram(
+      "carrefour.scan_seconds", "s", "Wall-clock cost of one hot-page scan");
+  migrate_seconds_ = m.RegisterHistogram(
+      "carrefour.migrate_seconds", "s",
+      "Wall-clock cost of one tick's migration/replication loops");
+}
+
 CarrefourTickStats CarrefourUserComponent::Tick(DomainId domain) {
   CarrefourTickStats stats;
+  if (tick_count_ != nullptr) {
+    tick_count_->Increment();
+  }
   BackoffState& backoff = backoff_[domain];
   if (backoff.skip_remaining > 0) {
     // Recovery contract: after injected migration failures the daemon sits
@@ -17,6 +50,9 @@ CarrefourTickStats CarrefourUserComponent::Tick(DomainId domain) {
     --backoff.skip_remaining;
     stats.skipped_by_backoff = true;
     ++total_skipped_ticks_;
+    if (backoff_skip_count_ != nullptr) {
+      backoff_skip_count_->Increment();
+    }
     return stats;
   }
   FaultInjector& fi = system_->fault_injector();
@@ -43,9 +79,13 @@ CarrefourTickStats CarrefourUserComponent::Tick(DomainId domain) {
     return stats;
   }
 
-  std::vector<PageAccessSample> hot =
-      system_->ReadHotPages(domain, config_.hot_pages_per_tick);
+  std::vector<PageAccessSample> hot;
+  {
+    XNUMA_TRACE_SCOPE(obs_, "carrefour_scan", "carrefour", scan_seconds_);
+    hot = system_->ReadHotPages(domain, config_.hot_pages_per_tick);
+  }
 
+  XNUMA_TRACE_SCOPE(obs_, "carrefour_migrate", "carrefour", migrate_seconds_);
   int budget = config_.max_migrations_per_tick;
   // The migration (locality) heuristic runs first: a page with a single
   // dominant source has an unambiguous best home, whereas interleaving is a
@@ -113,6 +153,13 @@ CarrefourTickStats CarrefourUserComponent::Tick(DomainId domain) {
         ++stats.failed_migrations;
       }
     }
+  }
+
+  if (obs_ != nullptr) {
+    interleave_count_->Increment(stats.interleave_migrations);
+    locality_count_->Increment(stats.locality_migrations);
+    replication_count_->Increment(stats.replications);
+    failed_migration_count_->Increment(stats.failed_migrations);
   }
 
   // Backoff bookkeeping, engaged only when an injection actually fired this

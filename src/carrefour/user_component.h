@@ -22,6 +22,7 @@
 #include "src/carrefour/system_component.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
+#include "src/obs/obs.h"
 
 namespace xnuma {
 
@@ -78,6 +79,10 @@ class CarrefourUserComponent {
 
   int64_t total_skipped_ticks() const { return total_skipped_ticks_; }
 
+  // Optional metrics and scan/migrate profiling spans (carrefour.*).
+  // nullptr detaches.
+  void set_observability(Observability* obs);
+
  private:
   // Per-domain capped exponential backoff under injected migration failures.
   struct BackoffState {
@@ -94,6 +99,17 @@ class CarrefourUserComponent {
   int64_t total_replications_ = 0;
   int64_t total_skipped_ticks_ = 0;
   std::unordered_map<DomainId, BackoffState> backoff_;
+
+  // Observability (null = disabled).
+  Observability* obs_ = nullptr;
+  Counter* tick_count_ = nullptr;
+  Counter* backoff_skip_count_ = nullptr;
+  Counter* interleave_count_ = nullptr;
+  Counter* locality_count_ = nullptr;
+  Counter* replication_count_ = nullptr;
+  Counter* failed_migration_count_ = nullptr;
+  Histogram* scan_seconds_ = nullptr;
+  Histogram* migrate_seconds_ = nullptr;
 };
 
 }  // namespace xnuma

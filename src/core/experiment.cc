@@ -32,6 +32,9 @@ struct Machine {
 
   explicit Machine(const RunOptions& options) {
     hv = std::make_unique<Hypervisor>(topo);
+    // Before any domain or the engine: creation-time wiring (per-domain p2m,
+    // backends, guest queues, engine) reads hv->observability().
+    hv->set_observability(options.obs);
     EngineConfig ec = options.engine;
     ec.seed = options.seed;
     engine = std::make_unique<Engine>(*hv, latency, ec);

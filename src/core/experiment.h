@@ -56,6 +56,11 @@ struct RunOptions {
   EngineConfig engine;
   // Optional per-epoch time-series recording (must outlive the run).
   TraceRecorder* trace = nullptr;
+  // Optional metrics + event tracing (must outlive the run). Attached to the
+  // hypervisor before any domain exists so every layer registers its
+  // instruments; nullptr (the default) keeps the run bit-identical to a
+  // build without the observability layer.
+  Observability* obs = nullptr;
 };
 
 // Runs `app` alone on a 48-core machine (threads pinned 1:1 to vCPUs to

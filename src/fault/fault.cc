@@ -101,20 +101,44 @@ void FaultInjector::Configure(const FaultPlan& plan) {
   exhaustion_left_.clear();
 }
 
+void FaultInjector::set_observability(Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    injected_counter_ = recovered_counter_ = aborted_counter_ = nullptr;
+    return;
+  }
+  MetricsRegistry& m = obs_->metrics();
+  injected_counter_ =
+      m.RegisterCounter("fault.injected", "events", "Faults fired across all sites");
+  recovered_counter_ = m.RegisterCounter(
+      "fault.recovered", "events", "Faults absorbed by a recovery contract");
+  aborted_counter_ = m.RegisterCounter(
+      "fault.aborted", "events", "Faults surfaced to the caller as definitive failures");
+}
+
 void FaultInjector::NoteInjected(FaultSite site) {
   XNUMA_CHECK(site != FaultSite::kNumSites);
   ++stats_.injected[static_cast<int>(site)];
   last_site_ = site;
+  if (injected_counter_ != nullptr) {
+    injected_counter_->Increment();
+  }
 }
 
 void FaultInjector::NoteRecovered(FaultSite site) {
   XNUMA_CHECK(site != FaultSite::kNumSites);
   ++stats_.recovered[static_cast<int>(site)];
+  if (recovered_counter_ != nullptr) {
+    recovered_counter_->Increment();
+  }
 }
 
 void FaultInjector::NoteAborted(FaultSite site) {
   XNUMA_CHECK(site != FaultSite::kNumSites);
   ++stats_.aborted[static_cast<int>(site)];
+  if (aborted_counter_ != nullptr) {
+    aborted_counter_->Increment();
+  }
 }
 
 bool FaultInjector::Draw(double rate, FaultSite site) {

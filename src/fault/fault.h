@@ -26,6 +26,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/types.h"
+#include "src/obs/obs.h"
 
 namespace xnuma {
 
@@ -103,6 +104,12 @@ class FaultInjector {
   // Installs a plan, reseeds the private Rng, and clears the counters.
   void Configure(const FaultPlan& plan);
 
+  // Mirrors injected/recovered/aborted into aggregate registry counters
+  // (fault.injected / fault.recovered / fault.aborted) so FaultStats rides
+  // the same export pipeline as every other metric. Null detaches.
+  void set_observability(Observability* obs);
+  Observability* observability() const { return obs_; }
+
   bool enabled() const { return plan_.enabled && bypass_ == 0; }
   const FaultPlan& plan() const { return plan_; }
   const FaultStats& stats() const { return stats_; }
@@ -161,6 +168,10 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_{1};
   FaultStats stats_;
+  Observability* obs_ = nullptr;
+  Counter* injected_counter_ = nullptr;
+  Counter* recovered_counter_ = nullptr;
+  Counter* aborted_counter_ = nullptr;
   FaultSite last_site_ = FaultSite::kNumSites;
   int bypass_ = 0;
   // Remaining forced allocation failures per node (exhaustion windows).

@@ -20,6 +20,7 @@ GuestOs::GuestOs(Hypervisor& hv, DomainId domain, Options options)
       options_.queue_partition_bits, options_.queue_batch_size,
       options_.queue_max_pending);
   queue_->set_fault_injector(&hv.fault_injector());
+  queue_->set_observability(hv.observability());
 }
 
 int GuestOs::CreateProcess(int64_t num_vpages) {

@@ -24,6 +24,31 @@ PvPageQueue::Partition& PvPageQueue::PartitionOf(Pfn pfn) {
   return partitions_[pfn & partition_mask_];
 }
 
+void PvPageQueue::set_observability(Observability* obs) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    push_count_ = flush_count_ = dropped_count_ = requeued_count_ = nullptr;
+    flush_batch_ = flush_wall_seconds_ = nullptr;
+    return;
+  }
+  MetricsRegistry& m = obs_->metrics();
+  push_count_ =
+      m.RegisterCounter("pv.queue.pushes", "ops", "Alloc/release entries enqueued");
+  flush_count_ =
+      m.RegisterCounter("pv.queue.flushes", "calls", "Flush hypercalls issued");
+  dropped_count_ = m.RegisterCounter(
+      "pv.queue.dropped_ops", "ops", "Entries lost to injected drops or overflow");
+  requeued_count_ = m.RegisterCounter("pv.queue.requeued_ops", "ops",
+                                      "Dropped entries the guest re-enqueued");
+  flush_batch_ = m.RegisterHistogram("pv.queue.flush_batch", "ops",
+                                     "Entries delivered per flush hypercall",
+                                     {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  flush_wall_seconds_ = m.RegisterHistogram(
+      "pv.queue.flush_wall_seconds", "s",
+      "Wall-clock time of one flush (lock held across the hypercall)");
+}
+
 void PvPageQueue::PushAlloc(Pfn pfn) {
   Push({PageQueueOp::Kind::kAlloc, pfn});
 }
@@ -48,11 +73,17 @@ void PvPageQueue::Push(PageQueueOp op) {
     }
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.dropped_ops;
+    if (dropped_count_ != nullptr) {
+      dropped_count_->Increment();
+    }
   }
   p.ops.push_back(op);
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.pushes;
+    if (push_count_ != nullptr) {
+      push_count_->Increment();
+    }
   }
   if (static_cast<int>(p.ops.size()) >= batch_size_) {
     // The partition lock is deliberately held across the hypercall: another
@@ -77,13 +108,24 @@ void PvPageQueue::FlushLocked(Partition& p) {
     p.ops.clear();
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.dropped_ops += n;
+    if (dropped_count_ != nullptr) {
+      dropped_count_->Increment(n);
+    }
     return;
   }
+  const int64_t batch = static_cast<int64_t>(p.ops.size());
+  const double begin_us = obs_ != nullptr ? obs_->tracer().NowUs() : 0.0;
   const double hv_time = flush_(std::span<const PageQueueOp>(p.ops));
+  const double end_us = obs_ != nullptr ? obs_->tracer().NowUs() : 0.0;
   p.ops.clear();
   std::lock_guard<std::mutex> slock(stats_mu_);
   ++stats_.flushes;
   stats_.hypervisor_seconds += hv_time;
+  if (flush_count_ != nullptr) {
+    flush_count_->Increment();
+    flush_batch_->Observe(static_cast<double>(batch));
+    flush_wall_seconds_->Observe((end_us - begin_us) * 1e-6);
+  }
 }
 
 void PvPageQueue::TakeDropped(std::vector<PageQueueOp>* out) {
@@ -96,6 +138,9 @@ void PvPageQueue::Requeue(PageQueueOp op) {
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.requeued_ops;
+    if (requeued_count_ != nullptr) {
+      requeued_count_->Increment();
+    }
   }
   Push(op);
 }

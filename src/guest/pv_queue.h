@@ -63,6 +63,12 @@ class PvPageQueue {
   // dropped set; the guest recovers them via TakeDropped + Requeue.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  // Optional metrics (pv.queue.*). The queue is the one instrumentation
+  // site driven from multiple guest threads, so every metric update happens
+  // under stats_mu_ (and never touches the single-threaded trace ring).
+  // nullptr detaches.
+  void set_observability(Observability* obs);
+
   // Moves every dropped entry into `out` (appended) and clears the set.
   void TakeDropped(std::vector<PageQueueOp>* out);
 
@@ -102,6 +108,15 @@ class PvPageQueue {
 
   mutable std::mutex stats_mu_;
   Stats stats_;
+
+  // Observability (null = disabled; all updates guarded by stats_mu_).
+  Observability* obs_ = nullptr;
+  Counter* push_count_ = nullptr;
+  Counter* flush_count_ = nullptr;
+  Counter* dropped_count_ = nullptr;
+  Counter* requeued_count_ = nullptr;
+  Histogram* flush_batch_ = nullptr;
+  Histogram* flush_wall_seconds_ = nullptr;
 };
 
 }  // namespace xnuma

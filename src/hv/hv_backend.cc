@@ -11,6 +11,37 @@ HvPlacementBackend::HvPlacementBackend(Domain& domain, FrameAllocator& frames)
   dirty_flag_.assign(domain.memory_pages(), 0);
 }
 
+void HvPlacementBackend::set_observability(Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    map_count_ = map_range_count_ = migration_count_ = failed_migration_count_ = nullptr;
+    migrated_bytes_ = replication_count_ = collapse_count_ = invalidation_count_ = nullptr;
+    migrate_seconds_ = nullptr;
+    return;
+  }
+  MetricsRegistry& m = obs_->metrics();
+  map_count_ =
+      m.RegisterCounter("hv.backend.maps", "pages", "Pages mapped through MapOnNode");
+  map_range_count_ = m.RegisterCounter("hv.backend.map_ranges", "ranges",
+                                       "Contiguous ranges committed by MapRangeOnNode");
+  migration_count_ =
+      m.RegisterCounter("hv.backend.migrations", "pages", "Pages migrated between nodes");
+  failed_migration_count_ = m.RegisterCounter(
+      "hv.backend.failed_migrations", "pages",
+      "Migrations refused or rolled back (exhaustion, injected fault, remap race)");
+  migrated_bytes_ =
+      m.RegisterCounter("hv.backend.migrated_bytes", "bytes", "Bytes copied by migrations");
+  replication_count_ = m.RegisterCounter("hv.backend.replications", "pages",
+                                         "Pages replicated across home nodes");
+  collapse_count_ = m.RegisterCounter("hv.backend.collapses", "pages",
+                                      "Replica sets collapsed back to one copy");
+  invalidation_count_ = m.RegisterCounter(
+      "hv.backend.invalidations", "pages",
+      "P2M entries invalidated (releases re-arming the first-touch trap)");
+  migrate_seconds_ = m.RegisterHistogram("hv.backend.migrate_seconds", "s",
+                                         "Wall-clock cost of one page migration");
+}
+
 int64_t HvPlacementBackend::DirtyLimit() const {
   // Past this point a drain would cost as much as the rescan it is meant to
   // avoid; degrade to "everything changed".
@@ -83,6 +114,9 @@ bool HvPlacementBackend::MapOnNode(Pfn pfn, NodeId node) {
   }
   domain_->p2m().Map(pfn, mfn);
   MarkDirty(pfn);
+  if (map_count_ != nullptr) {
+    map_count_->Increment();
+  }
   return true;
 }
 
@@ -121,6 +155,9 @@ bool HvPlacementBackend::MapRangeOnNode(Pfn first, int64_t count, NodeId node) {
       MarkDirty(first + k);
     }
   }
+  if (map_range_count_ != nullptr) {
+    map_range_count_->Increment();
+  }
   return true;
 }
 
@@ -154,6 +191,9 @@ bool HvPlacementBackend::Replicate(Pfn pfn) {
   domain_->mutable_replicas()[pfn] = std::move(replicas);
   ++domain_->stats().pages_replicated;
   MarkDirty(pfn);
+  if (replication_count_ != nullptr) {
+    replication_count_->Increment();
+  }
   return true;
 }
 
@@ -171,17 +211,27 @@ void HvPlacementBackend::CollapseReplicas(Pfn pfn) {
   }
   ++domain_->stats().replicas_collapsed;
   MarkDirty(pfn);
+  if (collapse_count_ != nullptr) {
+    collapse_count_->Increment();
+  }
 }
 
 bool HvPlacementBackend::IsReplicated(Pfn pfn) const { return domain_->IsReplicated(pfn); }
 
 bool HvPlacementBackend::Migrate(Pfn pfn, NodeId node) {
+  const double begin_us = obs_ != nullptr ? obs_->tracer().NowUs() : 0.0;
   P2mTable& p2m = domain_->p2m();
   if (!p2m.IsValid(pfn)) {
+    if (failed_migration_count_ != nullptr) {
+      failed_migration_count_->Increment();
+    }
     return false;
   }
   FaultInjector* fi = frames_->fault_injector();
   if (fi != nullptr && fi->FireMigrateFailure()) {
+    if (failed_migration_count_ != nullptr) {
+      failed_migration_count_->Increment();
+    }
     return false;  // injected failure before any state is touched
   }
   if (domain_->IsReplicated(pfn)) {
@@ -195,6 +245,9 @@ bool HvPlacementBackend::Migrate(Pfn pfn, NodeId node) {
   }
   const Mfn new_mfn = frames_->AllocOnNode(node);
   if (new_mfn == kInvalidMfn) {
+    if (failed_migration_count_ != nullptr) {
+      failed_migration_count_->Increment();
+    }
     return false;
   }
   // §4.1: write-protect the entry so no store lands in the page while it is
@@ -208,6 +261,9 @@ bool HvPlacementBackend::Migrate(Pfn pfn, NodeId node) {
     if (fi != nullptr) {
       fi->NoteRecovered(FaultSite::kP2mRemap);
     }
+    if (failed_migration_count_ != nullptr) {
+      failed_migration_count_->Increment();
+    }
     return false;
   }
   p2m.WriteUnprotect(pfn);
@@ -218,6 +274,11 @@ bool HvPlacementBackend::Migrate(Pfn pfn, NodeId node) {
   ++domain_->stats().pages_migrated;
   domain_->stats().bytes_migrated += frames_->bytes_per_frame();
   MarkDirty(pfn);
+  if (obs_ != nullptr) {
+    migration_count_->Increment();
+    migrated_bytes_->Increment(frames_->bytes_per_frame());
+    migrate_seconds_->Observe((obs_->tracer().NowUs() - begin_us) * 1e-6);
+  }
   return true;
 }
 
@@ -229,6 +290,9 @@ void HvPlacementBackend::Invalidate(Pfn pfn) {
   CollapseReplicas(pfn);
   frames_->Free(p2m.Unmap(pfn));
   MarkDirty(pfn);
+  if (invalidation_count_ != nullptr) {
+    invalidation_count_->Increment();
+  }
 }
 
 int64_t HvPlacementBackend::FreeFramesOnNode(NodeId node) const {

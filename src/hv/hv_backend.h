@@ -11,6 +11,7 @@
 #include "src/common/types.h"
 #include "src/hv/domain.h"
 #include "src/mm/frame_allocator.h"
+#include "src/obs/obs.h"
 #include "src/policy/placement_backend.h"
 
 namespace xnuma {
@@ -61,6 +62,10 @@ class HvPlacementBackend : public PlacementBackend {
   // that case and the caller must rescan the whole address space.
   bool DrainDirtyPfns(std::vector<Pfn>* out);
 
+  // Optional metrics for every placement mutation (hv.backend.*) plus the
+  // per-page migrate wall-clock histogram. nullptr detaches.
+  void set_observability(Observability* obs);
+
  private:
   void MarkDirty(Pfn pfn);
   void MarkAllDirty();
@@ -74,6 +79,18 @@ class HvPlacementBackend : public PlacementBackend {
   std::vector<Pfn> dirty_pfns_;
   std::vector<uint8_t> dirty_flag_;  // [num_pages] dedup bitmap
   bool dirty_overflow_ = false;
+
+  // Observability (null = disabled).
+  Observability* obs_ = nullptr;
+  Counter* map_count_ = nullptr;
+  Counter* map_range_count_ = nullptr;
+  Counter* migration_count_ = nullptr;
+  Counter* failed_migration_count_ = nullptr;
+  Counter* migrated_bytes_ = nullptr;
+  Counter* replication_count_ = nullptr;
+  Counter* collapse_count_ = nullptr;
+  Counter* invalidation_count_ = nullptr;
+  Histogram* migrate_seconds_ = nullptr;
 };
 
 }  // namespace xnuma

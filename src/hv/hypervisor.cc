@@ -15,6 +15,32 @@ Hypervisor::Hypervisor(const Topology& topo, int64_t bytes_per_frame)
   frames_.set_fault_injector(&faults_);
 }
 
+void Hypervisor::set_observability(Observability* obs) {
+  obs_ = obs;
+  faults_.set_observability(obs);
+  for (auto& be : backends_) {
+    be->set_observability(obs);
+  }
+  for (auto& dom : domains_) {
+    dom->p2m().set_observability(obs);
+  }
+  if (obs_ == nullptr) {
+    set_policy_calls_ = queue_flush_calls_ = page_fault_count_ = nullptr;
+    flush_sim_seconds_ = nullptr;
+    return;
+  }
+  MetricsRegistry& m = obs_->metrics();
+  set_policy_calls_ = m.RegisterCounter("hv.hypercall.set_policy", "calls",
+                                        "Policy-selection hypercalls (interface 1)");
+  queue_flush_calls_ = m.RegisterCounter("hv.hypercall.queue_flush", "calls",
+                                         "Page-queue flush hypercalls (interface 2)");
+  page_fault_count_ = m.RegisterCounter("hv.page_faults", "faults",
+                                        "Hypervisor first-touch page faults handled");
+  flush_sim_seconds_ = m.RegisterHistogram(
+      "hv.hypercall.flush_sim_seconds", "s",
+      "Simulated hypervisor time consumed per page-queue flush");
+}
+
 Domain& Hypervisor::domain(DomainId id) {
   XNUMA_CHECK(id >= 0 && id < num_domains());
   return *domains_[id];
@@ -95,6 +121,7 @@ DomainId Hypervisor::TryCreateDomain(const DomainConfig& config) {
   dom->set_is_dom0(config.is_dom0);
   dom->set_pci_passthrough(config.pci_passthrough);
   dom->p2m().set_fault_injector(&faults_);
+  dom->p2m().set_observability(obs_);
 
   // Pin vCPUs: explicit list, or pack onto the home nodes.
   std::vector<CpuId> pins = config.pinned_cpus;
@@ -140,6 +167,7 @@ DomainId Hypervisor::TryCreateDomain(const DomainConfig& config) {
 
   domains_.push_back(std::move(dom));
   backends_.push_back(std::make_unique<HvPlacementBackend>(*domains_.back(), frames_));
+  backends_.back()->set_observability(obs_);
 
   // Eager policies (round-4K, round-1G) allocate the machine memory of the
   // domain at creation time (§3.3).
@@ -158,6 +186,10 @@ HypercallStatus Hypervisor::HypercallSetPolicy(DomainId id, const PolicyConfig& 
     return HypercallStatus::kBadDomain;
   }
   Domain& dom = domain(id);
+  if (set_policy_calls_ != nullptr) {
+    set_policy_calls_->Increment();
+    EmitEvent(obs_, "hypercall_set_policy", "hv");
+  }
   if (config.placement == StaticPolicy::kFirstTouch && dom.pci_passthrough()) {
     return HypercallStatus::kPolicyConflictsWithIommu;
   }
@@ -172,6 +204,7 @@ HypercallStatus Hypervisor::HypercallSetPolicy(DomainId id, const PolicyConfig& 
 
 double Hypervisor::HypercallPageQueueFlush(DomainId id, std::span<const PageQueueOp> ops) {
   XNUMA_CHECK(id >= 0 && id < num_domains());
+  XNUMA_TRACE_SCOPE(obs_, "hypercall_queue_flush", "hv");
   Domain& dom = domain(id);
   DomainStats& stats = dom.stats();
   ++stats.queue_flush_hypercalls;
@@ -211,6 +244,10 @@ double Hypervisor::HypercallPageQueueFlush(DomainId id, std::span<const PageQueu
 
   stats.queue_send_seconds += send_time;
   stats.queue_invalidate_seconds += invalidate_time;
+  if (queue_flush_calls_ != nullptr) {
+    queue_flush_calls_->Increment();
+    flush_sim_seconds_->Observe(send_time + invalidate_time);
+  }
   return send_time + invalidate_time;
 }
 
@@ -218,6 +255,9 @@ NodeId Hypervisor::HandleGuestFault(DomainId id, Pfn pfn, CpuId toucher_cpu) {
   XNUMA_CHECK(id >= 0 && id < num_domains());
   Domain& dom = domain(id);
   ++dom.stats().hv_page_faults;
+  if (page_fault_count_ != nullptr) {
+    page_fault_count_->Increment();
+  }
   const NodeId toucher_node = topo_->node_of_cpu(toucher_cpu);
   return dom.policy()->OnFirstTouch(backend(id), pfn, toucher_node);
 }

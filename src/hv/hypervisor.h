@@ -64,6 +64,14 @@ class Hypervisor {
   FaultInjector& fault_injector() { return faults_; }
   const FaultInjector& fault_injector() const { return faults_; }
 
+  // Attaches (or detaches, with null) the externally owned observability
+  // context and propagates it to the fault injector, every existing backend
+  // and P2M table, and all domains created afterwards. Call before creating
+  // domains so instrumentation covers the whole machine lifetime. Null is
+  // the default and means zero instrumentation work on every hot path.
+  void set_observability(Observability* obs);
+  Observability* observability() const { return obs_; }
+
   // Creates and places a domain. Aborts on unsatisfiable configs (tests use
   // TryCreateDomain to probe failure paths).
   DomainId CreateDomain(const DomainConfig& config);
@@ -109,6 +117,13 @@ class Hypervisor {
   std::vector<std::unique_ptr<Domain>> domains_;
   std::vector<std::unique_ptr<HvPlacementBackend>> backends_;
   std::vector<int> cpu_reservations_;  // reserved pCPUs (for packing)
+
+  // Observability (null = disabled; handles valid only while obs_ != null).
+  Observability* obs_ = nullptr;
+  Counter* set_policy_calls_ = nullptr;
+  Counter* queue_flush_calls_ = nullptr;
+  Counter* page_fault_count_ = nullptr;
+  Histogram* flush_sim_seconds_ = nullptr;
 };
 
 }  // namespace xnuma

@@ -36,12 +36,30 @@ void P2mTable::Remap(Pfn pfn, Mfn new_mfn) {
   e.mfn = new_mfn;
 }
 
+void P2mTable::set_observability(Observability* obs) {
+  if (obs == nullptr) {
+    remap_count_ = remap_race_count_ = nullptr;
+    return;
+  }
+  MetricsRegistry& m = obs->metrics();
+  remap_count_ =
+      m.RegisterCounter("p2m.remaps", "remaps", "Successful P2M remap commits");
+  remap_race_count_ = m.RegisterCounter(
+      "p2m.remap_races", "events", "P2M remaps lost to an (injected) commit race");
+}
+
 bool P2mTable::TryRemap(Pfn pfn, Mfn new_mfn) {
   XNUMA_CHECK(At(pfn).valid);
   if (injector_ != nullptr && injector_->FireP2mRemapFailure()) {
+    if (remap_race_count_ != nullptr) {
+      remap_race_count_->Increment();
+    }
     return false;  // injected commit race: the entry keeps its old target
   }
   Remap(pfn, new_mfn);
+  if (remap_count_ != nullptr) {
+    remap_count_->Increment();
+  }
   return true;
 }
 

@@ -48,6 +48,9 @@ class P2mTable {
   // Optional fault injection for TryRemap. nullptr detaches.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  // Optional metrics (p2m.remaps, p2m.remap_races). nullptr detaches.
+  void set_observability(Observability* obs);
+
   // Drops a valid mapping; returns the machine frame that backed it.
   Mfn Unmap(Pfn pfn);
 
@@ -63,6 +66,8 @@ class P2mTable {
   std::vector<P2mEntry> entries_;
   int64_t valid_count_ = 0;
   FaultInjector* injector_ = nullptr;
+  Counter* remap_count_ = nullptr;
+  Counter* remap_race_count_ = nullptr;
 };
 
 }  // namespace xnuma

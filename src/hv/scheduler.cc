@@ -11,6 +11,19 @@ CreditScheduler::CreditScheduler(const Topology& topo, SchedulerConfig config)
   load_.assign(topo.num_cpus(), 0);
 }
 
+void CreditScheduler::set_observability(Observability* obs) {
+  if (obs == nullptr) {
+    rebalance_count_ = vcpu_migration_count_ = nullptr;
+    return;
+  }
+  MetricsRegistry& m = obs->metrics();
+  rebalance_count_ = m.RegisterCounter("hv.sched.rebalances", "calls",
+                                       "Credit-scheduler rebalance passes");
+  vcpu_migration_count_ = m.RegisterCounter(
+      "hv.sched.vcpu_migrations", "migrations",
+      "vCPU moves between pCPUs (balancing plus idle stealing)");
+}
+
 CpuId CreditScheduler::PickCpu(const Domain& dom, int current_load) {
   // Pass 1 (soft affinity): the least-loaded pCPU among the home nodes, if
   // it improves on the vCPU's current load.
@@ -112,6 +125,10 @@ int CreditScheduler::Rebalance(const std::vector<Domain*>& domains) {
     }
   }
   total_migrations_ += migrations;
+  if (rebalance_count_ != nullptr) {
+    rebalance_count_->Increment();
+    vcpu_migration_count_->Increment(migrations);
+  }
   return migrations;
 }
 

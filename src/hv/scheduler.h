@@ -20,6 +20,7 @@
 #include "src/common/types.h"
 #include "src/hv/domain.h"
 #include "src/numa/topology.h"
+#include "src/obs/obs.h"
 
 namespace xnuma {
 
@@ -49,6 +50,10 @@ class CreditScheduler {
 
   int64_t total_migrations() const { return total_migrations_; }
 
+  // Optional metrics (hv.sched.rebalances, hv.sched.vcpu_migrations).
+  // nullptr detaches.
+  void set_observability(Observability* obs);
+
  private:
   // Chooses the least-loaded pCPU for a vCPU of `dom`; home nodes first
   // when soft affinity is on and a home pCPU is not overloaded.
@@ -59,6 +64,8 @@ class CreditScheduler {
   Rng rng_;
   std::vector<int> load_;
   int64_t total_migrations_ = 0;
+  Counter* rebalance_count_ = nullptr;
+  Counter* vcpu_migration_count_ = nullptr;
 };
 
 }  // namespace xnuma

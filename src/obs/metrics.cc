@@ -1,0 +1,312 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+const char* ToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    bounds_ = DefaultTimeBounds();
+  }
+  XNUMA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::DefaultTimeBounds() {
+  std::vector<double> bounds;
+  double b = 0.5e-6;
+  for (int i = 0; i < 20; ++i) {
+    bounds.push_back(b);
+    b *= 2.0;
+  }
+  return bounds;
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation (1-based, ceil so p=100 -> count_).
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(p / 100.0 * count_)));
+  int64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (cum + buckets_[i] < rank) {
+      cum += buckets_[i];
+      continue;
+    }
+    // The rank lands in bucket i. Interpolate linearly inside it, clamping
+    // the bucket edges to the observed extremes so estimates never leave
+    // [min, max].
+    const double lo = std::max(i == 0 ? min_ : bounds_[i - 1], min_);
+    const double hi = std::min(i < bounds_.size() ? bounds_[i] : max_, max_);
+    if (hi <= lo) {
+      return lo;
+    }
+    const double frac =
+        static_cast<double>(rank - cum) / static_cast<double>(buckets_[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return max_;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name, const std::string& unit,
+                                          const std::string& help) {
+  if (Entry* e = Find(name); e != nullptr) {
+    XNUMA_CHECK(e->kind == MetricKind::kCounter);
+    return e->counter;
+  }
+  counters_.emplace_back();
+  entries_.push_back({name, unit, help, MetricKind::kCounter, &counters_.back(), nullptr,
+                      nullptr});
+  by_name_[name] = &entries_.back();
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name, const std::string& unit,
+                                      const std::string& help) {
+  if (Entry* e = Find(name); e != nullptr) {
+    XNUMA_CHECK(e->kind == MetricKind::kGauge);
+    return e->gauge;
+  }
+  gauges_.emplace_back();
+  entries_.push_back({name, unit, help, MetricKind::kGauge, nullptr, &gauges_.back(),
+                      nullptr});
+  by_name_[name] = &entries_.back();
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& unit,
+                                              const std::string& help,
+                                              std::vector<double> bounds) {
+  if (Entry* e = Find(name); e != nullptr) {
+    XNUMA_CHECK(e->kind == MetricKind::kHistogram);
+    return e->histogram;
+  }
+  histograms_.emplace_back(std::move(bounds));
+  entries_.push_back({name, unit, help, MetricKind::kHistogram, nullptr, nullptr,
+                      &histograms_.back()});
+  by_name_[name] = &entries_.back();
+  return &histograms_.back();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    names.push_back(e.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSnapshot s;
+    s.name = e.name;
+    s.unit = e.unit;
+    s.help = e.help;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.count = e.counter->value();
+        s.value = static_cast<double>(s.count);
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        s.count = h.count();
+        s.value = h.sum();
+        s.p50 = h.Percentile(50.0);
+        s.p95 = h.Percentile(95.0);
+        s.p99 = h.Percentile(99.0);
+        s.min = h.min();
+        s.max = h.max();
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+  return out;
+}
+
+namespace {
+
+// Minimal JSON string escaping (names/units/help are plain ASCII here, but
+// a rogue quote must not produce an invalid document).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// JSON forbids NaN/Inf literals; clamp to null-safe numbers.
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[64];
+  if (!std::isfinite(v)) {
+    v = 0.0;
+  }
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n  \"metrics\": [\n";
+  char buf[128];
+  bool first = true;
+  for (const MetricSnapshot& s : Snapshot()) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "    {\"name\": \"" + JsonEscape(s.name) + "\", \"kind\": \"";
+    out += ToString(s.kind);
+    out += "\", \"unit\": \"" + JsonEscape(s.unit) + "\"";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), ", \"value\": %lld",
+                      static_cast<long long>(s.count));
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        out += ", \"value\": ";
+        AppendJsonNumber(&out, s.value);
+        break;
+      case MetricKind::kHistogram:
+        std::snprintf(buf, sizeof(buf), ", \"count\": %lld",
+                      static_cast<long long>(s.count));
+        out += buf;
+        out += ", \"sum\": ";
+        AppendJsonNumber(&out, s.value);
+        out += ", \"p50\": ";
+        AppendJsonNumber(&out, s.p50);
+        out += ", \"p95\": ";
+        AppendJsonNumber(&out, s.p95);
+        out += ", \"p99\": ";
+        AppendJsonNumber(&out, s.p99);
+        out += ", \"min\": ";
+        AppendJsonNumber(&out, s.min);
+        out += ", \"max\": ";
+        AppendJsonNumber(&out, s.max);
+        break;
+    }
+    out += ", \"help\": \"" + JsonEscape(s.help) + "\"}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+// Human scale for the summary block: seconds-unit values get us/ms/s
+// suffixes, everything else prints raw.
+std::string HumanValue(double v, const std::string& unit) {
+  char buf[64];
+  if (unit == "s") {
+    if (v < 1e-3) {
+      std::snprintf(buf, sizeof(buf), "%.1fus", v * 1e6);
+    } else if (v < 1.0) {
+      std::snprintf(buf, sizeof(buf), "%.2fms", v * 1e3);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3fs", v);
+    }
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SummaryText() const {
+  std::string out;
+  char line[256];
+  for (const MetricSnapshot& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        if (s.count == 0) {
+          continue;
+        }
+        std::snprintf(line, sizeof(line), "  %-34s %12lld %s\n", s.name.c_str(),
+                      static_cast<long long>(s.count), s.unit.c_str());
+        break;
+      case MetricKind::kGauge:
+        if (s.value == 0.0) {
+          continue;
+        }
+        std::snprintf(line, sizeof(line), "  %-34s %12.4g %s\n", s.name.c_str(), s.value,
+                      s.unit.c_str());
+        break;
+      case MetricKind::kHistogram:
+        if (s.count == 0) {
+          continue;
+        }
+        std::snprintf(line, sizeof(line), "  %-34s count %-8lld p50 %-9s p95 %-9s p99 %s\n",
+                      s.name.c_str(), static_cast<long long>(s.count),
+                      HumanValue(s.p50, s.unit).c_str(), HumanValue(s.p95, s.unit).c_str(),
+                      HumanValue(s.p99, s.unit).c_str());
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace xnuma

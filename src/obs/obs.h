@@ -1,0 +1,87 @@
+// Observability context: one MetricsRegistry + one EventTracer, owned by
+// whoever runs the experiment (the CLI, a test, a bench) and attached to
+// the machine via Hypervisor::set_observability before domains exist.
+//
+// Every instrumentation site takes an `Observability*` that may be null.
+// Null means disabled: no clock reads, no counter bumps, no ring writes —
+// structurally identical behavior to a build without the layer, which is
+// what tests/obs_differential_test.cc asserts (bit-identical JobResults).
+
+#ifndef XENNUMA_SRC_OBS_OBS_H_
+#define XENNUMA_SRC_OBS_OBS_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
+
+namespace xnuma {
+
+class Observability {
+ public:
+  explicit Observability(size_t trace_capacity = EventTracer::kDefaultCapacity)
+      : tracer_(trace_capacity) {}
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  EventTracer& tracer() { return tracer_; }
+  const EventTracer& tracer() const { return tracer_; }
+
+ private:
+  MetricsRegistry metrics_;
+  EventTracer tracer_;
+};
+
+// Emit an instant event if observability is attached. `name`/`category`
+// must be string literals (the tracer stores the pointers).
+inline void EmitEvent(Observability* obs, const char* name, const char* category) {
+  if (obs != nullptr) {
+    obs->tracer().EmitInstant(name, category);
+  }
+}
+
+// RAII span: on destruction emits an 'X' trace event covering the scope and
+// (optionally) feeds the elapsed wall seconds into a histogram. A null
+// `obs` makes construction and destruction no-ops — no clock read happens.
+class ScopedSpan {
+ public:
+  ScopedSpan(Observability* obs, const char* name, const char* category,
+             Histogram* seconds_hist = nullptr)
+      : obs_(obs), name_(name), category_(category), seconds_hist_(seconds_hist) {
+    if (obs_ != nullptr) {
+      begin_us_ = obs_->tracer().NowUs();
+    }
+  }
+  ~ScopedSpan() {
+    if (obs_ == nullptr) {
+      return;
+    }
+    const double end_us = obs_->tracer().NowUs();
+    obs_->tracer().EmitSpan(name_, category_, begin_us_, end_us);
+    if (seconds_hist_ != nullptr) {
+      seconds_hist_->Observe((end_us - begin_us_) * 1e-6);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Observability* obs_;
+  const char* name_;
+  const char* category_;
+  Histogram* seconds_hist_;
+  double begin_us_ = 0.0;
+};
+
+#define XNUMA_OBS_CONCAT_INNER(a, b) a##b
+#define XNUMA_OBS_CONCAT(a, b) XNUMA_OBS_CONCAT_INNER(a, b)
+
+// Times the enclosing scope: emits a span named `name` in category `cat`
+// (and optionally observes a histogram) when the scope exits. `obs` may be
+// null, in which case this is free.
+#define XNUMA_TRACE_SCOPE(obs, name, cat, ...) \
+  ::xnuma::ScopedSpan XNUMA_OBS_CONCAT(xnuma_span_, __LINE__)((obs), (name), (cat), ##__VA_ARGS__)
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_OBS_OBS_H_

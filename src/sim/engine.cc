@@ -256,6 +256,39 @@ Engine::Engine(Hypervisor& hv, const LatencyModel& latency, EngineConfig config)
       std::make_unique<CarrefourUserComponent>(*carrefour_system_, config_.carrefour, config.seed);
   auto_selector_ =
       std::make_unique<AutoPolicySelector>(hv, *carrefour_system_, config_.auto_selector);
+
+  // Observability rides the hypervisor attachment (experiment.cc attaches it
+  // before the engine exists); a null context keeps every hook free.
+  obs_ = hv.observability();
+  carrefour_user_->set_observability(obs_);
+  if (obs_ != nullptr) {
+    MetricsRegistry& m = obs_->metrics();
+    epoch_count_ = m.RegisterCounter("engine.epochs", "epochs", "Simulation epochs run");
+    full_rescan_count_ = m.RegisterCounter(
+        "engine.placement.full_rescans", "rescans",
+        "Placement refreshes that fell back to a whole-region rescan");
+    dirty_event_count_ = m.RegisterCounter(
+        "engine.placement.dirty_events", "events",
+        "Dirty-page events applied incrementally to the placement cache");
+    solver_seconds_ = m.RegisterHistogram(
+        "engine.solver.seconds", "s",
+        "Wall-clock cost of one utilization fixed-point solve");
+    solver_iterations_ = m.RegisterHistogram(
+        "engine.solver.iterations", "iterations",
+        "Picard iterations per fixed-point solve",
+        {1, 2, 4, 6, 8, 12, 16, 20, 24, 32, 48, 64});
+    refresh_seconds_ = m.RegisterHistogram(
+        "engine.placement.refresh_seconds", "s",
+        "Wall-clock cost of one epoch's placement refresh phase");
+    max_mc_util_gauge_ = m.RegisterGauge(
+        "engine.max_mc_util", "utilization",
+        "Hottest memory-controller utilization at the last epoch (instantaneous)");
+    max_link_util_gauge_ = m.RegisterGauge(
+        "engine.max_link_util", "utilization",
+        "Hottest interconnect-link utilization at the last epoch (instantaneous)");
+    sim_seconds_gauge_ =
+        m.RegisterGauge("engine.sim_seconds", "s", "Simulated time at the last epoch");
+  }
 }
 
 Engine::~Engine() = default;
@@ -548,7 +581,13 @@ void Engine::RefreshPlacementTables(JobState& job) {
     job.pending_dirty.clear();
     job.needs_full_rescan = false;
     job.masses_stale = true;
+    if (full_rescan_count_ != nullptr) {
+      full_rescan_count_->Increment();
+    }
   } else {
+    if (dirty_event_count_ != nullptr) {
+      dirty_event_count_->Increment(static_cast<int64_t>(job.pending_dirty.size()));
+    }
     for (Vpn vpn : job.pending_dirty) {
       ApplyPageDelta(job, vpn);
     }
@@ -1231,6 +1270,43 @@ void Engine::RecordTrace(double now) {
   trace_->Record(std::move(sample));
 }
 
+void Engine::EmitEpochObservability(double now) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  EventTracer& tracer = obs_->tracer();
+  tracer.set_sim_time(now);
+  double max_mc = 0.0;
+  for (double u : mc_util_) {
+    max_mc = std::max(max_mc, u);
+  }
+  double max_link = 0.0;
+  for (double u : link_util_) {
+    max_link = std::max(max_link, u);
+  }
+  max_mc_util_gauge_->Set(max_mc);
+  max_link_util_gauge_->Set(max_link);
+  sim_seconds_gauge_->Set(now);
+  tracer.EmitCounter("max_mc_util", "engine", max_mc);
+  tracer.EmitCounter("max_link_util", "engine", max_link);
+
+  // The CSV keeps cumulative fault totals; the Chrome trace carries the
+  // per-epoch deltas so a plot of injection activity needs no diffing.
+  const FaultStats& fs = hv_->fault_injector().stats();
+  const int64_t injected = fs.TotalInjected();
+  const int64_t recovered = fs.TotalRecovered();
+  const int64_t aborted = fs.TotalAborted();
+  tracer.EmitCounter("faults_injected_delta", "fault",
+                     static_cast<double>(injected - prev_faults_injected_));
+  tracer.EmitCounter("faults_recovered_delta", "fault",
+                     static_cast<double>(recovered - prev_faults_recovered_));
+  tracer.EmitCounter("faults_aborted_delta", "fault",
+                     static_cast<double>(aborted - prev_faults_aborted_));
+  prev_faults_injected_ = injected;
+  prev_faults_recovered_ = recovered;
+  prev_faults_aborted_ = aborted;
+}
+
 RunResult Engine::Run() {
   for (auto& job : jobs_) {
     InitJob(*job);
@@ -1249,18 +1325,31 @@ RunResult Engine::Run() {
       break;
     }
 
-    DrainPlacementEvents();
-    for (auto& job : jobs_) {
-      if (job->finished) {
-        continue;
+    if (obs_ != nullptr) {
+      obs_->tracer().set_sim_time(now);
+    }
+    {
+      XNUMA_TRACE_SCOPE(obs_, "placement_refresh", "engine", refresh_seconds_);
+      DrainPlacementEvents();
+      for (auto& job : jobs_) {
+        if (job->finished) {
+          continue;
+        }
+        RefreshPlacementTables(*job);
+        ComputeAccessDistributions(*job);
+        job->overhead_fraction = ThreadOverheadFraction(*job);
       }
-      RefreshPlacementTables(*job);
-      ComputeAccessDistributions(*job);
-      job->overhead_fraction = ThreadOverheadFraction(*job);
     }
 
-    SolveUtilizationFixedPoint(dt);
+    {
+      XNUMA_TRACE_SCOPE(obs_, "solver_fixed_point", "engine", solver_seconds_);
+      SolveUtilizationFixedPoint(dt);
+    }
     ++epochs_run_;
+    if (obs_ != nullptr) {
+      epoch_count_->Increment();
+      solver_iterations_->Observe(static_cast<double>(last_fixed_point_iterations_));
+    }
 
     // Commit the hardware counters for this epoch.
     TrafficSnapshot snapshot;
@@ -1283,6 +1372,7 @@ RunResult Engine::Run() {
     TickCarrefour(now);
     TickScheduler(now);
     RecordTrace(now);
+    EmitEpochObservability(now);
     if (epoch_hook_) {
       epoch_hook_(now);
     }

@@ -41,6 +41,7 @@
 #include "src/hv/scheduler.h"
 #include "src/numa/latency_model.h"
 #include "src/numa/perf_counters.h"
+#include "src/obs/obs.h"
 #include "src/sim/trace.h"
 #include "src/workload/app_profile.h"
 
@@ -185,7 +186,14 @@ class Engine : public PageAccessSource {
   void set_scheduler(CreditScheduler* scheduler, double period_s) {
     scheduler_ = scheduler;
     scheduler_period_s_ = period_s;
+    if (scheduler_ != nullptr) {
+      scheduler_->set_observability(obs_);
+    }
   }
+
+  // The observability context inherited from the hypervisor at construction
+  // (attach via Hypervisor::set_observability before creating the engine).
+  Observability* observability() const { return obs_; }
 
   // Picard iterations consumed by the most recent fixed-point solve, and the
   // running total / epoch count over the whole run (early-exit telemetry).
@@ -229,6 +237,10 @@ class Engine : public PageAccessSource {
   bool ComputeDone(const JobState& job) const;
   void FinishJob(JobState& job, double now);
   void RecordTrace(double now);
+  // Per-epoch metrics/trace emission: utilization gauges, counter events for
+  // the Chrome trace (including per-epoch fault deltas — the cumulative
+  // totals stay in the CSV, see trace.h).
+  void EmitEpochObservability(double now);
   void TickScheduler(double now);
   // Per-page access rates by source node for sampling; appends candidates.
   // Reads the per-page placement cache (refresh the job first).
@@ -293,6 +305,22 @@ class Engine : public PageAccessSource {
   // XNUMA_VERIFY_PLACEMENT_CACHE=N cross-checks the incremental aggregates
   // against a full rescan every N refreshes of each job (0 = off).
   int verify_cache_period_ = 0;
+
+  // ---- Observability (null = disabled; inherited from the hypervisor). ----
+  Observability* obs_ = nullptr;
+  Counter* epoch_count_ = nullptr;
+  Counter* full_rescan_count_ = nullptr;
+  Counter* dirty_event_count_ = nullptr;
+  Histogram* solver_seconds_ = nullptr;
+  Histogram* solver_iterations_ = nullptr;
+  Histogram* refresh_seconds_ = nullptr;
+  Gauge* max_mc_util_gauge_ = nullptr;
+  Gauge* max_link_util_gauge_ = nullptr;
+  Gauge* sim_seconds_gauge_ = nullptr;
+  // Previous cumulative fault totals, for the per-epoch deltas in the trace.
+  int64_t prev_faults_injected_ = 0;
+  int64_t prev_faults_recovered_ = 0;
+  int64_t prev_faults_aborted_ = 0;
 };
 
 }  // namespace xnuma

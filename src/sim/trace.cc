@@ -6,7 +6,16 @@
 namespace xnuma {
 
 std::string TraceRecorder::ToCsv() const {
+  // Column conventions, spelled out because the two families differ:
+  //  * faults_* and migrations are CUMULATIVE totals as of the epoch's end
+  //    (monotone non-decreasing; diff adjacent rows for per-epoch activity);
+  //  * max_mc/max_link (and latency/rate/overhead) are INSTANTANEOUS values
+  //    for that epoch alone.
+  // The Chrome trace export (--trace-json) carries the per-epoch fault
+  // deltas directly as counter events, so no diffing is needed there.
   std::string out =
+      "# faults_*,migrations: cumulative totals; max_mc,max_link,latency,rate,"
+      "overhead: instantaneous per-epoch values\n"
       "time,app,latency_cycles,rate_per_s,overhead,migrations,max_mc,max_link,"
       "faults_injected,faults_recovered,faults_aborted\n";
   char line[320];

@@ -48,6 +48,8 @@ class TraceRecorder {
   // One CSV row per (epoch, job):
   // time,app,latency,rate,overhead,migrations,max_mc,max_link,
   // faults_injected,faults_recovered,faults_aborted
+  // A leading '#' comment line documents which columns are cumulative
+  // (faults_*, migrations) vs instantaneous (utilizations, latency, rate).
   std::string ToCsv() const;
 
   // Largest observed max-MC utilization (handy in tests).

@@ -1,0 +1,227 @@
+// Unit tests for the observability layer (src/obs): histogram bucket math
+// and percentile estimation, registry idempotency and snapshot consistency,
+// span nesting in the tracer, ring-buffer wrap accounting, and the Chrome
+// trace / metrics JSON exports.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace xnuma {
+namespace {
+
+TEST(HistogramTest, BucketMath) {
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 bounds + overflow
+
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.0);   // bucket 0 (upper bound inclusive)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(3.0);   // bucket 2
+  h.Observe(100.0); // overflow
+
+  EXPECT_EQ(h.bucket_counts()[0], 2);
+  EXPECT_EQ(h.bucket_counts()[1], 1);
+  EXPECT_EQ(h.bucket_counts()[2], 1);
+  EXPECT_EQ(h.bucket_counts()[3], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 21.2);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h(Histogram::DefaultTimeBounds());
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, PercentilesAreClampedToObservedRange) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(3.0);
+  }
+  // All mass in one bucket: every percentile must report a value inside the
+  // observed [3, 3] range, not a bucket-boundary artifact.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 3.0);
+}
+
+TEST(HistogramTest, PercentileOrderingOnSpreadData) {
+  Histogram h(Histogram::DefaultTimeBounds());
+  for (int i = 1; i <= 1000; ++i) {
+    h.Observe(i * 1e-6);  // 1us .. 1ms
+  }
+  const double p50 = h.Percentile(50.0);
+  const double p95 = h.Percentile(95.0);
+  const double p99 = h.Percentile(99.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  // Bucketed estimate of the true median (500us) stays within its bucket's
+  // factor-2 resolution.
+  EXPECT_GT(p50, 250e-6);
+  EXPECT_LT(p50, 1000e-6);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter* a = reg.RegisterCounter("test.counter", "ops", "help");
+  Counter* b = reg.RegisterCounter("test.counter", "ops", "help");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.num_metrics(), 1);
+
+  Histogram* h1 = reg.RegisterHistogram("test.hist", "s", "help");
+  Histogram* h2 = reg.RegisterHistogram("test.hist", "s", "help");
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(reg.num_metrics(), 2);
+}
+
+TEST(MetricsRegistryTest, HandlesStayValidAcrossManyRegistrations) {
+  MetricsRegistry reg;
+  Counter* first = reg.RegisterCounter("c.0", "ops", "");
+  first->Increment(7);
+  std::vector<Counter*> handles = {first};
+  for (int i = 1; i < 200; ++i) {
+    handles.push_back(reg.RegisterCounter("c." + std::to_string(i), "ops", ""));
+  }
+  // Deque storage: the first handle must not have been invalidated.
+  EXPECT_EQ(first->value(), 7);
+  EXPECT_EQ(reg.RegisterCounter("c.0", "ops", ""), first);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsConsistentAndSorted) {
+  MetricsRegistry reg;
+  Counter* c = reg.RegisterCounter("z.counter", "ops", "a counter");
+  Gauge* g = reg.RegisterGauge("a.gauge", "s", "a gauge");
+  Histogram* h = reg.RegisterHistogram("m.hist", "s", "a histogram");
+  c->Increment(42);
+  g->Set(3.5);
+  h->Observe(1e-3);
+  h->Observe(2e-3);
+
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_EQ(snap[1].name, "m.hist");
+  EXPECT_EQ(snap[2].name, "z.counter");
+
+  EXPECT_EQ(snap[0].kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(snap[0].value, 3.5);
+  EXPECT_EQ(snap[1].kind, MetricKind::kHistogram);
+  EXPECT_EQ(snap[1].count, 2);
+  EXPECT_DOUBLE_EQ(snap[1].value, 3e-3);
+  EXPECT_DOUBLE_EQ(snap[1].min, 1e-3);
+  EXPECT_DOUBLE_EQ(snap[1].max, 2e-3);
+  EXPECT_EQ(snap[2].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap[2].count, 42);
+
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"z.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SummaryElidesZeroActivity) {
+  MetricsRegistry reg;
+  Counter* active = reg.RegisterCounter("seen.counter", "ops", "");
+  reg.RegisterCounter("unseen.counter", "ops", "");
+  active->Increment();
+  const std::string text = reg.SummaryText();
+  EXPECT_NE(text.find("seen.counter"), std::string::npos);
+  EXPECT_EQ(text.find("unseen.counter"), std::string::npos);
+}
+
+TEST(EventTracerTest, SpanNestingIsPreserved) {
+  Observability obs;
+  {
+    XNUMA_TRACE_SCOPE(&obs, "outer", "test");
+    {
+      XNUMA_TRACE_SCOPE(&obs, "inner", "test");
+    }
+  }
+  const std::vector<TraceEvent> events = obs.tracer().Events();
+  ASSERT_EQ(events.size(), 2u);
+  // RAII order: the inner span closes (and is emitted) first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  // The outer span must fully contain the inner one.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us, events[0].ts_us + events[0].dur_us);
+}
+
+TEST(EventTracerTest, SpanFeedsHistogram) {
+  Observability obs;
+  Histogram* h = obs.metrics().RegisterHistogram("span.seconds", "s", "");
+  {
+    XNUMA_TRACE_SCOPE(&obs, "timed", "test", h);
+  }
+  EXPECT_EQ(h->count(), 1);
+  EXPECT_GE(h->max(), 0.0);
+}
+
+TEST(EventTracerTest, NullObservabilityIsFree) {
+  // Must not crash, emit, or read the clock.
+  EmitEvent(nullptr, "nothing", "test");
+  {
+    XNUMA_TRACE_SCOPE(static_cast<Observability*>(nullptr), "nothing", "test");
+  }
+}
+
+TEST(EventTracerTest, RingBufferWrapKeepsNewestAndCountsDropped) {
+  EventTracer tracer(8);
+  for (int i = 0; i < 20; ++i) {
+    tracer.EmitCounter("c", "test", static_cast<double>(i));
+  }
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12);
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first view of the newest 8 events: values 12..19.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(events[i].value, 12.0 + i);
+  }
+}
+
+TEST(EventTracerTest, SimTimeIsAttachedToEvents) {
+  EventTracer tracer(16);
+  tracer.set_sim_time(1.25);
+  tracer.EmitInstant("marker", "test");
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].sim_s, 1.25);
+}
+
+TEST(EventTracerTest, ChromeJsonShape) {
+  Observability obs;
+  obs.tracer().set_sim_time(0.5);
+  EmitEvent(&obs, "instant_ev", "cat1");
+  obs.tracer().EmitCounter("counter_ev", "cat2", 7.0);
+  {
+    XNUMA_TRACE_SCOPE(&obs, "span_ev", "cat3");
+  }
+  const std::string json = obs.tracer().ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"instant_ev\""), std::string::npos);
+  EXPECT_NE(json.find("\"counter_ev\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_ev\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_s\""), std::string::npos);
+  // Valid JSON must balance its brackets; last char closes the document.
+  EXPECT_EQ(json.back(), '\n');
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Doc-lint for the observability layer: every metric name registered in the
+# source tree must be documented in docs/OBSERVABILITY.md.
+#
+# Registration sites are required to pass the name as a string literal
+# (`RegisterCounter("pv.queue.pushes", ...)`), which is what makes this
+# lint — and grep-ability in general — work. Runs as ctest `obs_doc_lint`.
+#
+# Usage: tools/check_obs_docs.sh [repo-root]   (default: script's parent)
+set -euo pipefail
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+DOC="$ROOT/docs/OBSERVABILITY.md"
+
+if [[ ! -f "$DOC" ]]; then
+  echo "FAIL: $DOC does not exist"
+  exit 1
+fi
+
+# Registrations are often line-wrapped by clang-format
+# (`RegisterCounter(\n    "name", ...`), so collapse each file to one line
+# before matching.
+names=$(find "$ROOT/src" "$ROOT/bench" "$ROOT/tools" \
+          \( -name '*.cc' -o -name '*.h' \) -print0 2>/dev/null |
+        xargs -0 cat | tr '\n' ' ' |
+        grep -oE 'Register(Counter|Gauge|Histogram)\( *"[^"]+"' |
+        sed -E 's/.*"([^"]+)"/\1/' | sort -u)
+
+if [[ -z "$names" ]]; then
+  echo "FAIL: found no metric registrations under src/ (lint is miswired?)"
+  exit 1
+fi
+
+missing=0
+total=0
+while IFS= read -r name; do
+  total=$((total + 1))
+  if ! grep -qF "\`$name\`" "$DOC"; then
+    echo "FAIL: metric '$name' is registered in the source but not documented in docs/OBSERVABILITY.md"
+    missing=$((missing + 1))
+  fi
+done <<< "$names"
+
+if [[ "$missing" -gt 0 ]]; then
+  echo "FAIL: $missing of $total metric names undocumented"
+  exit 1
+fi
+echo "OK: all $total registered metric names documented in docs/OBSERVABILITY.md"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds and runs the engine epoch-loop microbenchmark, recording the JSON
 # result (epochs/sec with the incremental placement cache vs the full
-# per-epoch rescan) into BENCH_engine.json at the repo root.
+# per-epoch rescan) into BENCH_engine.json at the repo root, plus a metrics
+# snapshot from a representative CLI run into BENCH_metrics.json.
 #
 # Usage: tools/run_bench.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -10,9 +11,14 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
-cmake --build "$BUILD" -j --target micro_engine_epoch >/dev/null
+cmake --build "$BUILD" -j --target micro_engine_epoch xnuma >/dev/null
 
 "$BUILD/bench/micro_engine_epoch" | tee "$ROOT/BENCH_engine.json"
+
+# Archive a metrics snapshot next to the bench result so a perf regression
+# can be cross-read against what the machine was actually doing.
+"$BUILD/tools/xnuma" run --app cg.C --stack xen+ --policy first-touch --carrefour \
+  --seconds 10 --metrics-json "$ROOT/BENCH_metrics.json" >/dev/null
 
 # The fault-injection layer armed at probability 0 must cost < 2% epochs/sec
 # (mean over configs): its hooks sit on the allocation/mapping/queue hot
@@ -27,4 +33,19 @@ awk -F': ' '/"fault_p0_mean_overhead_pct"/ {
   found = 1
 }
 END { if (!found) { print "FAIL: fault_p0_mean_overhead_pct missing from bench output"; exit 1 } }
+' "$ROOT/BENCH_engine.json"
+
+# Full observability (metrics registry + event tracer) attached must cost
+# < 3% epochs/sec (mean over configs): instrument handles are plain pointer
+# increments and spans only read the clock when attached.
+awk -F': ' '/"obs_mean_overhead_pct"/ {
+  gsub(/[,}]/, "", $2); overhead = $2 + 0
+  if (overhead >= 3.0) {
+    printf "FAIL: observability costs %.2f%% epochs/sec (budget: 3%%)\n", overhead
+    exit 1
+  }
+  printf "OK: observability costs %.2f%% epochs/sec (budget: 3%%)\n", overhead
+  found = 1
+}
+END { if (!found) { print "FAIL: obs_mean_overhead_pct missing from bench output"; exit 1 } }
 ' "$ROOT/BENCH_engine.json"

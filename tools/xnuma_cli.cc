@@ -17,6 +17,7 @@
 
 #include "src/common/flags.h"
 #include "src/core/experiment.h"
+#include "src/obs/obs.h"
 #include "src/sim/trace.h"
 #include "src/workload/app_profile.h"
 
@@ -33,6 +34,9 @@ int Usage() {
                "  auto  --app NAME\n"
                "  options: --seconds N --threads N --seed N --csv --trace FILE.csv\n"
                "           --fault_rate P --fault_seed N  (seeded chaos injection)\n"
+               "           --metrics (print metrics: summary) --metrics-json FILE\n"
+               "           --trace-json FILE  (Chrome trace_event JSON; open in\n"
+               "            chrome://tracing or https://ui.perfetto.dev)\n"
                "  policies: first-touch, round-4k, round-1g\n");
   return 2;
 }
@@ -142,6 +146,13 @@ int CmdRun(const Flags& flags) {
   if (!trace_path.empty()) {
     opts.trace = &trace;
   }
+  const std::string trace_json_path = flags.GetString("trace-json", "");
+  const std::string metrics_json_path = flags.GetString("metrics-json", "");
+  const bool print_metrics = flags.GetBool("metrics", false);
+  Observability obs;
+  if (!trace_json_path.empty() || !metrics_json_path.empty() || print_metrics) {
+    opts.obs = &obs;
+  }
   const JobResult r = RunSingleApp(app, stack, opts);
   PrintResult(flags, stack.label, r);
   PrintFaultSummary(flags, r);
@@ -150,6 +161,22 @@ int CmdRun(const Flags& flags) {
     out << trace.ToCsv();
     std::fprintf(stderr, "trace: %zu epochs -> %s\n", trace.samples().size(),
                  trace_path.c_str());
+  }
+  if (print_metrics) {
+    std::printf("metrics:\n%s", obs.metrics().SummaryText().c_str());
+  }
+  if (!metrics_json_path.empty()) {
+    std::ofstream out(metrics_json_path);
+    out << obs.metrics().ToJson();
+    std::fprintf(stderr, "metrics: %zu instruments -> %s\n", obs.metrics().Names().size(),
+                 metrics_json_path.c_str());
+  }
+  if (!trace_json_path.empty()) {
+    std::ofstream out(trace_json_path);
+    out << obs.tracer().ToChromeJson();
+    std::fprintf(stderr, "trace-json: %zu events (%lld dropped) -> %s\n",
+                 obs.tracer().Events().size(),
+                 static_cast<long long>(obs.tracer().dropped()), trace_json_path.c_str());
   }
   return 0;
 }
