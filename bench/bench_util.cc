@@ -1,8 +1,37 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "src/common/flags.h"
+#include "src/exec/parallel_for.h"
+
 namespace xnuma {
+
+namespace {
+
+// Written once by InitBench before any worker thread exists, read-only
+// afterwards.
+int g_bench_jobs = 1;
+
+}  // namespace
+
+void InitBench(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  g_bench_jobs =
+      std::clamp(static_cast<int>(flags.GetInt("jobs", 1)), 1, kMaxParallelJobs);
+  for (const std::string& key : flags.UnusedKeys()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+}
+
+int BenchJobs() { return g_bench_jobs; }
+
+void BenchFor(int count, const std::function<void(int)>& body) {
+  ParallelForOptions options;
+  options.jobs = g_bench_jobs;
+  ParallelFor(count, body, options);
+}
 
 void PrintBanner(const std::string& id, const std::string& title) {
   std::printf("==============================================================\n");

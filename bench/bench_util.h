@@ -3,6 +3,7 @@
 #ifndef XENNUMA_BENCH_BENCH_UTIL_H_
 #define XENNUMA_BENCH_BENCH_UTIL_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,21 @@ double OverheadPct(double baseline_seconds, double candidate_seconds);
 
 // Default run options for bench binaries (bounded sim time).
 RunOptions BenchOptions();
+
+// Parses the shared bench command line — call first in every bench main().
+// Currently one flag: `--jobs N` fans each binary's independent-run matrix
+// across N worker threads (default 1, the serial loop). Output is
+// bit-identical for every N: bodies commit into per-index slots and all
+// printing happens after the fan-out.
+void InitBench(int argc, char** argv);
+
+// Worker threads selected by InitBench (1 when never called).
+int BenchJobs();
+
+// Runs body(i) for i in [0, count) across BenchJobs() workers on the
+// deterministic src/exec runner. Each body must only construct private
+// machines (RunSingleApp & friends) and write slots owned by index i.
+void BenchFor(int count, const std::function<void(int)>& body);
 
 }  // namespace xnuma
 

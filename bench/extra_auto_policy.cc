@@ -10,32 +10,44 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("§7 extension", "Automatic policy selection vs oracle best static policy");
+
+  const std::vector<AppProfile> apps = ScaledApps(5.0);
+  struct Row {
+    double r1g = 0.0;
+    double oracle_seconds = 0.0;
+    JobResult auto_run;
+  };
+  std::vector<Row> rows(apps.size());
+  BenchFor(static_cast<int>(apps.size()), [&](int i) {
+    const auto sweep =
+        SweepPolicies(apps[i], XenPlusStack(), XenPolicyCandidates(), BenchOptions());
+    rows[i].r1g = sweep[0].result.completion_seconds;
+    rows[i].oracle_seconds = BestEntry(sweep).result.completion_seconds;
+    rows[i].auto_run = RunSingleApp(apps[i], XenAutoStack(), BenchOptions());
+  });
 
   std::printf("\n%-14s %10s %10s %10s %9s   auto's final policy\n", "app", "r1g(s)", "oracle(s)",
               "auto(s)", "auto gap");
   double worst_gap = 0.0;
   int within10 = 0;
-  int apps = 0;
-  for (const AppProfile& app : ScaledApps(5.0)) {
-    const auto sweep = SweepPolicies(app, XenPlusStack(), XenPolicyCandidates(), BenchOptions());
-    const double r1g = sweep[0].result.completion_seconds;
-    const PolicySweepEntry& oracle = BestEntry(sweep);
-    const JobResult auto_run = RunSingleApp(app, XenAutoStack(), BenchOptions());
-
-    const double gap = OverheadPct(oracle.result.completion_seconds, auto_run.completion_seconds);
+  int napps = 0;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const Row& row = rows[i];
+    const double gap = OverheadPct(row.oracle_seconds, row.auto_run.completion_seconds);
     worst_gap = std::max(worst_gap, gap);
-    ++apps;
+    ++napps;
     if (gap <= 10.0) {
       ++within10;
     }
-    std::printf("%-14s %10.2f %10.2f %10.2f %+8.0f%%   %s (%d switches)\n", app.name.c_str(),
-                r1g, oracle.result.completion_seconds, auto_run.completion_seconds, gap,
-                ToString(auto_run.final_policy), auto_run.policy_switches);
+    std::printf("%-14s %10.2f %10.2f %10.2f %+8.0f%%   %s (%d switches)\n", apps[i].name.c_str(),
+                row.r1g, row.oracle_seconds, row.auto_run.completion_seconds, gap,
+                ToString(row.auto_run.final_policy), row.auto_run.policy_switches);
   }
-  std::printf("\napps within 10%% of the oracle: %d / %d (worst gap %.0f%%)\n", within10, apps,
+  std::printf("\napps within 10%% of the oracle: %d / %d (worst gap %.0f%%)\n", within10, napps,
               worst_gap);
   return 0;
 }

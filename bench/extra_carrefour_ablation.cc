@@ -18,16 +18,23 @@ xnuma::JobResult RunWith(const xnuma::AppProfile& app, xnuma::CarrefourConfig ca
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Ablation", "Carrefour heuristics, budget and thresholds (round-4K/Carrefour)");
 
   const char* class_apps[] = {"cg.C", "sp.C", "kmeans"};  // low / moderate / high
+  constexpr int kClassApps = static_cast<int>(std::size(class_apps));
 
-  std::printf("\nHeuristic selection (completion seconds):\n");
-  std::printf("  %-10s %10s %12s %12s %10s\n", "app", "both", "locality", "interleave", "none");
-  for (const char* name : class_apps) {
-    AppProfile app = *FindApp(name);
+  struct HeuristicRow {
+    double both = 0.0;
+    double locality = 0.0;
+    double interleave = 0.0;
+    double none = 0.0;
+  };
+  std::vector<HeuristicRow> heuristic(kClassApps);
+  BenchFor(kClassApps, [&](int i) {
+    AppProfile app = *FindApp(class_apps[i]);
     const double scale = 4.0 / app.nominal_seconds;
     app.nominal_seconds = 4.0;
     app.disk_read_mb *= scale;
@@ -41,30 +48,48 @@ int main() {
     none.mc_overload_util = 10.0;
     none.link_saturation_util = 10.0;
 
-    std::printf("  %-10s %10.2f %12.2f %12.2f %10.2f\n", name,
-                RunWith(app, both).completion_seconds,
-                RunWith(app, locality_only).completion_seconds,
-                RunWith(app, interleave_only).completion_seconds,
-                RunWith(app, none).completion_seconds);
+    heuristic[i].both = RunWith(app, both).completion_seconds;
+    heuristic[i].locality = RunWith(app, locality_only).completion_seconds;
+    heuristic[i].interleave = RunWith(app, interleave_only).completion_seconds;
+    heuristic[i].none = RunWith(app, none).completion_seconds;
+  });
+
+  std::printf("\nHeuristic selection (completion seconds):\n");
+  std::printf("  %-10s %10s %12s %12s %10s\n", "app", "both", "locality", "interleave", "none");
+  for (int i = 0; i < kClassApps; ++i) {
+    std::printf("  %-10s %10.2f %12.2f %12.2f %10.2f\n", class_apps[i], heuristic[i].both,
+                heuristic[i].locality, heuristic[i].interleave, heuristic[i].none);
   }
 
-  std::printf("\nMigration budget per tick (sp.C, completion seconds):\n  ");
-  for (int budget : {8, 32, 96, 256}) {
+  const int budgets[] = {8, 32, 96, 256};
+  constexpr int kBudgets = static_cast<int>(std::size(budgets));
+  std::vector<double> budget_seconds(kBudgets);
+  BenchFor(kBudgets, [&](int i) {
     AppProfile app = *FindApp("sp.C");
     app.nominal_seconds = 4.0;
     CarrefourConfig cfg;
-    cfg.max_migrations_per_tick = budget;
-    std::printf("budget %3d: %6.2f   ", budget, RunWith(app, cfg).completion_seconds);
+    cfg.max_migrations_per_tick = budgets[i];
+    budget_seconds[i] = RunWith(app, cfg).completion_seconds;
+  });
+  std::printf("\nMigration budget per tick (sp.C, completion seconds):\n  ");
+  for (int i = 0; i < kBudgets; ++i) {
+    std::printf("budget %3d: %6.2f   ", budgets[i], budget_seconds[i]);
   }
   std::printf("\n");
 
-  std::printf("\nLink-saturation trigger threshold (sp.C, completion seconds):\n  ");
-  for (double thr : {0.15, 0.30, 0.60, 0.90}) {
+  const double thresholds[] = {0.15, 0.30, 0.60, 0.90};
+  constexpr int kThresholds = static_cast<int>(std::size(thresholds));
+  std::vector<double> threshold_seconds(kThresholds);
+  BenchFor(kThresholds, [&](int i) {
     AppProfile app = *FindApp("sp.C");
     app.nominal_seconds = 4.0;
     CarrefourConfig cfg;
-    cfg.link_saturation_util = thr;
-    std::printf("thr %.2f: %6.2f   ", thr, RunWith(app, cfg).completion_seconds);
+    cfg.link_saturation_util = thresholds[i];
+    threshold_seconds[i] = RunWith(app, cfg).completion_seconds;
+  });
+  std::printf("\nLink-saturation trigger threshold (sp.C, completion seconds):\n  ");
+  for (int i = 0; i < kThresholds; ++i) {
+    std::printf("thr %.2f: %6.2f   ", thresholds[i], threshold_seconds[i]);
   }
   std::printf("\n");
   return 0;

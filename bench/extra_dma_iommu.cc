@@ -6,8 +6,9 @@
 #include "bench/bench_util.h"
 #include "src/hv/iommu.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("§2.2.2 / §4.4.1", "DMA latency by I/O path; first-touch vs IOMMU");
 
   const IoModel io;

@@ -15,8 +15,9 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("§4.2.3-4.2.4", "Page-release hypercall batching (wrmem-like workload)");
 
   AppProfile app = *FindApp("wrmem");

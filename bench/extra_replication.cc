@@ -28,23 +28,36 @@ JobResult RunR4kCarrefour(const AppProfile& app, bool replication) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   PrintBanner("§3.4 ablation", "The replication heuristic (off by default, as in the paper)");
+
+  const char* names[] = {"facesim", "streamcluster", "kmeans", "pca", "sp.C", "ep.D"};
+  constexpr int kApps = static_cast<int>(std::size(names));
+  struct Row {
+    JobResult off;
+    JobResult on;
+  };
+  std::vector<Row> rows(kApps);
+  BenchFor(kApps, [&](int i) {
+    AppProfile app = *FindApp(names[i]);
+    const double scale = 4.0 / app.nominal_seconds;
+    app.nominal_seconds = 4.0;
+    app.disk_read_mb *= scale;
+    rows[i].off = RunR4kCarrefour(app, false);
+    rows[i].on = RunR4kCarrefour(app, true);
+  });
 
   std::printf("\nPaper workloads (round-4K/Carrefour, completion seconds):\n");
   std::printf("  %-14s %12s %12s %8s %12s\n", "app", "no-repl", "repl", "delta", "replications");
   double worst_delta = 0.0;
-  for (const char* name : {"facesim", "streamcluster", "kmeans", "pca", "sp.C", "ep.D"}) {
-    AppProfile app = *FindApp(name);
-    const double scale = 4.0 / app.nominal_seconds;
-    app.nominal_seconds = 4.0;
-    app.disk_read_mb *= scale;
-    const JobResult off = RunR4kCarrefour(app, false);
-    const JobResult on = RunR4kCarrefour(app, true);
-    const double delta = ImprovementPct(off.completion_seconds, on.completion_seconds);
+  for (int i = 0; i < kApps; ++i) {
+    const double delta =
+        ImprovementPct(rows[i].off.completion_seconds, rows[i].on.completion_seconds);
     worst_delta = std::max(worst_delta, std::abs(delta));
-    std::printf("  %-14s %12.2f %12.2f %+7.1f%% %12lld\n", name, off.completion_seconds,
-                on.completion_seconds, delta, static_cast<long long>(0));
+    std::printf("  %-14s %12.2f %12.2f %+7.1f%% %12lld\n", names[i],
+                rows[i].off.completion_seconds, rows[i].on.completion_seconds, delta,
+                static_cast<long long>(0));
   }
   std::printf("  -> largest |delta| %.1f%%: marginal, as the paper found (its shared data is"
               " written,\n     so almost no page qualifies)\n", worst_delta);

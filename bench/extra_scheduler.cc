@@ -62,7 +62,8 @@ double RunCase(const AppProfile& app, bool use_scheduler, bool soft_affinity, bo
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   PrintBanner("§5.4 ablation", "vCPU pinning vs credit scheduling (cg.C, 48 vCPUs, first-touch)");
 
   AppProfile app = *FindApp("cg.C");
@@ -80,20 +81,29 @@ int main() {
       {"credit scheduler, no NUMA affinity", true, false, false},
       {"credit scheduler + Carrefour repairs", true, false, true},
   };
+  constexpr int kConfigs = static_cast<int>(std::size(configs));
+  const int kSeeds = 3;
+
+  // One matrix cell per (config, seed); each RunCase builds its own machine.
+  std::vector<double> times(kConfigs * kSeeds);
+  BenchFor(kConfigs * kSeeds, [&](int i) {
+    const Config& config = configs[i / kSeeds];
+    const uint64_t seed = static_cast<uint64_t>(i % kSeeds) + 1;
+    times[i] = RunCase(app, config.scheduler, config.affinity, config.carrefour, seed);
+  });
 
   std::printf("\n%-40s %12s %10s\n", "scheduling", "cg.C (s)", "spread");
-  for (const Config& config : configs) {
+  for (int c = 0; c < kConfigs; ++c) {
     double tmin = 1e18;
     double tmax = 0.0;
     double sum = 0.0;
-    const int kSeeds = 3;
-    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      const double t = RunCase(app, config.scheduler, config.affinity, config.carrefour, seed);
+    for (int s = 0; s < kSeeds; ++s) {
+      const double t = times[c * kSeeds + s];
       tmin = std::min(tmin, t);
       tmax = std::max(tmax, t);
       sum += t;
     }
-    std::printf("%-40s %12.2f %9.0f%%\n", config.label, sum / kSeeds,
+    std::printf("%-40s %12.2f %9.0f%%\n", configs[c].label, sum / kSeeds,
                 100.0 * (tmax - tmin) / tmin);
   }
   std::printf("\nScheduler-driven vCPU migrations erode first-touch locality and add\n"

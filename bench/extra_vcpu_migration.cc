@@ -59,7 +59,8 @@ JobResult RunCase(const AppProfile& app, double migration_period, bool carrefour
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   PrintBanner("§1 motivation", "vCPU load balancing vs guest-frozen NUMA placement");
 
   // A strongly thread-local app (first-touch is ideal while vCPUs stand
@@ -67,9 +68,18 @@ int main() {
   AppProfile app = *FindApp("cg.C");
   app.nominal_seconds = 5.0;
 
-  const JobResult pinned = RunCase(app, /*migration_period=*/0.0, /*carrefour=*/false);
-  const JobResult frozen = RunCase(app, /*migration_period=*/0.4, /*carrefour=*/false);
-  const JobResult repaired = RunCase(app, /*migration_period=*/0.4, /*carrefour=*/true);
+  struct Case {
+    double migration_period;
+    bool carrefour;
+  };
+  const Case cases[] = {{0.0, false}, {0.4, false}, {0.4, true}};
+  std::vector<JobResult> results(3);
+  BenchFor(3, [&](int i) {
+    results[i] = RunCase(app, cases[i].migration_period, cases[i].carrefour);
+  });
+  const JobResult& pinned = results[0];
+  const JobResult& frozen = results[1];
+  const JobResult& repaired = results[2];
 
   std::printf("\n%-44s %10s %14s\n", "configuration (cg.C, first-touch placement)", "time",
               "avg latency");

@@ -10,21 +10,33 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Figure 1", "Relative overhead of Xen compared to Linux");
+
+  // Stock Linux: default first-touch, stock pthread primitives.
+  StackConfig linux_stack = LinuxStack();
+  linux_stack.mcs_for_eligible = false;
+  const std::vector<AppProfile> apps = ScaledApps(5.0);
+  struct Row {
+    JobResult linux_run;
+    JobResult xen_run;
+  };
+  std::vector<Row> rows(apps.size());
+  BenchFor(static_cast<int>(apps.size()), [&](int i) {
+    rows[i].linux_run = RunSingleApp(apps[i], linux_stack, BenchOptions());
+    rows[i].xen_run = RunSingleApp(apps[i], XenStack(), BenchOptions());
+  });
 
   std::printf("\n%-14s %10s %10s %10s\n", "app", "linux(s)", "xen(s)", "overhead");
   int over50 = 0;
   int over100 = 0;
   double worst = 0.0;
-  // Stock Linux: default first-touch, stock pthread primitives.
-  StackConfig linux_stack = LinuxStack();
-  linux_stack.mcs_for_eligible = false;
-  for (const AppProfile& app : ScaledApps(5.0)) {
-    const JobResult linux_run = RunSingleApp(app, linux_stack, BenchOptions());
-    const JobResult xen_run = RunSingleApp(app, XenStack(), BenchOptions());
-    const double overhead = OverheadPct(linux_run.completion_seconds, xen_run.completion_seconds);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const Row& row = rows[i];
+    const double overhead =
+        OverheadPct(row.linux_run.completion_seconds, row.xen_run.completion_seconds);
     if (overhead > 50.0) {
       ++over50;
     }
@@ -32,8 +44,8 @@ int main() {
       ++over100;
     }
     worst = std::max(worst, overhead);
-    std::printf("%-14s %10.2f %10.2f %+9.0f%%\n", app.name.c_str(),
-                linux_run.completion_seconds, xen_run.completion_seconds, overhead);
+    std::printf("%-14s %10.2f %10.2f %+9.0f%%\n", apps[i].name.c_str(),
+                row.linux_run.completion_seconds, row.xen_run.completion_seconds, overhead);
   }
   std::printf("\napps with overhead > 50%%: %d (paper: 15)\n", over50);
   std::printf("apps with overhead > 100%%: %d (paper: 11)\n", over100);

@@ -6,16 +6,24 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Figure 2", "Linux NUMA policies vs first-touch (improvement, higher is better)");
+
+  const std::vector<AppProfile> apps = ScaledApps(5.0);
+  std::vector<std::vector<PolicySweepEntry>> sweeps(apps.size());
+  BenchFor(static_cast<int>(apps.size()), [&](int i) {
+    sweeps[i] = SweepPolicies(apps[i], LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
+  });
 
   std::printf("\n%-14s %9s %9s %9s %9s   best\n", "app", "ft", "ft/carr", "r4k", "r4k/carr");
   int improved25 = 0;
   int improved50 = 0;
   int improved100 = 0;
-  for (const AppProfile& app : ScaledApps(5.0)) {
-    const auto sweep = SweepPolicies(app, LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
+  for (size_t a = 0; a < apps.size(); ++a) {
+    const AppProfile& app = apps[a];
+    const auto& sweep = sweeps[a];
     const double ft = sweep[0].result.completion_seconds;
     std::printf("%-14s ", app.name.c_str());
     double best_time = 1e18;

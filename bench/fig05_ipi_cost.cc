@@ -7,8 +7,9 @@
 #include "bench/bench_util.h"
 #include "src/hv/ipi_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Figure 5", "IPI cost repartition (ns)");
 
   const IpiModel ipi;

@@ -9,27 +9,43 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Figure 6", "Overhead of Linux, Xen, Xen+ vs LinuxNUMA (lower is better)");
+
+  const std::vector<AppProfile> apps = ScaledApps(5.0);
+  struct Row {
+    PolicyConfig best_policy;
+    double linux_numa = 0.0;
+    JobResult linux_run;
+    JobResult xen_run;
+    JobResult xenplus_run;
+  };
+  std::vector<Row> rows(apps.size());
+  BenchFor(static_cast<int>(apps.size()), [&](int i) {
+    const auto sweep =
+        SweepPolicies(apps[i], LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
+    const PolicySweepEntry& best = BestEntry(sweep);
+    rows[i].best_policy = best.policy;
+    rows[i].linux_numa = best.result.completion_seconds;
+
+    StackConfig plain_linux = LinuxStack();
+    plain_linux.mcs_for_eligible = false;  // stock Linux
+    rows[i].linux_run = RunSingleApp(apps[i], plain_linux, BenchOptions());
+    rows[i].xen_run = RunSingleApp(apps[i], XenStack(), BenchOptions());
+    rows[i].xenplus_run = RunSingleApp(apps[i], XenPlusStack(), BenchOptions());
+  });
 
   std::printf("\n%-14s %12s | %9s %9s %9s   (best linux policy)\n", "app", "linuxNUMA(s)",
               "linux", "xen", "xen+");
   int xenplus_over25 = 0;
   int xenplus_over50 = 0;
   int xenplus_over100 = 0;
-  for (const AppProfile& app : ScaledApps(5.0)) {
-    const auto sweep = SweepPolicies(app, LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
-    const PolicySweepEntry& best = BestEntry(sweep);
-    const double linux_numa = best.result.completion_seconds;
-
-    StackConfig plain_linux = LinuxStack();
-    plain_linux.mcs_for_eligible = false;  // stock Linux
-    const JobResult linux_run = RunSingleApp(app, plain_linux, BenchOptions());
-    const JobResult xen_run = RunSingleApp(app, XenStack(), BenchOptions());
-    const JobResult xenplus_run = RunSingleApp(app, XenPlusStack(), BenchOptions());
-
-    const double xenplus_overhead = OverheadPct(linux_numa, xenplus_run.completion_seconds);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const Row& row = rows[i];
+    const double xenplus_overhead =
+        OverheadPct(row.linux_numa, row.xenplus_run.completion_seconds);
     if (xenplus_overhead > 25.0) {
       ++xenplus_over25;
     }
@@ -39,10 +55,10 @@ int main() {
     if (xenplus_overhead > 100.0) {
       ++xenplus_over100;
     }
-    std::printf("%-14s %12.2f | %+8.0f%% %+8.0f%% %+8.0f%%   (%s)\n", app.name.c_str(),
-                linux_numa, OverheadPct(linux_numa, linux_run.completion_seconds),
-                OverheadPct(linux_numa, xen_run.completion_seconds), xenplus_overhead,
-                ToString(best.policy));
+    std::printf("%-14s %12.2f | %+8.0f%% %+8.0f%% %+8.0f%%   (%s)\n", apps[i].name.c_str(),
+                row.linux_numa, OverheadPct(row.linux_numa, row.linux_run.completion_seconds),
+                OverheadPct(row.linux_numa, row.xen_run.completion_seconds), xenplus_overhead,
+                ToString(row.best_policy));
   }
   std::printf("\nXen+ overhead > 25%%: %d apps (paper: 20)\n", xenplus_over25);
   std::printf("Xen+ overhead > 50%%: %d apps (paper: 14)\n", xenplus_over50);

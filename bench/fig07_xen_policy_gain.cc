@@ -7,9 +7,16 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Figure 7", "NUMA policies in Xen+ vs Xen+/round-1G (improvement)");
+
+  const std::vector<AppProfile> apps = ScaledApps(5.0);
+  std::vector<std::vector<PolicySweepEntry>> sweeps(apps.size());
+  BenchFor(static_cast<int>(apps.size()), [&](int i) {
+    sweeps[i] = SweepPolicies(apps[i], XenPlusStack(), XenPolicyCandidates(), BenchOptions());
+  });
 
   std::printf("\n%-14s %9s %9s %9s %9s   best\n", "app", "ft", "ft/carr", "r4k", "r4k/carr");
   int improved100 = 0;
@@ -17,8 +24,9 @@ int main() {
   std::string best_app;
   int r1g_best = 0;
   double worst_r1g_replacement = 0.0;
-  for (const AppProfile& app : ScaledApps(5.0)) {
-    const auto sweep = SweepPolicies(app, XenPlusStack(), XenPolicyCandidates(), BenchOptions());
+  for (size_t a = 0; a < apps.size(); ++a) {
+    const AppProfile& app = apps[a];
+    const auto& sweep = sweeps[a];
     const double r1g = sweep[0].result.completion_seconds;  // round-1G first
     const PolicySweepEntry* best = &sweep[0];
     double best_non_r1g = 1e18;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "bench/bench_util.h"
 
@@ -20,22 +21,25 @@ xnuma::PolicyConfig BestXenPolicy(const xnuma::AppProfile& app) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Figure 9", "2 consolidated VMs (48 vCPUs each): best policy vs round-1G");
 
   const std::pair<const char*, const char*> pairs[] = {
       {"cg.C", "sp.C"}, {"cg.C", "ft.C"}, {"lu.C", "sp.C"},
       {"pca", "kmeans"}, {"wr", "wrmem"}, {"bt.C", "lu.C"},
   };
+  constexpr int kPairs = static_cast<int>(std::size(pairs));
 
-  std::printf("\n%-24s %14s %14s\n", "pair", "vm1 gain", "vm2 gain");
-  int over50 = 0;
-  int degraded = 0;
-  double worst_degradation = 0.0;
-  for (const auto& [name_a, name_b] : pairs) {
-    AppProfile a = *FindApp(name_a);
-    AppProfile b = *FindApp(name_b);
+  struct Row {
+    double gain_a = 0.0;
+    double gain_b = 0.0;
+  };
+  std::vector<Row> rows(kPairs);
+  BenchFor(kPairs, [&](int i) {
+    AppProfile a = *FindApp(pairs[i].first);
+    AppProfile b = *FindApp(pairs[i].second);
     const double scale = 4.0;
     a.disk_read_mb *= scale / a.nominal_seconds;
     b.disk_read_mb *= scale / b.nominal_seconds;
@@ -50,10 +54,19 @@ int main() {
     const PairResult tuned =
         RunAppPair(a, best_a, b, best_b, PairMode::kConsolidated, BenchOptions());
 
-    const double gain_a =
+    rows[i].gain_a =
         ImprovementPct(base.first.completion_seconds, tuned.first.completion_seconds);
-    const double gain_b =
+    rows[i].gain_b =
         ImprovementPct(base.second.completion_seconds, tuned.second.completion_seconds);
+  });
+
+  std::printf("\n%-24s %14s %14s\n", "pair", "vm1 gain", "vm2 gain");
+  int over50 = 0;
+  int degraded = 0;
+  double worst_degradation = 0.0;
+  for (int i = 0; i < kPairs; ++i) {
+    const double gain_a = rows[i].gain_a;
+    const double gain_b = rows[i].gain_b;
     if (gain_a > 50.0 || gain_b > 50.0) {
       ++over50;
     }
@@ -64,7 +77,7 @@ int main() {
       }
     }
     char label[64];
-    std::snprintf(label, sizeof(label), "%s + %s", name_a, name_b);
+    std::snprintf(label, sizeof(label), "%s + %s", pairs[i].first, pairs[i].second);
     std::printf("%-24s %+13.0f%% %+13.0f%%\n", label, gain_a, gain_b);
   }
   std::printf("\npairs with at least one VM improved > 50%%: %d of 6\n", over50);

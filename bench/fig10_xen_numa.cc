@@ -7,35 +7,50 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Figure 10", "Overhead of Xen+ and Xen+NUMA vs LinuxNUMA (lower is better)");
+
+  const std::vector<AppProfile> apps = ScaledApps(5.0);
+  struct Row {
+    double linux_numa = 0.0;
+    JobResult xenplus;
+    PolicyConfig xen_best_policy;
+    double xen_best_seconds = 0.0;
+  };
+  std::vector<Row> rows(apps.size());
+  BenchFor(static_cast<int>(apps.size()), [&](int i) {
+    const auto linux_sweep =
+        SweepPolicies(apps[i], LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
+    rows[i].linux_numa = BestEntry(linux_sweep).result.completion_seconds;
+
+    rows[i].xenplus = RunSingleApp(apps[i], XenPlusStack(), BenchOptions());
+    const auto xen_sweep =
+        SweepPolicies(apps[i], XenPlusStack(), XenPolicyCandidates(), BenchOptions());
+    const PolicySweepEntry& xen_best = BestEntry(xen_sweep);
+    rows[i].xen_best_policy = xen_best.policy;
+    rows[i].xen_best_seconds = xen_best.result.completion_seconds;
+  });
 
   std::printf("\n%-14s %12s | %9s %9s   (xen+ best policy)\n", "app", "linuxNUMA(s)", "xen+",
               "xen+NUMA");
   int plus_over50 = 0;
   int numa_over50 = 0;
   std::string remaining;
-  for (const AppProfile& app : ScaledApps(5.0)) {
-    const auto linux_sweep =
-        SweepPolicies(app, LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
-    const double linux_numa = BestEntry(linux_sweep).result.completion_seconds;
-
-    const JobResult xenplus = RunSingleApp(app, XenPlusStack(), BenchOptions());
-    const auto xen_sweep = SweepPolicies(app, XenPlusStack(), XenPolicyCandidates(), BenchOptions());
-    const PolicySweepEntry& xen_best = BestEntry(xen_sweep);
-
-    const double plus_overhead = OverheadPct(linux_numa, xenplus.completion_seconds);
-    const double numa_overhead = OverheadPct(linux_numa, xen_best.result.completion_seconds);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const Row& row = rows[i];
+    const double plus_overhead = OverheadPct(row.linux_numa, row.xenplus.completion_seconds);
+    const double numa_overhead = OverheadPct(row.linux_numa, row.xen_best_seconds);
     if (plus_overhead > 50.0) {
       ++plus_over50;
     }
     if (numa_overhead > 50.0) {
       ++numa_over50;
-      remaining += (remaining.empty() ? "" : ", ") + app.name;
+      remaining += (remaining.empty() ? "" : ", ") + apps[i].name;
     }
-    std::printf("%-14s %12.2f | %+8.0f%% %+8.0f%%   (%s)\n", app.name.c_str(), linux_numa,
-                plus_overhead, numa_overhead, ToString(xen_best.policy));
+    std::printf("%-14s %12.2f | %+8.0f%% %+8.0f%%   (%s)\n", apps[i].name.c_str(), row.linux_numa,
+                plus_overhead, numa_overhead, ToString(row.xen_best_policy));
   }
   std::printf("\nXen+ apps with overhead > 50%%: %d (paper: 14)\n", plus_over50);
   std::printf("Xen+NUMA apps with overhead > 50%%: %d (paper: 4 — memcached, cassandra, "

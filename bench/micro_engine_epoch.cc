@@ -21,8 +21,10 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/exec/experiment_runner.h"
 #include "src/guest/guest_os.h"
 #include "src/hv/hypervisor.h"
 #include "src/numa/latency_model.h"
@@ -147,6 +149,71 @@ double EpochsPerSecond(const AppProfile& app, bool incremental, bool fault_armed
   return best;
 }
 
+// --- Parallel experiment matrix (src/exec/ParallelRunner) -----------------
+//
+// A RunSpec matrix (app x stack x seed) is driven through the runner at
+// jobs=1 (the exact serial loop) and jobs=4, timing each. Results must be
+// bit-identical; the throughput ratio is archived as "parallel_matrix" in
+// BENCH_engine.json and gated by tools/run_bench.sh on hosts with >= 4
+// cores.
+
+std::vector<RunSpec> MatrixSpecs() {
+  std::vector<RunSpec> specs;
+  const char* apps[] = {"cg.C", "ft.C", "sp.C", "kmeans"};
+  const uint64_t seeds[] = {7, 11, 13};
+  for (const char* name : apps) {
+    AppProfile app = *FindApp(name);
+    const double scale = 2.0 / app.nominal_seconds;
+    app.nominal_seconds = 2.0;
+    app.disk_read_mb *= scale;
+    for (int xen : {0, 1}) {
+      for (uint64_t seed : seeds) {
+        RunSpec spec;
+        spec.app = app;
+        spec.stack = xen ? XenPlusStack() : LinuxStack();
+        spec.options.seed = seed;
+        spec.options.engine.max_sim_seconds = 60.0;
+        spec.label = std::string(name) + "/" + spec.stack.label + "/s" + std::to_string(seed);
+        specs.push_back(spec);
+      }
+    }
+  }
+  return specs;
+}
+
+struct MatrixStats {
+  double wall_s = 0.0;
+  std::vector<RunOutcome> outcomes;
+};
+
+MatrixStats RunMatrix(const std::vector<RunSpec>& specs, int jobs) {
+  ParallelRunner::Options opt;
+  opt.jobs = jobs;
+  const ParallelRunner runner(opt);
+  const auto start = std::chrono::steady_clock::now();
+  MatrixStats stats;
+  stats.outcomes = runner.RunAll(specs);
+  const auto end = std::chrono::steady_clock::now();
+  stats.wall_s = std::chrono::duration<double>(end - start).count();
+  return stats;
+}
+
+bool SameOutcomes(const std::vector<RunOutcome>& a, const std::vector<RunOutcome>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].ok != b[i].ok ||
+        a[i].result.completion_seconds != b[i].result.completion_seconds ||
+        a[i].result.avg_latency_cycles != b[i].result.avg_latency_cycles ||
+        a[i].result.imbalance_pct != b[i].result.imbalance_pct ||
+        a[i].result.hv_page_faults != b[i].result.hv_page_faults) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 }  // namespace xnuma
 
@@ -200,7 +267,35 @@ int main() {
   std::printf("\n  ],\n");
   std::printf("  \"fault_p0_mean_overhead_pct\": %.2f,\n",
               overhead_samples > 0 ? overhead_sum_pct / overhead_samples : 0.0);
-  std::printf("  \"obs_mean_overhead_pct\": %.2f\n}\n",
+  std::printf("  \"obs_mean_overhead_pct\": %.2f,\n",
               overhead_samples > 0 ? obs_overhead_sum_pct / overhead_samples : 0.0);
-  return 0;
+
+  // Parallel matrix throughput: best of 3 trials per jobs value, serial
+  // first so the two timings see the same cache state.
+  const std::vector<RunSpec> specs = MatrixSpecs();
+  double serial_s = 1e18;
+  double jobs4_s = 1e18;
+  std::vector<RunOutcome> serial_out;
+  std::vector<RunOutcome> jobs4_out;
+  for (int trial = 0; trial < 3; ++trial) {
+    MatrixStats one = RunMatrix(specs, 1);
+    MatrixStats four = RunMatrix(specs, 4);
+    if (one.wall_s < serial_s) {
+      serial_s = one.wall_s;
+      serial_out = std::move(one.outcomes);
+    }
+    if (four.wall_s < jobs4_s) {
+      jobs4_s = four.wall_s;
+      jobs4_out = std::move(four.outcomes);
+    }
+  }
+  const bool identical = SameOutcomes(serial_out, jobs4_out);
+  std::printf("  \"parallel_matrix\": {\n");
+  std::printf("    \"specs\": %d,\n", static_cast<int>(specs.size()));
+  std::printf("    \"host_cores\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("    \"serial_s\": %.3f,\n", serial_s);
+  std::printf("    \"jobs4_s\": %.3f,\n", jobs4_s);
+  std::printf("    \"speedup_jobs4\": %.2f,\n", jobs4_s > 0.0 ? serial_s / jobs4_s : 0.0);
+  std::printf("    \"results_identical\": %s\n  }\n}\n", identical ? "true" : "false");
+  return identical ? 0 : 1;
 }

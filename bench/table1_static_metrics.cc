@@ -22,20 +22,32 @@ const char* Classify(double ft_imbalance) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Table 1", "Static NUMA policies in Linux: imbalance and interconnect load");
+
+  const std::vector<AppProfile> apps = ScaledApps(5.0);
+  struct Row {
+    JobResult ft;
+    JobResult r4k;
+  };
+  std::vector<Row> rows(apps.size());
+  BenchFor(static_cast<int>(apps.size()), [&](int i) {
+    rows[i].ft =
+        RunSingleApp(apps[i], LinuxStack({StaticPolicy::kFirstTouch, false}), BenchOptions());
+    rows[i].r4k =
+        RunSingleApp(apps[i], LinuxStack({StaticPolicy::kRound4k, false}), BenchOptions());
+  });
 
   std::printf("\n%-14s | %9s %9s | %12s %12s | %s\n", "app", "imb(FT)", "imb(R4K)", "link(FT)",
               "link(R4K)", "class");
   int low = 0;
   int moderate = 0;
   int high = 0;
-  for (const AppProfile& app : ScaledApps(5.0)) {
-    const JobResult ft =
-        RunSingleApp(app, LinuxStack({StaticPolicy::kFirstTouch, false}), BenchOptions());
-    const JobResult r4k =
-        RunSingleApp(app, LinuxStack({StaticPolicy::kRound4k, false}), BenchOptions());
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const JobResult& ft = rows[i].ft;
+    const JobResult& r4k = rows[i].r4k;
     const char* cls = Classify(ft.imbalance_pct);
     if (cls[0] == 'l') {
       ++low;
@@ -44,7 +56,7 @@ int main() {
     } else {
       ++high;
     }
-    std::printf("%-14s | %8.0f%% %8.0f%% | %11.0f%% %11.0f%% | %s\n", app.name.c_str(),
+    std::printf("%-14s | %8.0f%% %8.0f%% | %11.0f%% %11.0f%% | %s\n", apps[i].name.c_str(),
                 ft.imbalance_pct, r4k.imbalance_pct, ft.interconnect_pct, r4k.interconnect_pct,
                 cls);
   }

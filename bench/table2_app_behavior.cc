@@ -6,21 +6,27 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Table 2", "Behaviour of the applications (native Linux run)");
 
-  std::printf("\n%-10s %-14s %12s %14s %12s\n", "suite", "app", "disk MB/s", "ctx switch k/s",
-              "footprint MB");
   // Plain Linux with stock pthread primitives (Table 2 was measured before
   // any MCS substitution).
   StackConfig stack = LinuxStack();
   stack.mcs_for_eligible = false;
-  for (const AppProfile& app : ScaledApps(5.0)) {
-    const JobResult r = RunSingleApp(app, stack, BenchOptions());
-    std::printf("%-10s %-14s %12.0f %14.1f %12.0f\n", ToString(app.suite), app.name.c_str(),
-                r.observed_disk_mb_per_s, r.observed_ctx_switches_per_s / 1000.0,
-                app.TotalFootprintMb());
+  const std::vector<AppProfile> apps = ScaledApps(5.0);
+  std::vector<JobResult> results(apps.size());
+  BenchFor(static_cast<int>(apps.size()),
+           [&](int i) { results[i] = RunSingleApp(apps[i], stack, BenchOptions()); });
+
+  std::printf("\n%-10s %-14s %12s %14s %12s\n", "suite", "app", "disk MB/s", "ctx switch k/s",
+              "footprint MB");
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const JobResult& r = results[i];
+    std::printf("%-10s %-14s %12.0f %14.1f %12.0f\n", ToString(apps[i].suite),
+                apps[i].name.c_str(), r.observed_disk_mb_per_s,
+                r.observed_ctx_switches_per_s / 1000.0, apps[i].TotalFootprintMb());
   }
   return 0;
 }

@@ -7,8 +7,9 @@
 #include "src/numa/latency_model.h"
 #include "src/numa/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Table 3", "Cache and memory access latency on AMD48 (cycles)");
 
   const LatencyModel model;

@@ -6,8 +6,9 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xnuma;
+  InitBench(argc, argv);
   PrintBanner("Table 4", "Best NUMA policies (exhaustive sweep)");
 
   // The paper's Table 4, for side-by-side comparison.
@@ -48,17 +49,27 @@ int main() {
       {"mongodb", "First-Touch / Carrefour", "Round-1G"},
   };
 
+  const std::vector<AppProfile> apps = ScaledApps(5.0);
+  struct Row {
+    PolicyConfig linux_best;
+    PolicyConfig xen_best;
+  };
+  std::vector<Row> rows(apps.size());
+  BenchFor(static_cast<int>(apps.size()), [&](int i) {
+    const auto linux_sweep =
+        SweepPolicies(apps[i], LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
+    const auto xen_sweep =
+        SweepPolicies(apps[i], XenPlusStack(), XenPolicyCandidates(), BenchOptions());
+    rows[i].linux_best = BestEntry(linux_sweep).policy;
+    rows[i].xen_best = BestEntry(xen_sweep).policy;
+  });
+
   std::printf("\n%-14s | %-24s %-24s | %-24s %-24s\n", "app", "LinuxNUMA (ours)",
               "LinuxNUMA (paper)", "Xen+NUMA (ours)", "Xen+NUMA (paper)");
-  int idx = 0;
-  for (const AppProfile& app : ScaledApps(5.0)) {
-    const auto linux_sweep =
-        SweepPolicies(app, LinuxStack(), LinuxPolicyCandidates(), BenchOptions());
-    const auto xen_sweep = SweepPolicies(app, XenPlusStack(), XenPolicyCandidates(), BenchOptions());
-    std::printf("%-14s | %-24s %-24s | %-24s %-24s\n", app.name.c_str(),
-                ToString(BestEntry(linux_sweep).policy), paper[idx].linux_best,
-                ToString(BestEntry(xen_sweep).policy), paper[idx].xen_best);
-    ++idx;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    std::printf("%-14s | %-24s %-24s | %-24s %-24s\n", apps[i].name.c_str(),
+                ToString(rows[i].linux_best), paper[i].linux_best, ToString(rows[i].xen_best),
+                paper[i].xen_best);
   }
   return 0;
 }

@@ -26,31 +26,36 @@ Flags::Flags(int argc, char** argv) {
   }
 }
 
+void Flags::MarkRead(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(read_mutex_);
+  read_.insert(key);
+}
+
 bool Flags::Has(const std::string& key) const {
-  read_[key] = true;
+  MarkRead(key);
   return values_.count(key) > 0;
 }
 
 std::string Flags::GetString(const std::string& key, const std::string& fallback) const {
-  read_[key] = true;
+  MarkRead(key);
   auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
 }
 
 double Flags::GetDouble(const std::string& key, double fallback) const {
-  read_[key] = true;
+  MarkRead(key);
   auto it = values_.find(key);
   return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
 }
 
 int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
-  read_[key] = true;
+  MarkRead(key);
   auto it = values_.find(key);
   return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 bool Flags::GetBool(const std::string& key, bool fallback) const {
-  read_[key] = true;
+  MarkRead(key);
   auto it = values_.find(key);
   if (it == values_.end()) {
     return fallback;
@@ -59,6 +64,7 @@ bool Flags::GetBool(const std::string& key, bool fallback) const {
 }
 
 std::vector<std::string> Flags::UnusedKeys() const {
+  std::lock_guard<std::mutex> lock(read_mutex_);
   std::vector<std::string> unused;
   for (const auto& [key, value] : values_) {
     (void)value;

@@ -1,10 +1,18 @@
 // Minimal command-line flag parsing for the CLI tools: supports
 // `--key=value`, `--key value`, boolean `--flag`, and positional arguments.
+//
+// Thread-safety: `values_` and `positional_` are const after the
+// constructor, so any number of threads may call the getters concurrently
+// (parallel-runner workers read flag-derived config). The only mutable
+// state is the used-key tracking behind UnusedKeys(), which is guarded by
+// its own mutex.
 
 #ifndef XENNUMA_SRC_COMMON_FLAGS_H_
 #define XENNUMA_SRC_COMMON_FLAGS_H_
 
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -26,9 +34,12 @@ class Flags {
   std::vector<std::string> UnusedKeys() const;
 
  private:
-  std::map<std::string, std::string> values_;
-  mutable std::map<std::string, bool> read_;
-  std::vector<std::string> positional_;
+  void MarkRead(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;  // const after construction
+  std::vector<std::string> positional_;        // const after construction
+  mutable std::mutex read_mutex_;
+  mutable std::set<std::string> read_;
 };
 
 }  // namespace xnuma

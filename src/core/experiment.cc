@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/common/check.h"
+#include "src/exec/parallel_for.h"
 #include "src/numa/latency_model.h"
 #include "src/numa/topology.h"
 
@@ -225,14 +226,22 @@ std::vector<PolicyConfig> XenPolicyCandidates() {
 std::vector<PolicySweepEntry> SweepPolicies(const AppProfile& app, const StackConfig& base,
                                             const std::vector<PolicyConfig>& candidates,
                                             const RunOptions& options) {
-  std::vector<PolicySweepEntry> sweep;
-  sweep.reserve(candidates.size());
-  for (const PolicyConfig& policy : candidates) {
-    StackConfig stack = base;
-    stack.policy = policy;
-    stack.label = base.label + "/" + ToString(policy);
-    sweep.push_back({policy, RunSingleApp(app, stack, options)});
-  }
+  // Candidates are independent runs, so the sweep is a (tiny) matrix: fan it
+  // across options.jobs workers, each run assembling its own machine, with
+  // results committed into per-candidate slots. jobs == 1 executes inline on
+  // this thread — the exact serial loop.
+  XNUMA_CHECK(options.jobs == 1 || (options.trace == nullptr && options.obs == nullptr));
+  std::vector<PolicySweepEntry> sweep(candidates.size());
+  ParallelForOptions pf;
+  pf.jobs = options.jobs;
+  ParallelFor(static_cast<int>(candidates.size()),
+              [&](int i) {
+                StackConfig stack = base;
+                stack.policy = candidates[i];
+                stack.label = base.label + "/" + ToString(candidates[i]);
+                sweep[i] = {candidates[i], RunSingleApp(app, stack, options)};
+              },
+              pf);
   return sweep;
 }
 

@@ -61,6 +61,14 @@ struct RunOptions {
   // instruments; nullptr (the default) keeps the run bit-identical to a
   // build without the observability layer.
   Observability* obs = nullptr;
+  // Worker threads for the *independent-run matrices* built on top of this
+  // run (SweepPolicies; the CLI and bench binaries feed it from --jobs).
+  // Results are bit-identical for every value (docs/MODEL.md §12); 1 is the
+  // serial loop on the calling thread. Ignored by RunSingleApp/RunAppPair,
+  // which are single runs. When > 1, `trace` and `obs` must stay null —
+  // they attach per-machine state that cannot be shared across concurrent
+  // runs.
+  int jobs = 1;
 };
 
 // Runs `app` alone on a 48-core machine (threads pinned 1:1 to vCPUs to
@@ -96,6 +104,9 @@ struct PolicySweepEntry {
 
 // Runs `app` under every candidate policy on the given base stack.
 // `base.policy` is ignored; everything else (mode, passthrough, MCS) is kept.
+// Candidates run fanned across options.jobs worker threads (each run on its
+// own private machine); the returned entries are bit-identical to the
+// serial options.jobs == 1 loop in both order and content.
 std::vector<PolicySweepEntry> SweepPolicies(const AppProfile& app, const StackConfig& base,
                                             const std::vector<PolicyConfig>& candidates,
                                             const RunOptions& options = RunOptions{});

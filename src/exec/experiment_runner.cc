@@ -1,0 +1,77 @@
+#include "src/exec/experiment_runner.h"
+
+#include <exception>
+
+namespace xnuma {
+
+namespace {
+
+// Rejects specs that could not run to completion (or could not run in
+// isolation) before any machine is assembled, so a bad cell degrades into
+// an error outcome instead of an XNUMA_CHECK abort mid-run.
+std::string ValidateSpec(const RunSpec& spec) {
+  if (spec.options.threads < 1 || spec.options.threads > 48) {
+    return "threads must be in [1, 48] (AMD48 testbed), got " +
+           std::to_string(spec.options.threads);
+  }
+  if (spec.app.regions.empty()) {
+    return "app '" + spec.app.name + "' has no memory regions";
+  }
+  if (spec.options.trace != nullptr) {
+    return "spec attaches a shared TraceRecorder; per-run state must be "
+           "constructed inside the run (isolation contract, MODEL.md §12)";
+  }
+  if (spec.options.obs != nullptr) {
+    return "spec attaches a shared Observability; per-run state must be "
+           "constructed inside the run (isolation contract, MODEL.md §12)";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<RunOutcome> ParallelRunner::RunAll(const std::vector<RunSpec>& specs) const {
+  std::vector<RunOutcome> outcomes(specs.size());
+
+  ParallelForOptions pf;
+  pf.jobs = options_.jobs;
+  pf.obs = options_.obs;
+  ParallelFor(static_cast<int>(specs.size()),
+              [&](int i) {
+                const RunSpec& spec = specs[static_cast<size_t>(i)];
+                RunOutcome& out = outcomes[static_cast<size_t>(i)];
+                out.label = spec.label;
+                out.error = ValidateSpec(spec);
+                if (!out.error.empty()) {
+                  return;
+                }
+                try {
+                  out.result = RunSingleApp(spec.app, spec.stack, spec.options);
+                  out.ok = true;
+                } catch (const std::exception& e) {
+                  out.error = e.what();
+                }
+              },
+              pf);
+
+  // exec.runs_failed also counts invalid/thrown specs that ParallelFor's
+  // own tally cannot see (their bodies return normally). Committed after
+  // the join, single-threaded, like every other registry touch.
+  if (options_.obs != nullptr) {
+    int64_t failed = 0;
+    for (const RunOutcome& out : outcomes) {
+      if (!out.ok) {
+        ++failed;
+      }
+    }
+    if (failed > 0) {
+      options_.obs->metrics()
+          .RegisterCounter("exec.runs_failed", "runs",
+                           "Matrix runs that failed (body threw or spec rejected)")
+          ->Increment(failed);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace xnuma

@@ -1,6 +1,13 @@
 #include "src/common/flags.h"
 
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "src/common/rng.h"
 
 namespace xnuma {
 namespace {
@@ -62,6 +69,100 @@ TEST(FlagsTest, UnusedKeysDetected) {
 TEST(FlagsTest, LastValueWins) {
   Flags f = Make({"--a=1", "--a=2"});
   EXPECT_EQ(f.GetInt("a", 0), 2);
+}
+
+// Parallel-runner workers read flag-derived config concurrently; every
+// getter (and the read-tracking behind UnusedKeys) must be safe under
+// simultaneous readers. Run under the tsan preset this is a real race
+// detector for Flags::read_.
+TEST(FlagsTest, ConcurrentReadsAreSafe) {
+  Flags f = Make({"--app=cg.C", "--jobs=4", "--seconds=2.5", "--csv", "--unused=1"});
+  const int kThreads = 8;
+  const int kItersPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&f] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        EXPECT_EQ(f.GetString("app"), "cg.C");
+        EXPECT_EQ(f.GetInt("jobs", 1), 4);
+        EXPECT_DOUBLE_EQ(f.GetDouble("seconds", 0), 2.5);
+        EXPECT_TRUE(f.GetBool("csv"));
+        EXPECT_FALSE(f.Has("absent"));
+        EXPECT_TRUE(f.positional().empty());
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // Read-tracking stayed consistent across all those concurrent getters.
+  const auto unused = f.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+// Property test: random mixes of duplicate, unknown, and malformed
+// `--key=value` arguments must never crash the parser, and must obey the
+// invariants last-value-wins + unknown-keys-reported + malformed-tokens-
+// become-positionals (tokens without the -- prefix).
+TEST(FlagsTest, PropertyRandomArgvNeverCrashes) {
+  Rng rng(20240806);
+  const std::string keys[] = {"app", "jobs", "seed", "", "=", "a=b=c", "--x"};
+  const std::string values[] = {"1", "cg.C", "", "2.5", "true", "=", "--"};
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::string> storage;
+    const int n = 1 + static_cast<int>(rng.NextU64() % 8);
+    for (int i = 0; i < n; ++i) {
+      const std::string& key = keys[rng.NextU64() % std::size(keys)];
+      const std::string& value = values[rng.NextU64() % std::size(values)];
+      switch (rng.NextU64() % 4) {
+        case 0:
+          storage.push_back("--" + key + "=" + value);
+          break;
+        case 1:
+          storage.push_back("--" + key);
+          storage.push_back(value);
+          break;
+        case 2:
+          storage.push_back("--" + key);  // boolean form
+          break;
+        default:
+          storage.push_back(value);  // bare token -> positional
+          break;
+      }
+    }
+    std::vector<const char*> args;
+    args.push_back("prog");
+    for (const std::string& s : storage) {
+      args.push_back(s.c_str());
+    }
+    Flags f(static_cast<int>(args.size()), const_cast<char**>(args.data()));
+
+    // Getters never throw and fallbacks hold for unknown keys.
+    f.GetString("app", "dflt");
+    f.GetInt("jobs", 1);
+    f.GetDouble("seed", 0.5);
+    f.GetBool("csv", false);
+    EXPECT_EQ(f.GetInt("never-passed", 1234), 1234);
+    // Reported unused keys were all actually provided and never read.
+    for (const std::string& key : f.UnusedKeys()) {
+      EXPECT_TRUE(f.Has(key)) << key;
+      EXPECT_NE(key, "app");
+      EXPECT_NE(key, "jobs");
+      EXPECT_NE(key, "seed");
+    }
+  }
+}
+
+TEST(FlagsTest, DuplicateAndUnknownAndMalformedTogether) {
+  Flags f = Make({"--jobs=2", "--jobs=8", "--=weird", "--a=b=c", "stray", "--typo"});
+  EXPECT_EQ(f.GetInt("jobs", 0), 8);           // duplicate: last wins
+  EXPECT_EQ(f.GetString("a"), "b=c");          // value keeps its '='
+  ASSERT_EQ(f.positional().size(), 1u);        // bare token -> positional
+  EXPECT_EQ(f.positional()[0], "stray");
+  const auto unused = f.UnusedKeys();          // typo + the weird empty key
+  EXPECT_TRUE(std::find(unused.begin(), unused.end(), "typo") != unused.end());
 }
 
 }  // namespace

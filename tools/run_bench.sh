@@ -49,3 +49,29 @@ awk -F': ' '/"obs_mean_overhead_pct"/ {
 }
 END { if (!found) { print "FAIL: obs_mean_overhead_pct missing from bench output"; exit 1 } }
 ' "$ROOT/BENCH_engine.json"
+
+# Parallel experiment matrix: results at --jobs 4 must be bit-identical to
+# the serial loop (always), and throughput must be >= 2x serial on hosts
+# with at least 4 cores. On smaller hosts the speedup is recorded but not
+# gated — there is nothing to parallelize onto.
+awk -F': ' '
+/"host_cores"/        { gsub(/[,}]/, "", $2); cores = $2 + 0 }
+/"speedup_jobs4"/     { gsub(/[,}]/, "", $2); speedup = $2 + 0; have = 1 }
+/"results_identical"/ { gsub(/[,} ]/, "", $2); identical = $2 }
+END {
+  if (!have) { print "FAIL: parallel_matrix missing from bench output"; exit 1 }
+  if (identical != "true") {
+    print "FAIL: parallel matrix results differ between --jobs 1 and --jobs 4"
+    exit 1
+  }
+  if (cores >= 4) {
+    if (speedup < 2.0) {
+      printf "FAIL: parallel matrix speedup %.2fx at --jobs 4 (gate: >= 2x on %d cores)\n", speedup, cores
+      exit 1
+    }
+    printf "OK: parallel matrix speedup %.2fx at --jobs 4 (gate: >= 2x on %d cores)\n", speedup, cores
+  } else {
+    printf "OK: parallel matrix results identical; speedup %.2fx recorded ungated (%d cores < 4)\n", speedup, cores
+  }
+}
+' "$ROOT/BENCH_engine.json"

@@ -33,6 +33,8 @@ int Usage() {
                "  pair  --a NAME --b NAME [--mode split|consolidated]\n"
                "  auto  --app NAME\n"
                "  options: --seconds N --threads N --seed N --csv --trace FILE.csv\n"
+               "           --jobs N   (sweep: fan the policy matrix across N worker\n"
+               "            threads; results are bit-identical to --jobs 1)\n"
                "           --fault_rate P --fault_seed N  (seeded chaos injection)\n"
                "           --metrics (print metrics: summary) --metrics-json FILE\n"
                "           --trace-json FILE  (Chrome trace_event JSON; open in\n"
@@ -73,6 +75,7 @@ RunOptions LoadOptions(const Flags& flags) {
   RunOptions opts;
   opts.threads = static_cast<int>(flags.GetInt("threads", 48));
   opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  opts.jobs = static_cast<int>(flags.GetInt("jobs", 1));
   const double fault_rate = flags.GetDouble("fault_rate", 0.0);
   const uint64_t fault_seed = static_cast<uint64_t>(flags.GetInt("fault_seed", 1));
   if (fault_rate > 0.0) {
