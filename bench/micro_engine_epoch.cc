@@ -129,6 +129,67 @@ RunStats RunOnce(const AppProfile& app, bool incremental, int epochs,
   return stats;
 }
 
+// P2M memory footprint: the live mapping store vs a flat 8-byte-per-page
+// array, per placement policy. Round-1G places whole regions through
+// MapRange, the representation's compression case (handfuls of extents);
+// first-touch under 12 interleaved touching threads is the adversarial
+// case — chunks fragment past the pack threshold and converge on the flat
+// array's cost plus chunk headers, the designed floor. Measured right
+// after placement (1 epoch) and after sustained allocator churn (50
+// epochs). tools/run_bench.sh gates the round-1G post-init ratio.
+struct P2mMemory {
+  int64_t pages_per_job = 0;
+  int64_t flat_bytes_per_job = 0;
+  int64_t table_bytes_per_job = 0;  // averaged over the kJobs domains
+  int64_t tlb_bytes_per_job = 0;    // fixed per domain (vcpus x sets)
+};
+
+P2mMemory MeasureP2mMemory(const AppProfile& app, StaticPolicy placement, int epochs) {
+  Topology topo = Topology::Amd48();
+  Hypervisor hv(topo, kBytesPerFrame);
+  LatencyModel latency;
+  EngineConfig ec;
+  ec.seed = 7;
+  ec.incremental_placement = true;
+  ec.max_sim_seconds = epochs * ec.epoch_seconds;
+  std::vector<std::unique_ptr<GuestOs>> guests;
+  std::vector<DomainId> doms;
+  Engine engine(hv, latency, ec);
+  const int64_t pages = AppSimPages(app, kBytesPerFrame, ec.min_region_pages);
+  for (int j = 0; j < kJobs; ++j) {
+    DomainConfig dc;
+    dc.name = "dom" + std::to_string(j);
+    dc.num_vcpus = kThreads;
+    dc.memory_pages = pages + 64;
+    for (int t = 0; t < kThreads; ++t) {
+      dc.pinned_cpus.push_back(j * kThreads + t);
+    }
+    dc.policy.placement = placement;
+    const DomainId dom = hv.CreateDomain(dc);
+    doms.push_back(dom);
+    guests.push_back(std::make_unique<GuestOs>(hv, dom));
+    JobSpec spec;
+    spec.app = &app;
+    spec.domain = dom;
+    spec.guest = guests.back().get();
+    spec.threads = kThreads;
+    engine.AddJob(spec);
+  }
+  engine.Run();
+  P2mMemory m;
+  m.pages_per_job = pages + 64;
+  m.flat_bytes_per_job = m.pages_per_job * 8;
+  int64_t table = 0;
+  int64_t tlb = 0;
+  for (DomainId d : doms) {
+    table += hv.domain(d).p2m().MemoryBytes();
+    tlb += hv.domain(d).p2m().TlbBytes();
+  }
+  m.table_bytes_per_job = table / kJobs;
+  m.tlb_bytes_per_job = tlb / kJobs;
+  return m;
+}
+
 // Steady-state epochs/second: a long run minus a 1-epoch run cancels init.
 // Best of 5 trials — the max rate is the least-interference estimate of the
 // true speed, and it keeps the overhead_pct gates in tools/run_bench.sh
@@ -263,6 +324,45 @@ int main() {
     std::printf("     \"obs_overhead_pct\": %.2f,\n", obs_overhead_pct);
     std::printf("     \"speedup\": %.2f}", full > 0.0 ? incr / full : 0.0);
     std::fflush(stdout);
+  }
+  std::printf("\n  ],\n");
+
+  // Extent-table memory vs the flat per-page array it replaced (§13 of
+  // docs/MODEL.md): post-init ratios must stay sub-linear as footprints
+  // grow; post-churn shows the packed-chunk worst case.
+  std::printf("  \"p2m_memory\": [\n");
+  first = true;
+  const struct {
+    const char* label;
+    StaticPolicy placement;
+  } placements[] = {{"round_1g", StaticPolicy::kRound1g},
+                    {"first_touch", StaticPolicy::kFirstTouch}};
+  for (const BenchConfig& cfg : configs) {
+    const AppProfile app = BenchApp(cfg.footprint_mb);
+    for (const auto& pl : placements) {
+      const P2mMemory init = MeasureP2mMemory(app, pl.placement, /*epochs=*/1);
+      const P2mMemory churn = MeasureP2mMemory(app, pl.placement, /*epochs=*/50);
+      if (!first) {
+        std::printf(",\n");
+      }
+      first = false;
+      std::printf("    {\"name\": \"%s\", \"placement\": \"%s\",\n", cfg.name, pl.label);
+      std::printf("     \"pages_per_job\": %lld,\n",
+                  static_cast<long long>(init.pages_per_job));
+      std::printf("     \"flat_bytes_per_job\": %lld,\n",
+                  static_cast<long long>(init.flat_bytes_per_job));
+      std::printf("     \"tlb_bytes_per_job\": %lld,\n",
+                  static_cast<long long>(init.tlb_bytes_per_job));
+      std::printf("     \"post_init_bytes_per_job\": %lld,\n",
+                  static_cast<long long>(init.table_bytes_per_job));
+      std::printf("     \"post_init_ratio\": %.4f,\n",
+                  static_cast<double>(init.table_bytes_per_job) / init.flat_bytes_per_job);
+      std::printf("     \"post_churn_bytes_per_job\": %lld,\n",
+                  static_cast<long long>(churn.table_bytes_per_job));
+      std::printf("     \"post_churn_ratio\": %.4f}",
+                  static_cast<double>(churn.table_bytes_per_job) / churn.flat_bytes_per_job);
+      std::fflush(stdout);
+    }
   }
   std::printf("\n  ],\n");
   std::printf("  \"fault_p0_mean_overhead_pct\": %.2f,\n",

@@ -14,8 +14,12 @@ std::vector<PageAccessSample> CarrefourSystemComponent::ReadHotPages(DomainId do
                                                                      int max_pages) {
   std::vector<PageAccessSample> samples;
   sampler_->SampleHotPages(domain, max_pages, &samples);
+  // Resolve through the TLB-fronted run lookup: hot pages cluster, so one
+  // cached run answers many samples.
+  const HvPlacementBackend& be = hv_->backend(domain);
   for (PageAccessSample& s : samples) {
-    s.current_node = hv_->backend(domain).NodeOf(s.pfn);
+    const HvPlacementBackend::PlacementRun run = be.NodeOfRange(s.pfn);
+    s.current_node = run.mapped ? run.node : kInvalidNode;
   }
   return samples;
 }

@@ -16,14 +16,30 @@ class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
 
-  // Uniform 64-bit value.
-  uint64_t NextU64();
+  // Uniform 64-bit value. Inline: the per-page hot paths (placement jitter,
+  // release selection) draw millions of values per simulated second.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
-  // Uniform integer in [0, bound). `bound` must be positive.
-  int64_t NextInt(int64_t bound);
+  // Uniform integer in [0, bound). `bound` must be positive. Modulo bias is
+  // negligible for bounds far below 2^64.
+  int64_t NextInt(int64_t bound) {
+    return static_cast<int64_t>(NextU64() % static_cast<uint64_t>(bound));
+  }
 
   // Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
 
   // True with probability `p` (clamped to [0, 1]).
   bool NextBool(double p);
@@ -36,6 +52,8 @@ class Rng {
   Rng Fork();
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   uint64_t s_[4];
   bool has_gaussian_ = false;
   double pending_gaussian_ = 0.0;

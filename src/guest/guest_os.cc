@@ -163,6 +163,68 @@ TouchResult GuestOs::TouchPage(int pid, Vpn vpn, CpuId cpu) {
   return result;
 }
 
+void GuestOs::TouchRange(int pid, Vpn first, int64_t count, CpuId cpu,
+                         double touch_cost_s, double minor_fault_s,
+                         double hv_fault_s, double* cost_seconds) {
+  XNUMA_CHECK(pid >= 0 && pid < num_processes());
+  Process& proc = processes_[pid];
+  XNUMA_CHECK(first >= 0 && count > 0 &&
+              first + count <= static_cast<Vpn>(proc.vpage_to_pfn.size()));
+  HvPlacementBackend& be = hv_->backend(domain_);
+  // Run memo: consecutive touches land on contiguous pfns (the free list
+  // hands them out in order), so one placement run answers many pages. The
+  // generation check drops the memo the moment a fault mutates placement.
+  HvPlacementBackend::PlacementRun run;
+  uint64_t run_gen = 0;
+  bool run_cached = false;
+  for (Vpn vpn = first; vpn < first + count; ++vpn) {
+    double cost = touch_cost_s;
+    Pfn pfn = proc.vpage_to_pfn[vpn];
+    const bool guest_alloc = pfn == kInvalidPfn;
+    if (guest_alloc) {
+      pfn = AllocPhysPage();
+      proc.vpage_to_pfn[vpn] = pfn;
+      pfn_owner_[pfn] = {pid, vpn};
+      ++stats_.guest_minor_faults;
+      cost += minor_fault_s;
+    }
+    bool mapped;
+    if (run_cached && run_gen == be.placement_generation() &&
+        pfn >= run.first && pfn < run.first + run.count) {
+      mapped = run.mapped;
+    } else {
+      run = be.NodeOfRange(pfn, cpu);
+      run_gen = be.placement_generation();
+      run_cached = true;
+      mapped = run.mapped;
+    }
+    if (!mapped) {
+      // Same trap-and-retry contract as TouchPage (the touch result's node
+      // is not needed here, only the fault's placement side effects).
+      cost += hv_fault_s;
+      NodeId node = hv_->HandleGuestFault(domain_, pfn, cpu);
+      FaultInjector& fi = hv_->fault_injector();
+      if (node == kInvalidNode && fi.enabled()) {
+        for (int retry = 0; retry < 2 && node == kInvalidNode; ++retry) {
+          node = hv_->HandleGuestFault(domain_, pfn, cpu);
+        }
+        if (node == kInvalidNode) {
+          const FaultSite site = fi.last_injected_site();
+          FaultInjector::ScopedBypass bypass(fi);
+          node = hv_->HandleGuestFault(domain_, pfn, cpu);
+          if (node != kInvalidNode) {
+            fi.NoteRecovered(site);
+          }
+        }
+      }
+    }
+    if (guest_alloc || !mapped) {
+      MarkVpageDirty(pid, vpn);
+    }
+    *cost_seconds += cost;
+  }
+}
+
 void GuestOs::ReleasePage(int pid, Vpn vpn) {
   XNUMA_CHECK(pid >= 0 && pid < num_processes());
   Process& proc = processes_[pid];

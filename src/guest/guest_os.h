@@ -66,6 +66,17 @@ class GuestOs {
   //  - invalid P2M entry -> hypervisor fault, resolved by the NUMA policy.
   TouchResult TouchPage(int pid, Vpn vpn, CpuId cpu);
 
+  // Touches the `count` virtual pages [vpn, vpn+count) in ascending order,
+  // equivalent to `count` TouchPage() calls from `cpu`. The per-page
+  // simulated cost is accumulated into *cost_seconds in exactly the order
+  // the per-page loop would use (bit-identical floating-point sums):
+  // touch_cost_s per page, plus minor_fault_s per guest minor fault and
+  // hv_fault_s per hypervisor fault. Mapped-ness is resolved run-at-a-time
+  // through the P2M extent lookup instead of page-at-a-time.
+  void TouchRange(int pid, Vpn vpn, int64_t count, CpuId cpu,
+                  double touch_cost_s, double minor_fault_s, double hv_fault_s,
+                  double* cost_seconds);
+
   // The process unmaps `vpn`; its physical page is zeroed and returned to
   // the free list (reported through the PV queue, or handled synchronously
   // in native mode).

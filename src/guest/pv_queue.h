@@ -19,6 +19,7 @@
 #ifndef XENNUMA_SRC_GUEST_PV_QUEUE_H_
 #define XENNUMA_SRC_GUEST_PV_QUEUE_H_
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <span>
@@ -105,9 +106,15 @@ class PvPageQueue {
 
   std::mutex dropped_mu_;
   std::vector<PageQueueOp> dropped_;
+  // True whenever `dropped_` is non-empty; lets TakeDropped (called before
+  // every push by the guest) skip the lock in the common no-drops case.
+  std::atomic<bool> has_dropped_{false};
 
   mutable std::mutex stats_mu_;
   Stats stats_;
+  // Pushes are counted outside stats_mu_ (one relaxed add instead of a
+  // second lock per push); GetStats folds the value back into Stats.
+  std::atomic<int64_t> push_ops_{0};
 
   // Observability (null = disabled; all updates guarded by stats_mu_).
   Observability* obs_ = nullptr;

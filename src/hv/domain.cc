@@ -3,6 +3,8 @@
 namespace xnuma {
 
 Domain::Domain(DomainId id, std::string name, int64_t memory_pages)
-    : id_(id), name_(std::move(name)), p2m_(memory_pages) {}
+    : id_(id), name_(std::move(name)), p2m_(memory_pages) {
+  flush_visited_.assign(memory_pages, 0);
+}
 
 }  // namespace xnuma

@@ -76,9 +76,26 @@ class Domain {
   // served locally on every node, the first write collapses the replicas
   // back to the primary copy. The registry tracks the replica frames so the
   // memory cost is charged for real.
-  bool IsReplicated(Pfn pfn) const { return replicas_.count(pfn) > 0; }
+  bool IsReplicated(Pfn pfn) const {
+    // Replication is off by default; the empty() test keeps the common case
+    // out of the hash table entirely (placement-rescan hot path).
+    return !replicas_.empty() && replicas_.count(pfn) > 0;
+  }
   const std::unordered_map<Pfn, std::vector<Mfn>>& replicas() const { return replicas_; }
   std::unordered_map<Pfn, std::vector<Mfn>>& mutable_replicas() { return replicas_; }
+
+  // ---- Flush-walk scratch (hypervisor page-queue hypercall). ----
+  // The latest-op-per-page walk (§4.2.4) dedups pfns against a per-page
+  // generation stamp instead of building a hash set per flush; comparing to
+  // a bumped generation makes "clear the visited set" free.
+  std::vector<uint32_t>& flush_visited() { return flush_visited_; }
+  uint32_t BumpFlushGeneration() {
+    if (++flush_gen_ == 0) {  // wrapped: drop every stale stamp once
+      flush_visited_.assign(flush_visited_.size(), 0);
+      flush_gen_ = 1;
+    }
+    return flush_gen_;
+  }
 
  private:
   DomainId id_;
@@ -92,6 +109,8 @@ class Domain {
   bool is_dom0_ = false;
   DomainStats stats_;
   std::unordered_map<Pfn, std::vector<Mfn>> replicas_;
+  std::vector<uint32_t> flush_visited_;
+  uint32_t flush_gen_ = 0;
 };
 
 }  // namespace xnuma

@@ -100,6 +100,32 @@ NodeId HvPlacementBackend::NodeOf(Pfn pfn) const {
   return mfn == kInvalidMfn ? kInvalidNode : frames_->NodeOf(mfn);
 }
 
+HvPlacementBackend::PlacementRun HvPlacementBackend::NodeOfRange(Pfn pfn,
+                                                                 int32_t vcpu) const {
+  const P2mTable::Run run = domain_->p2m().LookupRun(pfn, vcpu);
+  PlacementRun r;
+  if (!run.valid) {
+    r.first = run.first;
+    r.count = run.count;
+    return r;
+  }
+  const Mfn mfn = run.mfn + (pfn - run.first);
+  const NodeId node = frames_->NodeOf(mfn);
+  // A P2M run is mfn-contiguous, but machine memory is statically
+  // partitioned: clip the run to the frames node `node` actually owns so
+  // every page of the returned run resolves to the same node.
+  const Mfn node_lo = frames_->node_base(node);
+  const Mfn node_hi = node_lo + frames_->frames_per_node(node);
+  const int64_t back = std::min<int64_t>(pfn - run.first, mfn - node_lo);
+  const int64_t fwd =
+      std::min<int64_t>(run.first + run.count - pfn, node_hi - mfn);
+  r.first = pfn - back;
+  r.count = back + fwd;
+  r.node = node;
+  r.mapped = true;
+  return r;
+}
+
 bool HvPlacementBackend::MapOnNode(Pfn pfn, NodeId node) {
   if (domain_->p2m().IsValid(pfn)) {
     return false;
@@ -123,10 +149,12 @@ bool HvPlacementBackend::MapOnNode(Pfn pfn, NodeId node) {
 bool HvPlacementBackend::MapRangeOnNode(Pfn first, int64_t count, NodeId node) {
   XNUMA_CHECK(count > 0);
   XNUMA_CHECK(first >= 0 && first + count <= num_pages());
-  for (Pfn pfn = first; pfn < first + count; ++pfn) {
-    if (domain_->p2m().IsValid(pfn)) {
+  for (Pfn pfn = first; pfn < first + count;) {
+    const P2mTable::Run run = domain_->p2m().LookupRun(pfn);
+    if (run.valid) {
       return false;
     }
+    pfn = run.first + run.count;  // skip the whole invalid run
   }
   const Mfn base = frames_->AllocContiguous(node, count);
   if (base == kInvalidMfn) {
@@ -135,19 +163,15 @@ bool HvPlacementBackend::MapRangeOnNode(Pfn first, int64_t count, NodeId node) {
   FaultInjector* fi = frames_->fault_injector();
   const int64_t fail_at =
       fi != nullptr ? fi->FireMapRangeCommitFailure(count) : -1;
-  for (int64_t k = 0; k < count; ++k) {
-    if (k == fail_at) {
-      // The commit loop died mid-range: undo the pages mapped so far and
-      // release the whole contiguous run, leaving no partial range behind.
-      for (int64_t u = 0; u < k; ++u) {
-        domain_->p2m().Unmap(first + u);
-      }
-      frames_->FreeContiguous(base, count);
-      fi->NoteRecovered(FaultSite::kMapRange);
-      return false;
-    }
-    domain_->p2m().Map(first + k, base + k);
+  if (fail_at >= 0) {
+    // The commit died mid-range: mapping [0, fail_at) and then undoing it
+    // collapses to releasing the whole contiguous run — no partial range
+    // is ever observable.
+    frames_->FreeContiguous(base, count);
+    fi->NoteRecovered(FaultSite::kMapRange);
+    return false;
   }
+  domain_->p2m().MapRange(first, count, base);
   if (count >= DirtyLimit()) {
     MarkAllDirty();  // bulk placement: cheaper to signal a full rescan
   } else {

@@ -26,6 +26,20 @@ class HvPlacementBackend : public PlacementBackend {
   const std::vector<NodeId>& home_nodes() const override;
   bool IsMapped(Pfn pfn) const override;
   NodeId NodeOf(Pfn pfn) const override;
+
+  // A maximal run of identically-placed pages containing `pfn`: the pages
+  // [first, first+count) are either all unmapped (mapped == false,
+  // node == kInvalidNode) or all backed by machine frames of `node`. One
+  // P2M run lookup plus one node resolution covers the whole run — callers
+  // iterating a region visit each extent once instead of each page.
+  // `vcpu` selects the P2M TLB context.
+  struct PlacementRun {
+    Pfn first = kInvalidPfn;
+    int64_t count = 0;
+    NodeId node = kInvalidNode;
+    bool mapped = false;
+  };
+  PlacementRun NodeOfRange(Pfn pfn, int32_t vcpu = 0) const;
   bool MapOnNode(Pfn pfn, NodeId node) override;
   bool MapRangeOnNode(Pfn first, int64_t count, NodeId node) override;
   bool Migrate(Pfn pfn, NodeId node) override;

@@ -162,6 +162,7 @@ DomainId Hypervisor::TryCreateDomain(const DomainConfig& config) {
     dom->mutable_vcpus().push_back({v, pins[v]});
     ++cpu_reservations_[pins[v]];
   }
+  dom->p2m().ConfigureTlb(config.num_vcpus);
 
   dom->SetPolicy(config.policy, MakePolicy(config.policy.placement));
 
@@ -219,14 +220,16 @@ double Hypervisor::HypercallPageQueueFlush(DomainId id, std::span<const PageQueu
 
   if (dom.policy()->traps_releases()) {
     // Walk from the most recent operation; only the latest op per page
-    // counts (§4.2.4).
-    std::unordered_set<Pfn> visited;
-    visited.reserve(ops.size());
+    // counts (§4.2.4). Dedup against the domain's per-page generation
+    // stamps — no per-flush hash set allocation.
+    std::vector<uint32_t>& visited = dom.flush_visited();
+    const uint32_t flush_gen = dom.BumpFlushGeneration();
     HvPlacementBackend& be = backend(id);
     for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
-      if (!visited.insert(it->pfn).second) {
+      if (visited[it->pfn] == flush_gen) {
         continue;
       }
+      visited[it->pfn] = flush_gen;
       if (it->kind == PageQueueOp::Kind::kRelease) {
         if (be.IsMapped(it->pfn)) {
           be.Invalidate(it->pfn);

@@ -1,44 +1,277 @@
 #include "src/hv/p2m.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace xnuma {
 
-P2mTable::P2mTable(int64_t num_pages) {
+namespace {
+// Process-wide default representation for newly constructed tables. The
+// XNUMA_P2M_REFERENCE compile flag (CMake option of the same name) builds a
+// binary whose every P2M is the per-page reference; the differential test
+// flips it at runtime instead so both representations live in one process.
+bool g_reference_mode =
+#ifdef XNUMA_P2M_REFERENCE
+    true;
+#else
+    false;
+#endif
+}  // namespace
+
+void P2mTable::SetReferenceModeForTest(bool on) { g_reference_mode = on; }
+
+P2mTable::P2mTable(int64_t num_pages) : reference_(g_reference_mode) {
   XNUMA_CHECK(num_pages > 0);
-  entries_.resize(num_pages);
+  num_pages_ = num_pages;
+  chunks_.resize((num_pages + kChunkPages - 1) >> kChunkShift);
+  if (reference_) {
+    for (int64_t i = 0; i < static_cast<int64_t>(chunks_.size()); ++i) {
+      chunks_[i].packed.assign(ChunkPages(i), 0);
+    }
+    packed_chunk_count_ = static_cast<int64_t>(chunks_.size());
+  }
+  tlb_.assign(static_cast<size_t>(tlb_contexts_) * kTlbSets, TlbEntry{});
 }
 
-const P2mEntry& P2mTable::At(Pfn pfn) const {
-  XNUMA_CHECK(pfn >= 0 && pfn < num_pages());
-  return entries_[pfn];
+void P2mTable::CheckRange(Pfn pfn, int64_t count) const {
+  XNUMA_CHECK(pfn >= 0 && count > 0 && pfn + count <= num_pages_);
 }
 
-P2mEntry& P2mTable::At(Pfn pfn) {
-  XNUMA_CHECK(pfn >= 0 && pfn < num_pages());
-  return entries_[pfn];
+int64_t P2mTable::ChunkPages(int64_t chunk_idx) const {
+  return std::min(kChunkPages, num_pages_ - (chunk_idx << kChunkShift));
+}
+
+int P2mTable::LowerPos(const Chunk& c, int32_t off) {
+  const auto& v = c.extents;
+  int lo = 0;
+  int hi = static_cast<int>(v.size());
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (v[mid].first <= off) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int P2mTable::FindExtent(const Chunk& c, int32_t off) {
+  const int idx = LowerPos(c, off) - 1;
+  if (idx < 0 || off >= c.extents[idx].end()) {
+    return -1;
+  }
+  return idx;
+}
+
+uint64_t P2mTable::EntryAt(Pfn pfn) const {
+  CheckRange(pfn, 1);
+  const Chunk& c = chunks_[pfn >> kChunkShift];
+  const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
+  if (!c.packed.empty()) {
+    return c.packed[off];
+  }
+  const int idx = FindExtent(c, off);
+  if (idx < 0) {
+    return 0;
+  }
+  const Extent& e = c.extents[idx];
+  return PackEntry(e.mfn() + (off - e.first), e.writable());
+}
+
+void P2mTable::TouchChunk(Chunk& c) {
+  ++c.gen;
+  if (extent_gauge_ != nullptr) {
+    extent_gauge_->Set(static_cast<double>(extent_count_));
+  }
+}
+
+void P2mTable::MaybePack(Chunk& c) {
+  if (!reference_ && static_cast<int>(c.extents.size()) > kPackThreshold) {
+    PackChunk(c);
+  }
+}
+
+void P2mTable::PackChunk(Chunk& c) {
+  const int64_t chunk_idx = &c - chunks_.data();
+  c.packed.assign(ChunkPages(chunk_idx), 0);
+  for (const Extent& e : c.extents) {
+    for (int32_t i = 0; i < e.count; ++i) {
+      c.packed[e.first + i] = PackEntry(e.mfn() + i, e.writable());
+    }
+  }
+  extent_count_ -= static_cast<int64_t>(c.extents.size());
+  c.extents.clear();
+  c.extents.shrink_to_fit();
+  ++packed_chunk_count_;
+}
+
+void P2mTable::InsertExtent(Chunk& c, int32_t off, int32_t count, Mfn mfn,
+                            bool writable) {
+  auto& v = c.extents;
+  const int pos = LowerPos(c, off);
+  XNUMA_CHECK(pos == 0 || v[pos - 1].end() <= off);
+  XNUMA_CHECK(pos == static_cast<int>(v.size()) || off + count <= v[pos].first);
+  const int64_t mfn_w = (static_cast<int64_t>(mfn) << 1) | (writable ? 1 : 0);
+  const bool merge_prev = pos > 0 && v[pos - 1].end() == off &&
+                          v[pos - 1].mfn_w + int64_t{2} * v[pos - 1].count == mfn_w;
+  const bool merge_next = pos < static_cast<int>(v.size()) &&
+                          off + count == v[pos].first &&
+                          mfn_w + int64_t{2} * count == v[pos].mfn_w;
+  if (merge_prev && merge_next) {
+    v[pos - 1].count += count + v[pos].count;
+    v.erase(v.begin() + pos);
+    --extent_count_;
+  } else if (merge_prev) {
+    v[pos - 1].count += count;
+  } else if (merge_next) {
+    v[pos].first = off;
+    v[pos].count += count;
+    v[pos].mfn_w = mfn_w;
+  } else {
+    v.insert(v.begin() + pos, Extent{off, count, mfn_w});
+    ++extent_count_;
+  }
+  MaybePack(c);
+}
+
+void P2mTable::RemovePageFromExtent(Chunk& c, int idx, int32_t off) {
+  auto& v = c.extents;
+  const Extent e = v[idx];
+  if (e.count == 1) {
+    v.erase(v.begin() + idx);
+    --extent_count_;
+  } else if (off == e.first) {
+    v[idx].first += 1;
+    v[idx].count -= 1;
+    v[idx].mfn_w += 2;  // mfn + 1, writable bit preserved
+  } else if (off == e.end() - 1) {
+    v[idx].count -= 1;
+  } else {
+    v[idx].count = off - e.first;
+    v.insert(v.begin() + idx + 1,
+             Extent{off + 1, e.end() - (off + 1),
+                    e.mfn_w + int64_t{2} * (off + 1 - e.first)});
+    ++extent_count_;
+    ++split_count_;
+    if (split_metric_ != nullptr) {
+      split_metric_->Increment();
+    }
+    MaybePack(c);
+  }
+}
+
+int P2mTable::IsolatePage(Chunk& c, int idx, int32_t off) {
+  auto& v = c.extents;
+  const Extent e = v[idx];
+  if (e.count == 1) {
+    return idx;
+  }
+  const int32_t left = off - e.first;
+  const int32_t right = e.end() - (off + 1);
+  Extent pieces[3];
+  int n = 0;
+  if (left > 0) {
+    pieces[n++] = Extent{e.first, left, e.mfn_w};
+  }
+  pieces[n++] = Extent{off, 1, e.mfn_w + int64_t{2} * left};
+  if (right > 0) {
+    pieces[n++] = Extent{off + 1, right, e.mfn_w + int64_t{2} * (left + 1)};
+  }
+  v[idx] = pieces[0];
+  v.insert(v.begin() + idx + 1, pieces + 1, pieces + n);
+  extent_count_ += n - 1;
+  split_count_ += n - 1;
+  if (split_metric_ != nullptr) {
+    split_metric_->Increment(n - 1);
+  }
+  return idx + (left > 0 ? 1 : 0);
+}
+
+int P2mTable::TryMergeAt(Chunk& c, int idx) {
+  auto& v = c.extents;
+  if (idx + 1 < static_cast<int>(v.size()) && v[idx].end() == v[idx + 1].first &&
+      v[idx].mfn_w + int64_t{2} * v[idx].count == v[idx + 1].mfn_w) {
+    v[idx].count += v[idx + 1].count;
+    v.erase(v.begin() + idx + 1);
+    --extent_count_;
+  }
+  if (idx > 0 && v[idx - 1].end() == v[idx].first &&
+      v[idx - 1].mfn_w + int64_t{2} * v[idx - 1].count == v[idx].mfn_w) {
+    v[idx - 1].count += v[idx].count;
+    v.erase(v.begin() + idx);
+    --extent_count_;
+    return idx - 1;
+  }
+  return idx;
 }
 
 void P2mTable::Map(Pfn pfn, Mfn mfn) {
-  P2mEntry& e = At(pfn);
-  XNUMA_CHECK(!e.valid);
+  CheckRange(pfn, 1);
   XNUMA_CHECK(mfn != kInvalidMfn);
-  e.mfn = mfn;
-  e.valid = true;
-  e.writable = true;
+  Chunk& c = chunks_[pfn >> kChunkShift];
+  const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
+  if (!c.packed.empty()) {
+    XNUMA_CHECK(c.packed[off] == 0);
+    c.packed[off] = PackEntry(mfn, true);
+  } else {
+    InsertExtent(c, off, 1, mfn, true);
+  }
   ++valid_count_;
+  TouchChunk(c);
+}
+
+void P2mTable::MapRange(Pfn pfn, int64_t count, Mfn mfn) {
+  CheckRange(pfn, count);
+  XNUMA_CHECK(mfn != kInvalidMfn);
+  Pfn p = pfn;
+  while (p < pfn + count) {
+    Chunk& c = chunks_[p >> kChunkShift];
+    const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
+    const int32_t len = static_cast<int32_t>(
+        std::min<int64_t>(kChunkPages - off, pfn + count - p));
+    const Mfn m = mfn + (p - pfn);
+    if (!c.packed.empty()) {
+      for (int32_t i = 0; i < len; ++i) {
+        XNUMA_CHECK(c.packed[off + i] == 0);
+        c.packed[off + i] = PackEntry(m + i, true);
+      }
+    } else {
+      InsertExtent(c, off, len, m, true);
+    }
+    valid_count_ += len;
+    TouchChunk(c);
+    p += len;
+  }
 }
 
 void P2mTable::Remap(Pfn pfn, Mfn new_mfn) {
-  P2mEntry& e = At(pfn);
-  XNUMA_CHECK(e.valid);
+  CheckRange(pfn, 1);
   XNUMA_CHECK(new_mfn != kInvalidMfn);
-  e.mfn = new_mfn;
+  Chunk& c = chunks_[pfn >> kChunkShift];
+  const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
+  if (!c.packed.empty()) {
+    uint64_t& e = c.packed[off];
+    XNUMA_CHECK((e & 1) != 0);
+    e = (static_cast<uint64_t>(new_mfn) << 2) | (e & 3);
+  } else {
+    int idx = FindExtent(c, off);
+    XNUMA_CHECK(idx >= 0);
+    idx = IsolatePage(c, idx, off);
+    c.extents[idx].mfn_w =
+        (static_cast<int64_t>(new_mfn) << 1) | (c.extents[idx].mfn_w & 1);
+    TryMergeAt(c, idx);
+    MaybePack(c);
+  }
+  TouchChunk(c);
 }
 
 void P2mTable::set_observability(Observability* obs) {
   if (obs == nullptr) {
-    remap_count_ = remap_race_count_ = nullptr;
+    remap_count_ = remap_race_count_ = split_metric_ = nullptr;
+    tlb_hit_metric_ = tlb_miss_metric_ = nullptr;
+    extent_gauge_ = nullptr;
     return;
   }
   MetricsRegistry& m = obs->metrics();
@@ -46,10 +279,19 @@ void P2mTable::set_observability(Observability* obs) {
       m.RegisterCounter("p2m.remaps", "remaps", "Successful P2M remap commits");
   remap_race_count_ = m.RegisterCounter(
       "p2m.remap_races", "events", "P2M remaps lost to an (injected) commit race");
+  split_metric_ = m.RegisterCounter(
+      "p2m.splits", "splits", "P2M extents split by a per-page mutation");
+  extent_gauge_ = m.RegisterGauge(
+      "p2m.extents", "extents",
+      "Live extents in the last-mutated P2M table (extent-mode chunks only)");
+  tlb_hit_metric_ = m.RegisterCounter(
+      "tlb.hits", "lookups", "P2M run lookups served from the per-vCPU TLB");
+  tlb_miss_metric_ = m.RegisterCounter(
+      "tlb.misses", "lookups", "P2M run lookups that walked the extent table");
 }
 
 bool P2mTable::TryRemap(Pfn pfn, Mfn new_mfn) {
-  XNUMA_CHECK(At(pfn).valid);
+  XNUMA_CHECK(IsValid(pfn));
   if (injector_ != nullptr && injector_->FireP2mRemapFailure()) {
     if (remap_race_count_ != nullptr) {
       remap_race_count_->Increment();
@@ -64,26 +306,349 @@ bool P2mTable::TryRemap(Pfn pfn, Mfn new_mfn) {
 }
 
 Mfn P2mTable::Unmap(Pfn pfn) {
-  P2mEntry& e = At(pfn);
-  XNUMA_CHECK(e.valid);
-  const Mfn old = e.mfn;
-  e.mfn = kInvalidMfn;
-  e.valid = false;
-  e.writable = true;
+  CheckRange(pfn, 1);
+  Chunk& c = chunks_[pfn >> kChunkShift];
+  const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
+  Mfn old;
+  if (!c.packed.empty()) {
+    uint64_t& e = c.packed[off];
+    XNUMA_CHECK((e & 1) != 0);
+    old = static_cast<Mfn>(e >> 2);
+    e = 0;
+  } else {
+    const int idx = FindExtent(c, off);
+    XNUMA_CHECK(idx >= 0);
+    old = c.extents[idx].mfn() + (off - c.extents[idx].first);
+    RemovePageFromExtent(c, idx, off);
+  }
   --valid_count_;
+  TouchChunk(c);
   return old;
 }
 
+void P2mTable::RemoveSpan(Chunk& c, int32_t off, int32_t len) {
+  auto& v = c.extents;
+  int idx = FindExtent(c, off);
+  XNUMA_CHECK(idx >= 0);
+  int32_t cur = off;
+  const int32_t end = off + len;
+  while (cur < end) {
+    XNUMA_CHECK(idx < static_cast<int>(v.size()));
+    const Extent e = v[idx];
+    XNUMA_CHECK(e.first <= cur && cur < e.end());  // span fully valid
+    const int32_t take_end = std::min(e.end(), end);
+    const int32_t left = cur - e.first;
+    const int32_t right = e.end() - take_end;
+    if (left == 0 && right == 0) {
+      v.erase(v.begin() + idx);
+      --extent_count_;
+    } else if (left > 0 && right > 0) {
+      v[idx].count = left;
+      v.insert(v.begin() + idx + 1,
+               Extent{take_end, right, e.mfn_w + int64_t{2} * (take_end - e.first)});
+      ++extent_count_;
+      ++split_count_;
+      if (split_metric_ != nullptr) {
+        split_metric_->Increment();
+      }
+      idx += 2;
+    } else if (left > 0) {
+      v[idx].count = left;
+      idx += 1;
+    } else {  // right > 0
+      v[idx].first = take_end;
+      v[idx].count = right;
+      v[idx].mfn_w = e.mfn_w + int64_t{2} * (take_end - e.first);
+    }
+    cur = take_end;
+  }
+  MaybePack(c);
+}
+
+void P2mTable::UnmapRange(Pfn pfn, int64_t count) {
+  CheckRange(pfn, count);
+  Pfn p = pfn;
+  while (p < pfn + count) {
+    const int64_t ci = p >> kChunkShift;
+    Chunk& c = chunks_[ci];
+    const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
+    const int32_t len = static_cast<int32_t>(
+        std::min<int64_t>(kChunkPages - off, pfn + count - p));
+    if (off == 0 && len == ChunkPages(ci)) {
+      // Whole chunk: verify full validity, then reset the representation.
+      if (!c.packed.empty()) {
+        for (int32_t i = 0; i < len; ++i) {
+          XNUMA_CHECK((c.packed[i] & 1) != 0);
+        }
+        if (reference_) {
+          std::fill(c.packed.begin(), c.packed.end(), 0);
+        } else {
+          c.packed.clear();
+          c.packed.shrink_to_fit();
+          --packed_chunk_count_;
+        }
+      } else {
+        int64_t covered = 0;
+        for (const Extent& e : c.extents) {
+          covered += e.count;
+        }
+        XNUMA_CHECK(covered == len);
+        extent_count_ -= static_cast<int64_t>(c.extents.size());
+        c.extents.clear();
+      }
+    } else if (!c.packed.empty()) {
+      for (int32_t i = 0; i < len; ++i) {
+        XNUMA_CHECK((c.packed[off + i] & 1) != 0);
+        c.packed[off + i] = 0;
+      }
+    } else {
+      RemoveSpan(c, off, len);
+    }
+    valid_count_ -= len;
+    TouchChunk(c);
+    p += len;
+  }
+}
+
 void P2mTable::WriteProtect(Pfn pfn) {
-  P2mEntry& e = At(pfn);
-  XNUMA_CHECK(e.valid);
-  e.writable = false;
+  CheckRange(pfn, 1);
+  Chunk& c = chunks_[pfn >> kChunkShift];
+  const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
+  if (!c.packed.empty()) {
+    uint64_t& e = c.packed[off];
+    XNUMA_CHECK((e & 1) != 0);
+    e &= ~uint64_t{2};
+  } else {
+    int idx = FindExtent(c, off);
+    XNUMA_CHECK(idx >= 0);
+    if (!c.extents[idx].writable()) {
+      return;  // already protected; no state change
+    }
+    idx = IsolatePage(c, idx, off);
+    c.extents[idx].mfn_w &= ~int64_t{1};
+    TryMergeAt(c, idx);
+    MaybePack(c);
+  }
+  TouchChunk(c);
 }
 
 void P2mTable::WriteUnprotect(Pfn pfn) {
-  P2mEntry& e = At(pfn);
-  XNUMA_CHECK(e.valid);
-  e.writable = true;
+  CheckRange(pfn, 1);
+  Chunk& c = chunks_[pfn >> kChunkShift];
+  const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
+  if (!c.packed.empty()) {
+    uint64_t& e = c.packed[off];
+    XNUMA_CHECK((e & 1) != 0);
+    e |= 2;
+  } else {
+    int idx = FindExtent(c, off);
+    XNUMA_CHECK(idx >= 0);
+    if (c.extents[idx].writable()) {
+      return;  // already writable; no state change
+    }
+    idx = IsolatePage(c, idx, off);
+    c.extents[idx].mfn_w |= 1;
+    TryMergeAt(c, idx);
+    MaybePack(c);
+  }
+  TouchChunk(c);
+}
+
+void P2mTable::SetWritableSpan(Chunk& c, int32_t off, int32_t len, bool writable) {
+  if (!c.packed.empty()) {
+    for (int32_t i = 0; i < len; ++i) {
+      uint64_t& e = c.packed[off + i];
+      XNUMA_CHECK((e & 1) != 0);
+      e = writable ? (e | 2) : (e & ~uint64_t{2});
+    }
+    return;
+  }
+  auto& v = c.extents;
+  int idx = FindExtent(c, off);
+  XNUMA_CHECK(idx >= 0);
+  if (v[idx].first < off) {
+    // Split off the head so the span starts on an extent boundary.
+    const Extent e = v[idx];
+    v[idx].count = off - e.first;
+    v.insert(v.begin() + idx + 1,
+             Extent{off, e.end() - off, e.mfn_w + int64_t{2} * (off - e.first)});
+    ++extent_count_;
+    ++split_count_;
+    if (split_metric_ != nullptr) {
+      split_metric_->Increment();
+    }
+    idx += 1;
+  }
+  const int32_t end = off + len;
+  int32_t cur = off;
+  int i = idx;
+  while (cur < end) {
+    XNUMA_CHECK(i < static_cast<int>(v.size()));
+    XNUMA_CHECK(v[i].first == cur);  // span fully valid
+    if (v[i].end() > end) {
+      // Split off the tail past the span.
+      const Extent e = v[i];
+      v[i].count = end - e.first;
+      v.insert(v.begin() + i + 1,
+               Extent{end, e.end() - end, e.mfn_w + int64_t{2} * (end - e.first)});
+      ++extent_count_;
+      ++split_count_;
+      if (split_metric_ != nullptr) {
+        split_metric_->Increment();
+      }
+    }
+    v[i].mfn_w = (v[i].mfn_w & ~int64_t{1}) | (writable ? 1 : 0);
+    cur = v[i].end();
+    i += 1;
+  }
+  // Merge sweep: the flip can make the span's extents compatible with each
+  // other and with both boundary neighbours.
+  int j = std::max(0, idx - 1);
+  while (j + 1 < static_cast<int>(v.size()) && j <= i) {
+    if (v[j].end() == v[j + 1].first &&
+        v[j].mfn_w + int64_t{2} * v[j].count == v[j + 1].mfn_w) {
+      v[j].count += v[j + 1].count;
+      v.erase(v.begin() + j + 1);
+      --extent_count_;
+      --i;
+    } else {
+      ++j;
+    }
+  }
+  MaybePack(c);
+}
+
+void P2mTable::WriteProtectRange(Pfn pfn, int64_t count) {
+  CheckRange(pfn, count);
+  Pfn p = pfn;
+  while (p < pfn + count) {
+    Chunk& c = chunks_[p >> kChunkShift];
+    const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
+    const int32_t len = static_cast<int32_t>(
+        std::min<int64_t>(kChunkPages - off, pfn + count - p));
+    SetWritableSpan(c, off, len, false);
+    TouchChunk(c);
+    p += len;
+  }
+}
+
+void P2mTable::WriteUnprotectRange(Pfn pfn, int64_t count) {
+  CheckRange(pfn, count);
+  Pfn p = pfn;
+  while (p < pfn + count) {
+    Chunk& c = chunks_[p >> kChunkShift];
+    const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
+    const int32_t len = static_cast<int32_t>(
+        std::min<int64_t>(kChunkPages - off, pfn + count - p));
+    SetWritableSpan(c, off, len, true);
+    TouchChunk(c);
+    p += len;
+  }
+}
+
+P2mTable::Run P2mTable::ComputeRun(int64_t chunk_idx, Pfn pfn) const {
+  const Chunk& c = chunks_[chunk_idx];
+  const Pfn base = chunk_idx << kChunkShift;
+  const int32_t off = static_cast<int32_t>(pfn - base);
+  const int32_t cpages = static_cast<int32_t>(ChunkPages(chunk_idx));
+  Run r;
+  if (!c.packed.empty()) {
+    const uint64_t e = c.packed[off];
+    int32_t lo = off;
+    int32_t hi = off + 1;
+    if ((e & 1) == 0) {
+      while (lo > 0 && c.packed[lo - 1] == 0) {
+        --lo;
+      }
+      while (hi < cpages && c.packed[hi] == 0) {
+        ++hi;
+      }
+      r = Run{base + lo, hi - lo, kInvalidMfn, false, false};
+    } else {
+      // A valid neighbour extends the run when its entry is exactly one
+      // frame away with identical flag bits (entry arithmetic: +4 == +1 mfn).
+      while (lo > 0 && c.packed[lo - 1] + 4 == c.packed[lo]) {
+        --lo;
+      }
+      while (hi < cpages && c.packed[hi] == c.packed[hi - 1] + 4) {
+        ++hi;
+      }
+      const uint64_t first = c.packed[lo];
+      r = Run{base + lo, hi - lo, static_cast<Mfn>(first >> 2), true,
+              (first & 2) != 0};
+    }
+  } else {
+    const int idx = FindExtent(c, off);
+    if (idx >= 0) {
+      const Extent& e = c.extents[idx];
+      r = Run{base + e.first, e.count, e.mfn(), true, e.writable()};
+    } else {
+      const int pos = LowerPos(c, off);
+      const int32_t lo = pos == 0 ? 0 : c.extents[pos - 1].end();
+      const int32_t hi = pos == static_cast<int>(c.extents.size())
+                             ? cpages
+                             : c.extents[pos].first;
+      r = Run{base + lo, hi - lo, kInvalidMfn, false, false};
+    }
+  }
+  return r;
+}
+
+P2mTable::Run P2mTable::LookupRun(Pfn pfn, int32_t vcpu) const {
+  CheckRange(pfn, 1);
+  const int64_t ci = pfn >> kChunkShift;
+  if (reference_) {
+    return ComputeRun(ci, pfn);  // reference tables bypass the TLB
+  }
+  const Chunk& c = chunks_[ci];
+  // Callers may pass a pCPU id rather than a vCPU index; fold it onto the
+  // configured contexts so co-scheduled lookups still get distinct sets.
+  const int ctx = vcpu >= 0 ? static_cast<int>(vcpu % tlb_contexts_) : 0;
+  TlbEntry& t =
+      tlb_[static_cast<size_t>(ctx) * kTlbSets + (ci & (kTlbSets - 1))];
+  if (t.chunk == ci && t.gen == c.gen && t.epoch == tlb_epoch_ &&
+      pfn >= t.run.first && pfn < t.run.first + t.run.count) {
+    ++tlb_hits_;
+    if (tlb_hit_metric_ != nullptr) {
+      tlb_hit_metric_->Increment();
+    }
+    return t.run;
+  }
+  ++tlb_misses_;
+  if (tlb_miss_metric_ != nullptr) {
+    tlb_miss_metric_->Increment();
+  }
+  t.chunk = ci;
+  t.gen = c.gen;
+  t.epoch = tlb_epoch_;
+  t.run = ComputeRun(ci, pfn);
+  return t.run;
+}
+
+void P2mTable::ConfigureTlb(int num_vcpus) {
+  tlb_contexts_ = std::max(1, num_vcpus);
+  tlb_.assign(static_cast<size_t>(tlb_contexts_) * kTlbSets, TlbEntry{});
+}
+
+void P2mTable::InvalidateTlb() const {
+  // Entries from older epochs fail the epoch compare; a wrap after 2^32
+  // epochs can only re-admit an entry whose chunk generation still matches,
+  // which is by definition still coherent.
+  ++tlb_epoch_;
+}
+
+int64_t P2mTable::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(*this));
+  bytes += static_cast<int64_t>(chunks_.capacity() * sizeof(Chunk));
+  for (const Chunk& c : chunks_) {
+    bytes += static_cast<int64_t>(c.extents.capacity() * sizeof(Extent));
+    bytes += static_cast<int64_t>(c.packed.capacity() * sizeof(uint64_t));
+  }
+  return bytes;
+}
+
+int64_t P2mTable::TlbBytes() const {
+  return static_cast<int64_t>(tlb_.capacity() * sizeof(TlbEntry));
 }
 
 }  // namespace xnuma

@@ -6,6 +6,22 @@
 // An *invalid* entry makes any guest access trap into the hypervisor — the
 // mechanism behind the first-touch policy (§4.2). A *write-protected* entry
 // traps stores only — the mechanism behind safe page migration (§4.1).
+//
+// Representation. Xen maps memory in superpage extents (§3.3), and so does
+// this table: the pfn space is divided into 512-page chunks, and each chunk
+// is stored either as a sorted vector of extents — runs of contiguous
+// (pfn, mfn) mappings sharing one writable bit, split and merged by the
+// per-page mutators — or, once per-page churn has shredded the runs past
+// kPackThreshold extents, as packed 8-byte entries with the valid/writable
+// flags folded into the spare low bits of the Mfn. Extents never cross a
+// chunk boundary, so every mutation touches exactly one chunk.
+//
+// The per-page API (Map/Unmap/Lookup/...) is a thin compatibility shim over
+// the extent store; range operations (MapRange/UnmapRange/...) and the run
+// lookup (LookupRun) amortise one descent over whole extents. A small
+// direct-mapped per-vCPU TLB caches resolved runs in front of LookupRun;
+// entries are validated against a per-chunk generation stamp, so mutating
+// one chunk invalidates only the cached runs of that chunk.
 
 #ifndef XENNUMA_SRC_HV_P2M_H_
 #define XENNUMA_SRC_HV_P2M_H_
@@ -18,24 +34,45 @@
 
 namespace xnuma {
 
-struct P2mEntry {
-  Mfn mfn = kInvalidMfn;
-  bool valid = false;
-  bool writable = true;
-};
-
 class P2mTable {
  public:
+  // A maximal run of pages sharing one validity/writability state. For a
+  // valid run, page `first + i` maps to `mfn + i`; for an invalid run, the
+  // whole run is unmapped and `mfn` is kInvalidMfn. Runs never cross a
+  // 512-page chunk boundary, so callers iterate:
+  //   for (Pfn p = lo; p < hi; p += run.count) { run = LookupRun(p); ... }
+  struct Run {
+    Pfn first = kInvalidPfn;
+    int64_t count = 0;
+    Mfn mfn = kInvalidMfn;  // machine frame backing `first` when valid
+    bool valid = false;
+    bool writable = false;
+  };
+
   explicit P2mTable(int64_t num_pages);
 
-  int64_t num_pages() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t num_pages() const { return num_pages_; }
 
-  bool IsValid(Pfn pfn) const { return At(pfn).valid; }
-  bool IsWritable(Pfn pfn) const { return At(pfn).valid && At(pfn).writable; }
-  Mfn Lookup(Pfn pfn) const { return At(pfn).valid ? At(pfn).mfn : kInvalidMfn; }
+  bool IsValid(Pfn pfn) const { return (EntryAt(pfn) & 1) != 0; }
+  bool IsWritable(Pfn pfn) const { return (EntryAt(pfn) & 3) == 3; }
+  Mfn Lookup(Pfn pfn) const {
+    const uint64_t e = EntryAt(pfn);
+    return (e & 1) != 0 ? static_cast<Mfn>(e >> 2) : kInvalidMfn;
+  }
+
+  // Resolves the maximal run containing `pfn` (see Run). `vcpu` selects the
+  // per-vCPU TLB context (ids fold modulo the configured context count;
+  // negative ids share context 0). The returned run is a snapshot: any
+  // mutation of its chunk invalidates it.
+  Run LookupRun(Pfn pfn, int32_t vcpu = 0) const;
 
   // Installs a mapping; the entry must currently be invalid.
   void Map(Pfn pfn, Mfn mfn);
+
+  // Maps `count` pages [pfn, pfn+count) to the contiguous machine frames
+  // [mfn, mfn+count); every entry must currently be invalid. Equivalent to
+  // count Map() calls but inserts whole extents per chunk.
+  void MapRange(Pfn pfn, int64_t count, Mfn mfn);
 
   // Atomically replaces the target of a valid entry (migration commit).
   void Remap(Pfn pfn, Mfn new_mfn);
@@ -48,26 +85,163 @@ class P2mTable {
   // Optional fault injection for TryRemap. nullptr detaches.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
-  // Optional metrics (p2m.remaps, p2m.remap_races). nullptr detaches.
+  // Optional metrics (p2m.remaps, p2m.remap_races, p2m.extents, p2m.splits,
+  // tlb.hits, tlb.misses). nullptr detaches.
   void set_observability(Observability* obs);
 
   // Drops a valid mapping; returns the machine frame that backed it.
   Mfn Unmap(Pfn pfn);
 
+  // Drops `count` valid mappings [pfn, pfn+count); every entry must
+  // currently be valid. Does not return the backing frames — rollback
+  // callers know the base from the matching MapRange.
+  void UnmapRange(Pfn pfn, int64_t count);
+
   void WriteProtect(Pfn pfn);
   void WriteUnprotect(Pfn pfn);
 
+  // Range forms of the protection flips; every entry must be valid.
+  void WriteProtectRange(Pfn pfn, int64_t count);
+  void WriteUnprotectRange(Pfn pfn, int64_t count);
+
   int64_t valid_count() const { return valid_count_; }
 
- private:
-  const P2mEntry& At(Pfn pfn) const;
-  P2mEntry& At(Pfn pfn);
+  // ---- Translation cache ----------------------------------------------
 
-  std::vector<P2mEntry> entries_;
+  // Sizes the TLB for `num_vcpus` contexts (one direct-mapped set of
+  // kTlbSets runs each) and drops all cached runs. Called at domain
+  // creation; a freshly constructed table has one context.
+  void ConfigureTlb(int num_vcpus);
+
+  // Drops every cached run in every context (O(1): bumps the epoch stamp
+  // entries must match). The engine calls this once per epoch to bound
+  // staleness; per-chunk generation stamps already handle correctness for
+  // intra-epoch mutations.
+  void InvalidateTlb() const;
+
+  int64_t tlb_hits() const { return tlb_hits_; }
+  int64_t tlb_misses() const { return tlb_misses_; }
+
+  // ---- Introspection ---------------------------------------------------
+
+  // Number of extents across all extent-mode chunks (packed chunks count 0).
+  int64_t extent_count() const { return extent_count_; }
+  // Extents created by splitting an existing extent (Unmap/Remap/
+  // WriteProtect landing mid-run).
+  int64_t split_count() const { return split_count_; }
+  // Chunks currently in packed per-page representation.
+  int64_t packed_chunk_count() const { return packed_chunk_count_; }
+  // Approximate heap footprint of the mapping store (chunk headers +
+  // extent vectors + packed entries), for the sub-linear-growth evidence
+  // in the bench. The TLB is a fixed-size per-domain cache, reported
+  // separately so it does not drown small tables.
+  int64_t MemoryBytes() const;
+  int64_t TlbBytes() const;
+
+  // ---- Reference mode --------------------------------------------------
+
+  // Forces tables constructed afterwards into the per-page reference
+  // representation: every chunk packed from birth, no extent compression,
+  // TLB bypassed. The differential test runs each policy under both
+  // representations and requires bit-identical results. Compiling with
+  // -DXNUMA_P2M_REFERENCE (CMake option XNUMA_P2M_REFERENCE) makes this the
+  // process default.
+  static void SetReferenceModeForTest(bool on);
+  bool reference_mode() const { return reference_; }
+
+  static constexpr int kChunkShift = 9;
+  static constexpr int64_t kChunkPages = int64_t{1} << kChunkShift;
+  // Past this many extents a chunk has degenerated into per-page noise
+  // (first-touch's LIFO free list against the allocator's ascending rover
+  // produces anti-contiguous singletons); packed entries are smaller and
+  // O(1) to mutate.
+  static constexpr int kPackThreshold = 64;
+  static constexpr int kTlbSets = 64;
+
+ private:
+  // One run of contiguous mappings inside a chunk. `first`/`count` are
+  // chunk-local page offsets; `mfn_w` packs (mfn << 1) | writable.
+  struct Extent {
+    int32_t first;
+    int32_t count;
+    int64_t mfn_w;
+
+    Mfn mfn() const { return static_cast<Mfn>(mfn_w >> 1); }
+    bool writable() const { return (mfn_w & 1) != 0; }
+    int32_t end() const { return first + count; }
+  };
+
+  struct Chunk {
+    // Extent mode: sorted, non-overlapping, maximal under merging. Packed
+    // mode: `packed` non-empty, one 8-byte entry per page,
+    // (mfn << 2) | (writable << 1) | valid, 0 == invalid; `extents` empty.
+    std::vector<Extent> extents;
+    std::vector<uint64_t> packed;
+    // Bumped on every mutation; TLB entries snapshot it.
+    uint32_t gen = 0;
+  };
+
+  struct TlbEntry {
+    int64_t chunk = -1;
+    uint32_t gen = 0;
+    uint32_t epoch = 0;
+    Run run;
+  };
+
+  static uint64_t PackEntry(Mfn mfn, bool writable) {
+    return (static_cast<uint64_t>(mfn) << 2) | (writable ? 2u : 0u) | 1u;
+  }
+
+  void CheckRange(Pfn pfn, int64_t count) const;
+  uint64_t EntryAt(Pfn pfn) const;
+  // Number of extents whose `first` is <= off (binary search).
+  static int LowerPos(const Chunk& c, int32_t off);
+  // Index of the extent containing `off`, or -1.
+  static int FindExtent(const Chunk& c, int32_t off);
+  // Inserts [off, off+count) -> mfn, merging with compatible neighbours;
+  // XNUMA_CHECKs that the span is currently invalid.
+  void InsertExtent(Chunk& c, int32_t off, int32_t count, Mfn mfn, bool writable);
+  // Removes page `off` from extents[idx] (trim or split).
+  void RemovePageFromExtent(Chunk& c, int idx, int32_t off);
+  // Splits extents[idx] so that `off` is a single-page extent; returns its
+  // index.
+  int IsolatePage(Chunk& c, int idx, int32_t off);
+  // Merges extents[idx] with mergeable neighbours; returns its new index.
+  int TryMergeAt(Chunk& c, int idx);
+  // Removes the fully-valid span [off, off+len) from an extent-mode chunk.
+  void RemoveSpan(Chunk& c, int32_t off, int32_t len);
+  // Flips the writable bit on the fully-valid span [off, off+len).
+  void SetWritableSpan(Chunk& c, int32_t off, int32_t len, bool writable);
+  // Converts the chunk to packed per-page entries.
+  void PackChunk(Chunk& c);
+  void MaybePack(Chunk& c);
+  void TouchChunk(Chunk& c);
+  int64_t ChunkPages(int64_t chunk_idx) const;
+  Run ComputeRun(int64_t chunk_idx, Pfn pfn) const;
+
+  int64_t num_pages_ = 0;
+  std::vector<Chunk> chunks_;
   int64_t valid_count_ = 0;
+  int64_t extent_count_ = 0;
+  int64_t split_count_ = 0;
+  int64_t packed_chunk_count_ = 0;
+  bool reference_ = false;
+
+  // The simulator drives each domain's table from one machine thread, so
+  // the TLB and its stats may be mutable state behind const lookups.
+  mutable std::vector<TlbEntry> tlb_;
+  mutable uint32_t tlb_epoch_ = 0;
+  int tlb_contexts_ = 1;
+  mutable int64_t tlb_hits_ = 0;
+  mutable int64_t tlb_misses_ = 0;
+
   FaultInjector* injector_ = nullptr;
   Counter* remap_count_ = nullptr;
   Counter* remap_race_count_ = nullptr;
+  Counter* split_metric_ = nullptr;
+  Gauge* extent_gauge_ = nullptr;
+  mutable Counter* tlb_hit_metric_ = nullptr;
+  mutable Counter* tlb_miss_metric_ = nullptr;
 };
 
 }  // namespace xnuma

@@ -1,6 +1,7 @@
 #include "src/mm/frame_allocator.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/common/check.h"
 
@@ -19,7 +20,7 @@ FrameAllocator::FrameAllocator(const Topology& topo, int64_t bytes_per_frame)
     total_frames_ += frames;
   }
   free_count_ = node_sizes_;
-  used_.assign(total_frames_, false);
+  used_.assign((total_frames_ + 63) >> 6, 0);
   rover_.assign(topo.num_nodes(), 0);
 }
 
@@ -47,6 +48,68 @@ NodeId FrameAllocator::NodeOf(Mfn mfn) const {
   return static_cast<NodeId>(it - node_bases_.begin()) - 1;
 }
 
+int64_t FrameAllocator::FindFreeBit(int64_t lo, int64_t hi) const {
+  int64_t i = lo;
+  while (i < hi) {
+    const uint64_t free_bits = ~used_[i >> 6] >> (i & 63);
+    const int64_t avail = std::min<int64_t>(64 - (i & 63), hi - i);
+    if (free_bits != 0) {
+      const int tz = std::countr_zero(free_bits);
+      if (tz < avail) {
+        return i + tz;
+      }
+    }
+    i += avail;
+  }
+  return -1;
+}
+
+int64_t FrameAllocator::FindFreeRun(int64_t lo, int64_t hi, int64_t count) const {
+  int64_t run_start = 0;
+  int64_t run_len = 0;
+  int64_t i = lo;
+  while (i < hi) {
+    const uint64_t word = used_[i >> 6] >> (i & 63);
+    const int64_t avail = std::min<int64_t>(64 - (i & 63), hi - i);
+    if (word == 0) {
+      // Every remaining bit of the word is free.
+      if (run_len == 0) {
+        run_start = i;
+      }
+      run_len += avail;
+      i += avail;
+    } else {
+      const int free_prefix = std::countr_zero(word);
+      if (free_prefix >= avail) {
+        if (run_len == 0) {
+          run_start = i;
+        }
+        run_len += avail;
+        i += avail;
+      } else {
+        if (free_prefix > 0) {
+          if (run_len == 0) {
+            run_start = i;
+          }
+          run_len += free_prefix;
+          if (run_len >= count) {
+            return run_start;
+          }
+        }
+        // The run is broken at i + free_prefix; skip the used stretch.
+        const int used_len = std::countr_one(word >> free_prefix);
+        i += std::min<int64_t>(free_prefix + used_len, avail);
+        run_len = 0;
+        continue;
+      }
+    }
+    if (run_len >= count) {
+      return run_start;
+    }
+  }
+  return -1;
+}
+
 Mfn FrameAllocator::AllocOnNode(NodeId node) {
   XNUMA_CHECK(node >= 0 && node < topo_->num_nodes());
   if (injector_ != nullptr && injector_->FireFrameAllocFailure(node)) {
@@ -57,17 +120,17 @@ Mfn FrameAllocator::AllocOnNode(NodeId node) {
   }
   const int64_t size = node_sizes_[node];
   const int64_t base = node_bases_[node];
-  for (int64_t probe = 0; probe < size; ++probe) {
-    const int64_t idx = (rover_[node] + probe) % size;
-    if (!used_[base + idx]) {
-      used_[base + idx] = true;
-      --free_count_[node];
-      rover_[node] = (idx + 1) % size;
-      return base + idx;
-    }
+  // Cyclic next-fit from the rover, exactly as the per-frame probe loop
+  // would find it, but skipping fully-used words.
+  int64_t found = FindFreeBit(base + rover_[node], base + size);
+  if (found < 0) {
+    found = FindFreeBit(base, base + rover_[node]);
   }
-  XNUMA_CHECK(false);  // free_count_ said there was a free frame.
-  return kInvalidMfn;
+  XNUMA_CHECK(found >= 0);  // free_count_ said there was a free frame.
+  SetBit(found);
+  --free_count_[node];
+  rover_[node] = (found - base + 1) % size;
+  return found;
 }
 
 Mfn FrameAllocator::AllocContiguous(NodeId node, int64_t count) {
@@ -79,27 +142,22 @@ Mfn FrameAllocator::AllocContiguous(NodeId node, int64_t count) {
   if (free_count_[node] < count) {
     return kInvalidMfn;
   }
-  const int64_t size = node_sizes_[node];
   const int64_t base = node_bases_[node];
-  int64_t run = 0;
-  for (int64_t idx = 0; idx < size; ++idx) {
-    run = used_[base + idx] ? 0 : run + 1;
-    if (run == count) {
-      const int64_t first = idx - count + 1;
-      for (int64_t k = 0; k < count; ++k) {
-        used_[base + first + k] = true;
-      }
-      free_count_[node] -= count;
-      return base + first;
-    }
+  const int64_t first = FindFreeRun(base, base + node_sizes_[node], count);
+  if (first < 0) {
+    return kInvalidMfn;
   }
-  return kInvalidMfn;
+  for (int64_t k = 0; k < count; ++k) {
+    SetBit(first + k);
+  }
+  free_count_[node] -= count;
+  return first;
 }
 
 void FrameAllocator::Free(Mfn mfn) {
   XNUMA_CHECK(mfn >= 0 && mfn < total_frames_);
-  XNUMA_CHECK(used_[mfn]);
-  used_[mfn] = false;
+  XNUMA_CHECK(TestBit(mfn));
+  ClearBit(mfn);
   ++free_count_[NodeOf(mfn)];
 }
 
@@ -111,7 +169,7 @@ void FrameAllocator::FreeContiguous(Mfn first, int64_t count) {
 
 bool FrameAllocator::IsAllocated(Mfn mfn) const {
   XNUMA_CHECK(mfn >= 0 && mfn < total_frames_);
-  return used_[mfn];
+  return TestBit(mfn);
 }
 
 int64_t FrameAllocator::FreeFrames(NodeId node) const { return free_count_[node]; }
@@ -138,8 +196,8 @@ void FrameAllocator::FragmentEdgeRegions(int holes_per_edge, uint64_t seed) {
       const int64_t low = base + rng.NextInt(span);
       const int64_t high = base + size - 1 - rng.NextInt(span);
       for (int64_t mfn : {low, high}) {
-        if (!used_[mfn]) {
-          used_[mfn] = true;
+        if (!TestBit(mfn)) {
+          SetBit(mfn);
           --free_count_[node];
         }
       }

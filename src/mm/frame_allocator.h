@@ -32,6 +32,8 @@ class FrameAllocator {
 
   int64_t bytes_per_frame() const { return bytes_per_frame_; }
   int64_t frames_per_node(NodeId n) const { return node_sizes_[n]; }
+  // First machine frame owned by node `n` (node ranges are contiguous).
+  Mfn node_base(NodeId n) const { return node_bases_[n]; }
   int64_t total_frames() const { return total_frames_; }
   int num_nodes() const { return static_cast<int>(node_sizes_.size()); }
 
@@ -70,14 +72,26 @@ class FrameAllocator {
  private:
   int64_t IndexInNode(Mfn mfn, NodeId node) const { return mfn - node_bases_[node]; }
 
+  bool TestBit(int64_t i) const { return (used_[i >> 6] >> (i & 63)) & 1; }
+  void SetBit(int64_t i) { used_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void ClearBit(int64_t i) { used_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  // First free frame in [lo, hi), or -1. Skips fully-used words with one
+  // compare each instead of probing per frame.
+  int64_t FindFreeBit(int64_t lo, int64_t hi) const;
+  // First frame of the leftmost free run of `count` frames in [lo, hi), or
+  // -1. Counts free runs by trailing-zero/one scans over whole words, so
+  // fully-used and fully-free stretches cost one compare per 64 frames.
+  int64_t FindFreeRun(int64_t lo, int64_t hi, int64_t count) const;
+
   const Topology* topo_;
   int64_t bytes_per_frame_;
   int64_t total_frames_ = 0;
   std::vector<int64_t> node_bases_;
   std::vector<int64_t> node_sizes_;
   std::vector<int64_t> free_count_;
-  // used_[mfn]: frame allocated (or reserved as a hole).
-  std::vector<bool> used_;
+  // Bitmap, bit mfn set = frame allocated (or reserved as a hole). Packed
+  // 64 frames per word so the allocation scans can skip whole words.
+  std::vector<uint64_t> used_;
   // Next-fit rover per node keeps single-frame allocation O(1) amortized.
   std::vector<int64_t> rover_;
   FaultInjector* injector_ = nullptr;

@@ -229,6 +229,8 @@ Engine::Engine(Hypervisor& hv, const LatencyModel& latency, EngineConfig config)
   dma_bytes_per_node_.assign(nodes, 0.0);
   mc_scratch_.assign(nodes, 0.0);
   link_scratch_.assign(topo.num_links(), 0.0);
+  pair_cycles_.assign(static_cast<size_t>(nodes) * nodes, 0.0);
+  pair_valid_.assign(static_cast<size_t>(nodes) * nodes, 0);
   cpu_sharers_.assign(topo.num_cpus(), 0);
   // Flatten the all-shortest-paths table once; the solver's inner loops walk
   // this index instead of the nested Routes() vectors.
@@ -372,27 +374,28 @@ void Engine::InitJob(JobState& job) {
   double master_seconds = 0.0;
   std::vector<double> owner_seconds(job.spec.threads, 0.0);
 
+  // Touch whole ranges: one TouchRange call per toucher's contiguous vpn
+  // span (the whole region for master-init, one slice per owner thread),
+  // letting the guest resolve placement extent-at-a-time. Costs accumulate
+  // per page in the same order the per-page loop used, so the simulated
+  // init time is bit-identical.
   for (RegionState& region : job.regions) {
-    for (int64_t idx = 0; idx < region.pages; ++idx) {
-      const Vpn vpn = region.first_vpn + idx;
-      int toucher;
-      if (region.spec->init == AllocPattern::kMasterInit) {
-        toucher = 0;
-      } else {
-        toucher = static_cast<int>(region.SliceOf(idx, job.spec.threads));
-      }
-      const TouchResult touch = guest.TouchPage(job.pid, vpn, job.threads[toucher].cpu);
-      double cost = kTouchCostSeconds;
-      if (touch.guest_alloc) {
-        cost += minor_cost;
-      }
-      if (touch.hv_fault) {
-        cost += hv_fault_cost;
-      }
-      if (region.spec->init == AllocPattern::kMasterInit) {
-        master_seconds += cost;
-      } else {
-        owner_seconds[toucher] += cost;
+    if (region.pages <= 0) {
+      continue;
+    }
+    if (region.spec->init == AllocPattern::kMasterInit) {
+      guest.TouchRange(job.pid, region.first_vpn, region.pages,
+                       job.threads[0].cpu, kTouchCostSeconds, minor_cost,
+                       hv_fault_cost, &master_seconds);
+    } else {
+      for (int t = 0; t < job.spec.threads; ++t) {
+        const int64_t lo = region.SliceBegin(t, job.spec.threads);
+        const int64_t hi = region.SliceEnd(t, job.spec.threads);
+        if (hi > lo) {
+          guest.TouchRange(job.pid, region.first_vpn + lo, hi - lo,
+                           job.threads[t].cpu, kTouchCostSeconds, minor_cost,
+                           hv_fault_cost, &owner_seconds[t]);
+        }
       }
     }
   }
@@ -403,14 +406,40 @@ void Engine::InitJob(JobState& job) {
   job.init_seconds = master_seconds + max_owner;
 }
 
-Engine::PagePlacement Engine::ReadPagePlacement(const JobState& job, Vpn vpn) const {
+Engine::PagePlacement Engine::ReadPagePlacement(const JobState& job, Vpn vpn,
+                                                bool sequential) const {
   PagePlacement page;
   page.pfn = job.spec.guest->PfnOfVpage(job.pid, vpn);
   if (page.pfn == kInvalidPfn) {
     return page;
   }
   const HvPlacementBackend& be = hv_->backend(job.spec.domain);
-  if (!be.IsMapped(page.pfn)) {
+  const bool memo_hit = run_memo_cached_ && run_memo_domain_ == job.spec.domain &&
+                        run_memo_gen_ == be.placement_generation() &&
+                        page.pfn >= run_memo_.first &&
+                        page.pfn < run_memo_.first + run_memo_.count;
+  if (!memo_hit && !sequential) {
+    // Dirty-delta pages come from allocator churn and are anti-contiguous;
+    // resolving a whole run would be wasted work, so read the single entry.
+    const NodeId node = be.NodeOf(page.pfn);
+    if (node == kInvalidNode) {
+      return page;  // Released and not yet retouched.
+    }
+    page.mapped = true;
+    if (be.IsReplicated(page.pfn)) {
+      page.replicated = true;
+      return page;
+    }
+    page.node = node;
+    return page;
+  }
+  if (!memo_hit) {
+    run_memo_ = be.NodeOfRange(page.pfn);
+    run_memo_gen_ = be.placement_generation();
+    run_memo_domain_ = job.spec.domain;
+    run_memo_cached_ = true;
+  }
+  if (!run_memo_.mapped) {
     return page;  // Released and not yet retouched.
   }
   page.mapped = true;
@@ -418,7 +447,7 @@ Engine::PagePlacement Engine::ReadPagePlacement(const JobState& job, Vpn vpn) co
     page.replicated = true;
     return page;
   }
-  page.node = be.NodeOf(page.pfn);
+  page.node = run_memo_.node;
   return page;
 }
 
@@ -443,7 +472,7 @@ void Engine::ApplyPageDelta(JobState& job, Vpn vpn) {
     return;  // vpn outside any simulated region
   }
   const int64_t idx = vpn - region->first_vpn;
-  const PagePlacement current = ReadPagePlacement(job, vpn);
+  const PagePlacement current = ReadPagePlacement(job, vpn, /*sequential=*/false);
   PagePlacement& cached = region->page_cache[idx];
   if (cached == current) {
     return;
@@ -772,7 +801,11 @@ void Engine::SolveUtilizationFixedPoint(double dt) {
   ComputeCpuSharers();
   last_fixed_point_iterations_ = 0;
   for (int iter = 0; iter < config_.fixed_point_iterations; ++iter) {
-    // Rates from current utilizations.
+    // Rates from current utilizations. AccessCycles is a pure function of
+    // the (source node, target node) pair while the utilizations are frozen
+    // for the iteration, and threads pinned to one node share its rows, so
+    // each pair is resolved once and memoized.
+    std::fill(pair_valid_.begin(), pair_valid_.end(), 0);
     for (auto& jptr : jobs_) {
       JobState& job = *jptr;
       if (job.finished) {
@@ -788,9 +821,14 @@ void Engine::SolveUtilizationFixedPoint(double dt) {
           if (th.p_node[n] <= 0.0) {
             continue;
           }
-          const int hops = topo.Distance(th.node, n);
-          lat += th.p_node[n] *
-                 latency_->AccessCycles(hops, mc_util_[n], PathLinkUtil(th.node, n));
+          const size_t pi = static_cast<size_t>(th.node) * nodes + n;
+          if (pair_valid_[pi] == 0) {
+            const int hops = topo.Distance(th.node, n);
+            pair_cycles_[pi] =
+                latency_->AccessCycles(hops, mc_util_[n], PathLinkUtil(th.node, n));
+            pair_valid_[pi] = 1;
+          }
+          lat += th.p_node[n] * pair_cycles_[pi];
         }
         th.last_latency_cycles = lat;
         // Memory-level parallelism overlaps part of the DRAM latency with
@@ -1327,6 +1365,11 @@ RunResult Engine::Run() {
 
     if (obs_ != nullptr) {
       obs_->tracer().set_sim_time(now);
+    }
+    // Epoch boundary: drop every cached P2M run (per-chunk generations keep
+    // intra-epoch lookups coherent; this bounds cross-epoch staleness).
+    for (DomainId d = 0; d < hv_->num_domains(); ++d) {
+      hv_->domain(d).p2m().InvalidateTlb();
     }
     {
       XNUMA_TRACE_SCOPE(obs_, "placement_refresh", "engine", refresh_seconds_);

@@ -223,7 +223,11 @@ class Engine : public PageAccessSource {
   void ApplyPageDelta(JobState& job, Vpn vpn);
   void DeriveRegionMasses(JobState& job);
   bool VerifyPlacementCache(const JobState& job);
-  PagePlacement ReadPagePlacement(const JobState& job, Vpn vpn) const;
+  // `sequential` = the caller is scanning vpns in order (rescan/verify), so
+  // a placement-run memo amortizes the P2M descent; dirty-delta reads pass
+  // false and take a single-entry lookup instead.
+  PagePlacement ReadPagePlacement(const JobState& job, Vpn vpn,
+                                  bool sequential = true) const;
   void ComputeAccessDistributions(JobState& job);
   void ComputeCpuSharers();
   void SolveUtilizationFixedPoint(double dt);
@@ -274,6 +278,20 @@ class Engine : public PageAccessSource {
   // ---- Fixed-point solver caches (allocated once, reused per iteration). --
   std::vector<double> mc_scratch_;
   std::vector<double> link_scratch_;
+  // Per-iteration (src node, dst node) latency memo: AccessCycles is a pure
+  // function of the pair once the utilizations are frozen for the iteration,
+  // and every thread on a node shares its rows.
+  std::vector<double> pair_cycles_;
+  std::vector<uint8_t> pair_valid_;
+
+  // One-entry placement-run memo for the rescan/delta read path: node
+  // resolution is computed once per extent, then reused for every page the
+  // run covers. Invalidated by any placement mutation (generation compare)
+  // or a domain switch.
+  mutable HvPlacementBackend::PlacementRun run_memo_;
+  mutable uint64_t run_memo_gen_ = 0;
+  mutable DomainId run_memo_domain_ = kInvalidDomain;
+  mutable bool run_memo_cached_ = false;
   // Worst-link-per-path route index: route_pairs_[src * nodes + dst] names
   // the equal-cost paths of the pair; each path is a contiguous run of link
   // ids in route_links_. Replaces topology().Routes() calls (and their

@@ -101,6 +101,48 @@ TEST_F(FrameAllocatorTest, FramesPerOrderScalesWithFrameSize) {
   EXPECT_EQ(fine.FramesPerOrder(PageOrder::k1G), 262144);
 }
 
+// The bitmap packs 64 frames per word; these cases pin the word-boundary
+// behavior of the ctz/clz scans (nodes sized and offset so runs and rover
+// wraps straddle words).
+TEST(FrameAllocatorBitmapTest, ContiguousRunsCrossWordBoundaries) {
+  // 2 nodes x 100 frames: node 1 spans bits [100, 200) — unaligned start,
+  // interior word, unaligned end.
+  const Topology topo = Topology::Synthetic(2, 2, 400ll << 20);
+  FrameAllocator alloc(topo, 4ll << 20);
+  ASSERT_EQ(alloc.frames_per_node(1), 100);
+  ASSERT_EQ(alloc.AllocContiguous(1, 100), 100);  // the whole node fits
+  EXPECT_EQ(alloc.FreeFrames(1), 0);
+  // Free all but [126,130) (straddles the bit-128 word boundary) and
+  // [164,166) (interior to a word).
+  for (Mfn mfn = 100; mfn < 200; ++mfn) {
+    if ((mfn >= 126 && mfn < 130) || (mfn >= 164 && mfn < 166)) {
+      continue;
+    }
+    alloc.Free(mfn);
+  }
+  // Free runs: [100,126) = 26, [130,164) = 34, [166,200) = 34.
+  EXPECT_EQ(alloc.AllocContiguous(1, 35), kInvalidMfn);
+  EXPECT_EQ(alloc.AllocContiguous(1, 34), 130);  // leftmost fit
+  EXPECT_EQ(alloc.AllocContiguous(1, 27), 166);  // crosses bit 192
+  EXPECT_EQ(alloc.AllocContiguous(1, 26), 100);  // unaligned node start
+}
+
+TEST(FrameAllocatorBitmapTest, RoverWrapScansAcrossWords) {
+  const Topology topo = Topology::Synthetic(1, 2, 520ll << 20);
+  FrameAllocator alloc(topo, 4ll << 20);
+  ASSERT_EQ(alloc.total_frames(), 130);  // > 2 words
+  // Advance the rover to the tail, free an early frame, and exhaust the
+  // rest: the cyclic scan must wrap through full words to find it.
+  std::vector<Mfn> all;
+  for (int i = 0; i < 130; ++i) {
+    all.push_back(alloc.AllocOnNode(0));
+  }
+  EXPECT_EQ(alloc.AllocOnNode(0), kInvalidMfn);
+  alloc.Free(7);
+  EXPECT_EQ(alloc.AllocOnNode(0), 7);  // found via wrap-around
+  EXPECT_EQ(alloc.AllocOnNode(0), kInvalidMfn);
+}
+
 TEST(FrameAllocatorEdgeTest, FragmentEdgeRegionsPinsHoles) {
   const Topology topo = Topology::Amd48();
   FrameAllocator alloc(topo, 4ll << 20);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "src/hv/hypervisor.h"
+#include "src/numa/topology.h"
 #include "src/policy/first_touch.h"
 #include "src/policy/numa_policy.h"
 #include "src/policy/round_robin.h"
@@ -130,6 +132,74 @@ TEST(Round1gTest, EagerPoliciesDoNotTrapReleases) {
   Round4kPolicy r4k;
   EXPECT_FALSE(r1g.traps_releases());
   EXPECT_FALSE(r4k.traps_releases());
+}
+
+// Round-1G against the real machine allocator with BIOS/I-O edge holes
+// (§3.3): the 1G -> 2M -> 4K cascade must fire at every simulation scale,
+// with region sizes derived from bytes_per_frame rather than hard-coded.
+TEST(Round1gCascadeTest, EdgeFragmentationCascadesAcrossFrameScales) {
+  struct Scale {
+    const char* label;
+    int64_t bytes_per_frame;
+    bool full_cascade;  // 2M > one frame at this scale, so 2M placements exist
+  };
+  const Scale scales[] = {
+      {"256KiB", 256ll << 10, true},
+      {"1MiB", 1ll << 20, true},
+      // At 4 MiB/frame a 2 MiB region collapses onto the frame quantum:
+      // failed 1G regions fall straight through to per-page placement.
+      {"4MiB", 4ll << 20, false},
+  };
+  for (const Scale& s : scales) {
+    SCOPED_TRACE(s.label);
+    Topology topo = Topology::Synthetic(/*nodes=*/4, /*cpus_per_node=*/4,
+                                        /*bytes_per_node=*/4ll << 30);
+    // The hypervisor constructor pins edge holes via FragmentEdgeRegions.
+    Hypervisor hv(topo, s.bytes_per_frame);
+    FrameAllocator& frames = hv.frames();
+    const int64_t pages_1g = frames.FramesPerOrder(PageOrder::k1G);
+    const int64_t pages_2m = frames.FramesPerOrder(PageOrder::k2M);
+    ASSERT_EQ(pages_1g, (1ll << 30) / s.bytes_per_frame);
+    ASSERT_EQ(pages_2m, s.full_cascade ? (2ll << 20) / s.bytes_per_frame : 1);
+    const int64_t free_before = frames.TotalFreeFrames();
+    ASSERT_LT(free_before, frames.total_frames());  // holes were pinned
+
+    DomainConfig dc;
+    dc.name = "cascade";
+    dc.num_vcpus = 4;
+    // Sized to consume every free frame: the tail of the placement works
+    // through the hole-fragmented edge remnants, forcing the fine paths.
+    dc.memory_pages = free_before;
+    dc.policy.placement = StaticPolicy::kFirstTouch;  // policy driven manually
+    const DomainId dom = hv.CreateDomain(dc);
+
+    Round1gPolicy r1g(pages_1g, pages_2m);
+    r1g.Initialize(hv.backend(dom));
+
+    const int64_t placed =
+        r1g.pages_placed_1g() + r1g.pages_placed_2m() + r1g.pages_placed_4k();
+    // Every free frame was consumed and every placement took one frame.
+    EXPECT_EQ(placed, free_before - frames.TotalFreeFrames());
+    EXPECT_EQ(frames.TotalFreeFrames(), 0);
+    // The bulk of the domain lands as whole 1G regions...
+    EXPECT_GT(r1g.pages_placed_1g(), 0);
+    EXPECT_EQ(r1g.pages_placed_1g() % pages_1g, 0);
+    EXPECT_GT(r1g.pages_placed_1g(), placed / 2);
+    // ...and the fragmented remainder cascades down.
+    if (s.full_cascade) {
+      EXPECT_GT(r1g.pages_placed_2m(), 0);
+      EXPECT_EQ(r1g.pages_placed_2m() % pages_2m, 0);
+    } else {
+      EXPECT_EQ(r1g.pages_placed_2m(), 0);
+    }
+    EXPECT_GT(r1g.pages_placed_4k(), 0);
+
+    // The committed mappings respect contiguity: every mapped run the P2M
+    // reports is physically contiguous on one node by construction, so
+    // counting run boundaries bounds the fragmentation the cascade left.
+    const P2mTable& p2m = hv.domain(dom).p2m();
+    EXPECT_EQ(p2m.valid_count(), placed);
+  }
 }
 
 TEST(MakePolicyTest, FactoryProducesMatchingKind) {

@@ -50,6 +50,54 @@ awk -F': ' '/"obs_mean_overhead_pct"/ {
 END { if (!found) { print "FAIL: obs_mean_overhead_pct missing from bench output"; exit 1 } }
 ' "$ROOT/BENCH_engine.json"
 
+# Perf ratchet: every config's incremental epochs/sec must stay within 10%
+# of the best rate this machine has archived (tools/bench_ratchet.json).
+# When an optimization lands, re-run the bench and raise the ratchet in the
+# same commit — the floor only moves up.
+awk -F'"' '
+FNR == NR {
+  if ($2 ~ /_per_job$/) { v = $3; gsub(/[:, ]/, "", v); base[$2] = v + 0 }
+  next
+}
+$2 == "name" { name = $4 }
+$2 == "incremental_epochs_per_s" && (name in base) {
+  v = $3; gsub(/[:, ]/, "", v); rate = v + 0
+  floor = base[name] * 0.9
+  if (rate < floor) {
+    printf "FAIL: %s at %.2f incremental epochs/s regressed >10%% below ratchet %.2f\n", \
+           name, rate, base[name]
+    bad = 1
+  } else {
+    printf "OK: %s at %.2f incremental epochs/s (ratchet %.2f, floor %.2f)\n", \
+           name, rate, base[name], floor
+  }
+  checked++
+  delete base[name]
+}
+END {
+  if (bad) { exit 1 }
+  if (checked < 3) { print "FAIL: ratchet check matched fewer configs than expected"; exit 1 }
+}
+' "$ROOT/tools/bench_ratchet.json" "$ROOT/BENCH_engine.json"
+
+# Extent-compressed P2M: after a round-1G MapRange placement the mapping
+# store must cost well under half of a flat 8-byte-per-page array on the
+# largest footprint (sub-linear growth is the point of the representation;
+# §13 of MODEL.md). The first-touch rows are the adversarial packed floor
+# and are archived ungated.
+awk -F'"' '
+$2 == "name" { gate = ($4 == "16gb_per_job" && $8 == "round_1g") }
+$2 == "post_init_ratio" && gate {
+  v = $3; gsub(/[:, ]/, "", v); ratio = v + 0; found = 1
+  if (ratio >= 0.5) {
+    printf "FAIL: P2M round-1G post-init table is %.1f%% of flat (budget: 50%%)\n", ratio * 100
+    exit 1
+  }
+  printf "OK: P2M round-1G post-init table is %.1f%% of flat (budget: 50%%)\n", ratio * 100
+}
+END { if (!found) { print "FAIL: p2m_memory missing from bench output"; exit 1 } }
+' "$ROOT/BENCH_engine.json"
+
 # Parallel experiment matrix: results at --jobs 4 must be bit-identical to
 # the serial loop (always), and throughput must be >= 2x serial on hosts
 # with at least 4 cores. On smaller hosts the speedup is recorded but not
