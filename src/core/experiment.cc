@@ -76,6 +76,8 @@ struct Machine {
     dc.pinned_cpus = std::move(pins);
     dc.policy = stack.policy;
     dc.pci_passthrough = passthrough;
+    dc.p2m_max_order = stack.p2m_max_order;
+    dc.ft_superpage = stack.ft_superpage;
     const DomainId dom = hv->CreateDomain(dc);
 
     GuestOs::Options go;

@@ -163,8 +163,26 @@ DomainId Hypervisor::TryCreateDomain(const DomainConfig& config) {
     ++cpu_reservations_[pins[v]];
   }
   dom->p2m().ConfigureTlb(config.num_vcpus);
+  dom->p2m().ConfigureOrders(config.p2m_max_order,
+                             frames_.FramesPerOrder(PageOrder::k2M),
+                             frames_.FramesPerOrder(PageOrder::k1G));
 
-  dom->SetPolicy(config.policy, MakePolicy(config.policy.placement));
+  PolicyGeometry geom;
+  if (dom->p2m().max_order() != PageOrder::k4K) {
+    // Align the policies' region sizes with the orders the P2M can map
+    // natively, so round-1G regions and (opted-in) first-touch blocks land
+    // as whole superpages. At the default 4 MiB frame scale these equal the
+    // historical defaults, so order-enabled runs place identically.
+    geom.pages_per_1g = frames_.FramesPerOrder(PageOrder::k1G);
+    geom.pages_per_2m = frames_.FramesPerOrder(PageOrder::k2M);
+    if (config.ft_superpage) {
+      const int64_t span_2m = dom->p2m().OrderSpan(PageOrder::k2M);
+      geom.ft_fault_map_pages =
+          span_2m > 1 ? span_2m : dom->p2m().OrderSpan(PageOrder::k1G);
+    }
+  }
+  dom->set_policy_geometry(geom);
+  dom->SetPolicy(config.policy, MakePolicy(config.policy.placement, geom));
 
   domains_.push_back(std::move(dom));
   backends_.push_back(std::make_unique<HvPlacementBackend>(*domains_.back(), frames_));
@@ -198,7 +216,7 @@ HypercallStatus Hypervisor::HypercallSetPolicy(DomainId id, const PolicyConfig& 
     dom.set_carrefour(config.carrefour);
     return HypercallStatus::kOk;
   }
-  dom.SetPolicy(config, MakePolicy(config.placement));
+  dom.SetPolicy(config, MakePolicy(config.placement, dom.policy_geometry()));
   dom.policy()->Initialize(backend(id));
   return HypercallStatus::kOk;
 }

@@ -33,6 +33,16 @@ struct DomainConfig {
   PolicyConfig policy;
   bool pci_passthrough = false;
   bool is_dom0 = false;
+  // Largest page order the domain's P2M may map natively (docs/MODEL.md
+  // §14). k4K (the default) leaves the table bit-identical to the plain
+  // extent store; 2M/1G spans are derived from the machine frame scale
+  // (FrameAllocator::FramesPerOrder) and orders that collapse to one frame
+  // are disabled automatically.
+  PageOrder p2m_max_order = PageOrder::k4K;
+  // Opt-in: first-touch faults map a whole aligned superpage block on the
+  // toucher's node instead of one page. Changes placement and fault counts,
+  // so it is never implied by p2m_max_order.
+  bool ft_superpage = false;
 };
 
 enum class HypercallStatus {

@@ -1,6 +1,7 @@
 #include "src/hv/p2m.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/common/check.h"
 
@@ -17,6 +18,16 @@ bool g_reference_mode =
 #else
     false;
 #endif
+
+bool IsPow2(int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int Log2(int64_t v) {
+  int s = 0;
+  while ((int64_t{1} << s) < v) {
+    ++s;
+  }
+  return s;
+}
 }  // namespace
 
 void P2mTable::SetReferenceModeForTest(bool on) { g_reference_mode = on; }
@@ -27,11 +38,86 @@ P2mTable::P2mTable(int64_t num_pages) : reference_(g_reference_mode) {
   chunks_.resize((num_pages + kChunkPages - 1) >> kChunkShift);
   if (reference_) {
     for (int64_t i = 0; i < static_cast<int64_t>(chunks_.size()); ++i) {
-      chunks_[i].packed.assign(ChunkPages(i), 0);
+      Chunk& c = EnsureChunk(i);
+      c.packed.assign(c.cpages, 0);
     }
     packed_chunk_count_ = static_cast<int64_t>(chunks_.size());
   }
   tlb_.assign(static_cast<size_t>(tlb_contexts_) * kTlbSets, TlbEntry{});
+}
+
+void P2mTable::ConfigureOrders(PageOrder max_order, int64_t pages_per_2m,
+                               int64_t pages_per_1g) {
+  XNUMA_CHECK(valid_count_ == 0);
+  if (reference_ || max_order == PageOrder::k4K) {
+    return;  // the hierarchy stays off; the table is the plain 4K store
+  }
+  // An order collapses (span <= 1 page at this frame scale) or degenerates
+  // (1G no bigger than 2M) rather than erroring: the machine's frame
+  // granularity decides which orders physically exist.
+  int64_t span_2m = 0;
+  int64_t span_1g = 0;
+  if (pages_per_2m > 1 && IsPow2(pages_per_2m) && pages_per_2m <= kChunkPages) {
+    span_2m = pages_per_2m;
+  }
+  if (max_order == PageOrder::k1G && pages_per_1g > 1 && IsPow2(pages_per_1g) &&
+      pages_per_1g > span_2m) {
+    span_1g = pages_per_1g;
+  }
+  if (span_2m == 0 && span_1g == 0) {
+    return;
+  }
+  sp_[0] = SpLevel{};
+  sp_[1] = SpLevel{};
+  // Slot arrays are allocated on first install (EnsureSpEntries): a level
+  // nothing ever maps at — e.g. the 2M level of a domain placed purely in
+  // 1G entries — costs nothing, which MemoryBytes() reports and the bench
+  // p2m_order section measures.
+  if (span_2m > 0) {
+    sp_[0].span = span_2m;
+    sp_[0].shift = Log2(span_2m);
+  }
+  if (span_1g > 0) {
+    sp_[1].span = span_1g;
+    sp_[1].shift = Log2(span_1g);
+  }
+  sp_enabled_ = true;
+  max_order_ = span_1g > 0 ? PageOrder::k1G : PageOrder::k2M;
+}
+
+int64_t P2mTable::OrderSpan(PageOrder order) const {
+  switch (order) {
+    case PageOrder::k2M:
+      return sp_[0].span > 0 ? sp_[0].span : 1;
+    case PageOrder::k1G:
+      return sp_[1].span > 0 ? sp_[1].span : 1;
+    default:
+      return 1;
+  }
+}
+
+int64_t P2mTable::OrderPages(PageOrder order) const {
+  const int64_t sp2m = sp_[0].present * sp_[0].span;
+  const int64_t sp1g = sp_[1].present * sp_[1].span;
+  switch (order) {
+    case PageOrder::k2M:
+      return sp2m;
+    case PageOrder::k1G:
+      return sp1g;
+    default:
+      return valid_count_ - sp2m - sp1g;
+  }
+}
+
+int64_t P2mTable::SuperpageCount(PageOrder order) const {
+  switch (order) {
+    case PageOrder::k2M:
+      return sp_[0].present;
+    case PageOrder::k1G:
+      return sp_[1].present;
+    default:
+      return 0;
+  }
 }
 
 void P2mTable::CheckRange(Pfn pfn, int64_t count) const {
@@ -40,6 +126,15 @@ void P2mTable::CheckRange(Pfn pfn, int64_t count) const {
 
 int64_t P2mTable::ChunkPages(int64_t chunk_idx) const {
   return std::min(kChunkPages, num_pages_ - (chunk_idx << kChunkShift));
+}
+
+P2mTable::Chunk& P2mTable::EnsureChunk(int64_t chunk_idx) {
+  std::unique_ptr<Chunk>& slot = chunks_[chunk_idx];
+  if (slot == nullptr) {
+    slot = std::make_unique<Chunk>();
+    slot->cpages = static_cast<int32_t>(ChunkPages(chunk_idx));
+  }
+  return *slot;
 }
 
 int P2mTable::LowerPos(const Chunk& c, int32_t off) {
@@ -65,19 +160,59 @@ int P2mTable::FindExtent(const Chunk& c, int32_t off) {
   return idx;
 }
 
+uint64_t P2mTable::SpEntryAt(Pfn pfn, int* level) const {
+  for (int l = kNumSpLevels - 1; l >= 0; --l) {
+    const SpLevel& s = sp_[l];
+    if (s.span == 0 || s.present == 0) {
+      continue;
+    }
+    const uint64_t e = s.entries[pfn >> s.shift];
+    if ((e & 1) != 0) {
+      if (level != nullptr) {
+        *level = l;
+      }
+      // Adding off << 2 advances the packed mfn without disturbing the
+      // present/writable flag bits.
+      return e + (static_cast<uint64_t>(pfn & (s.span - 1)) << 2);
+    }
+  }
+  return 0;
+}
+
 uint64_t P2mTable::EntryAt(Pfn pfn) const {
   CheckRange(pfn, 1);
-  const Chunk& c = chunks_[pfn >> kChunkShift];
-  const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
-  if (!c.packed.empty()) {
-    return c.packed[off];
+  if (sp_enabled_) {
+    const uint64_t sp = SpEntryAt(pfn);
+    if (sp != 0) {
+      return sp;
+    }
   }
-  const int idx = FindExtent(c, off);
+  const Chunk* c = chunks_[pfn >> kChunkShift].get();
+  if (c == nullptr) {
+    return 0;
+  }
+  const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
+  if (!c->packed.empty()) {
+    return c->packed[off];
+  }
+  const int idx = FindExtent(*c, off);
   if (idx < 0) {
     return 0;
   }
-  const Extent& e = c.extents[idx];
+  const Extent& e = c->extents[idx];
   return PackEntry(e.mfn() + (off - e.first), e.writable());
+}
+
+void P2mTable::RefreshOrderGauges() {
+  if (order_gauges_[0] != nullptr) {
+    order_gauges_[0]->Set(static_cast<double>(OrderPages(PageOrder::k4K)));
+  }
+  if (order_gauges_[1] != nullptr) {
+    order_gauges_[1]->Set(static_cast<double>(OrderPages(PageOrder::k2M)));
+  }
+  if (order_gauges_[2] != nullptr) {
+    order_gauges_[2]->Set(static_cast<double>(OrderPages(PageOrder::k1G)));
+  }
 }
 
 void P2mTable::TouchChunk(Chunk& c) {
@@ -85,6 +220,14 @@ void P2mTable::TouchChunk(Chunk& c) {
   if (extent_gauge_ != nullptr) {
     extent_gauge_->Set(static_cast<double>(extent_count_));
   }
+  if (sp_enabled_) {
+    RefreshOrderGauges();
+  }
+}
+
+void P2mTable::TouchSp() {
+  ++sp_gen_;
+  RefreshOrderGauges();
 }
 
 void P2mTable::MaybePack(Chunk& c) {
@@ -94,8 +237,7 @@ void P2mTable::MaybePack(Chunk& c) {
 }
 
 void P2mTable::PackChunk(Chunk& c) {
-  const int64_t chunk_idx = &c - chunks_.data();
-  c.packed.assign(ChunkPages(chunk_idx), 0);
+  c.packed.assign(c.cpages, 0);
   for (const Extent& e : c.extents) {
     for (int32_t i = 0; i < e.count; ++i) {
       c.packed[e.first + i] = PackEntry(e.mfn() + i, e.writable());
@@ -105,6 +247,18 @@ void P2mTable::PackChunk(Chunk& c) {
   c.extents.clear();
   c.extents.shrink_to_fit();
   ++packed_chunk_count_;
+}
+
+void P2mTable::MaybeShrink(Chunk& c) {
+  // Promotion (and whole-chunk unmap) can empty a chunk's heap without
+  // destroying the chunk; release the capacity so MemoryBytes() reflects
+  // live state across split/promote cycles instead of high-water marks.
+  if (c.extents.empty() && c.extents.capacity() != 0) {
+    c.extents.shrink_to_fit();
+  }
+  if (!reference_ && c.packed.empty() && c.packed.capacity() != 0) {
+    c.packed.shrink_to_fit();
+  }
 }
 
 void P2mTable::InsertExtent(Chunk& c, int32_t off, int32_t count, Mfn mfn,
@@ -207,10 +361,145 @@ int P2mTable::TryMergeAt(Chunk& c, int idx) {
   return idx;
 }
 
+// ---- Superpage store primitives -----------------------------------------
+
+void P2mTable::EnsureSpEntries(SpLevel& s) {
+  if (s.entries.empty()) {
+    s.entries.assign((num_pages_ + s.span - 1) / s.span, 0);
+  }
+}
+
+void P2mTable::InstallSp(int level, Pfn first, Mfn mfn, bool writable) {
+  SpLevel& s = sp_[level];
+  EnsureSpEntries(s);
+  const int64_t slot = first >> s.shift;
+  XNUMA_CHECK((s.entries[slot] & 1) == 0);
+  s.entries[slot] = PackEntry(mfn, writable);
+  ++s.present;
+  TouchSp();
+}
+
+uint64_t P2mTable::RemoveSp(int level, Pfn first) {
+  SpLevel& s = sp_[level];
+  const int64_t slot = first >> s.shift;
+  const uint64_t e = s.entries[slot];
+  XNUMA_CHECK((e & 1) != 0);
+  s.entries[slot] = 0;
+  --s.present;
+  TouchSp();
+  return e;
+}
+
+void P2mTable::MaterializeSpan(Pfn first, int64_t count, Mfn mfn, bool writable) {
+  Pfn p = first;
+  while (p < first + count) {
+    const int64_t ci = p >> kChunkShift;
+    Chunk& c = EnsureChunk(ci);
+    const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
+    const int32_t len = static_cast<int32_t>(
+        std::min<int64_t>(kChunkPages - off, first + count - p));
+    const Mfn m = mfn + (p - first);
+    if (!c.packed.empty()) {
+      for (int32_t i = 0; i < len; ++i) {
+        XNUMA_CHECK(c.packed[off + i] == 0);
+        c.packed[off + i] = PackEntry(m + i, writable);
+      }
+    } else {
+      InsertExtent(c, off, len, m, writable);
+    }
+    TouchChunk(c);
+    p += len;
+  }
+}
+
+void P2mTable::SplitOneLevel(Pfn pfn) {
+  if (!sp_enabled_) {
+    return;
+  }
+  for (int l = kNumSpLevels - 1; l >= 0; --l) {
+    SpLevel& s = sp_[l];
+    if (s.span == 0 || s.present == 0) {
+      continue;
+    }
+    const int64_t slot = pfn >> s.shift;
+    const uint64_t e = s.entries[slot];
+    if ((e & 1) == 0) {
+      continue;
+    }
+    const Pfn first = slot << s.shift;
+    const Mfn mfn = static_cast<Mfn>(e >> 2);
+    const bool writable = (e & 2) != 0;
+    RemoveSp(l, first);
+    if (l == 1 && sp_[0].span > 0) {
+      // A 1G entry shatters into its 2M children, not to 4K: only the
+      // sub-block a later mutation actually touches descends further.
+      SpLevel& s0 = sp_[0];
+      EnsureSpEntries(s0);
+      for (Pfn p = first; p < first + s.span; p += s0.span) {
+        XNUMA_CHECK((s0.entries[p >> s0.shift] & 1) == 0);
+        s0.entries[p >> s0.shift] = PackEntry(mfn + (p - first), writable);
+        ++s0.present;
+      }
+      TouchSp();
+    } else {
+      MaterializeSpan(first, s.span, mfn, writable);
+    }
+    ++superpage_split_count_;
+    if (split_metric_ != nullptr) {
+      split_metric_->Increment();
+    }
+    return;
+  }
+}
+
+void P2mTable::CheckSpanInvalid(Pfn first, int64_t count) const {
+  for (int l = 0; l < kNumSpLevels; ++l) {
+    const SpLevel& s = sp_[l];
+    if (s.span == 0 || s.present == 0) {
+      continue;
+    }
+    const int64_t lo = first >> s.shift;
+    const int64_t hi = (first + count - 1) >> s.shift;
+    for (int64_t slot = lo; slot <= hi; ++slot) {
+      XNUMA_CHECK((s.entries[slot] & 1) == 0);
+    }
+  }
+  Pfn p = first;
+  while (p < first + count) {
+    const Run r = ComputeChunkRun(p >> kChunkShift, p);
+    XNUMA_CHECK(!r.valid);
+    p = r.first + r.count;
+  }
+}
+
+Pfn P2mTable::NextSuperpageStart(Pfn first, int64_t count) const {
+  Pfn best = first + count;
+  for (int l = 0; l < kNumSpLevels; ++l) {
+    const SpLevel& s = sp_[l];
+    if (s.span == 0 || s.present == 0) {
+      continue;
+    }
+    // First slot starting strictly after `first`; the slot covering `first`
+    // itself is the caller's to handle.
+    for (Pfn q = ((first >> s.shift) + 1) << s.shift; q < best; q += s.span) {
+      if ((s.entries[q >> s.shift] & 1) != 0) {
+        best = q;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+// ---- Mapping mutators ----------------------------------------------------
+
 void P2mTable::Map(Pfn pfn, Mfn mfn) {
   CheckRange(pfn, 1);
   XNUMA_CHECK(mfn != kInvalidMfn);
-  Chunk& c = chunks_[pfn >> kChunkShift];
+  if (sp_enabled_) {
+    XNUMA_CHECK(SpEntryAt(pfn) == 0);  // must be invalid, incl. superpages
+  }
+  Chunk& c = EnsureChunk(pfn >> kChunkShift);
   const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
   if (!c.packed.empty()) {
     XNUMA_CHECK(c.packed[off] == 0);
@@ -225,12 +514,46 @@ void P2mTable::Map(Pfn pfn, Mfn mfn) {
 void P2mTable::MapRange(Pfn pfn, int64_t count, Mfn mfn) {
   CheckRange(pfn, count);
   XNUMA_CHECK(mfn != kInvalidMfn);
+  const Pfn end = pfn + count;
   Pfn p = pfn;
-  while (p < pfn + count) {
-    Chunk& c = chunks_[p >> kChunkShift];
+  while (p < end) {
+    if (sp_enabled_) {
+      // Carve the largest aligned order that fits at p.
+      bool carved = false;
+      for (int l = kNumSpLevels - 1; l >= 0; --l) {
+        const SpLevel& s = sp_[l];
+        if (s.span == 0 || (p & (s.span - 1)) != 0 || end - p < s.span) {
+          continue;
+        }
+        CheckSpanInvalid(p, s.span);
+        valid_count_ += s.span;  // before InstallSp so its gauge refresh is consistent
+        InstallSp(l, p, mfn + (p - pfn), true);
+        p += s.span;
+        carved = true;
+        break;
+      }
+      if (carved) {
+        continue;
+      }
+    }
+    Chunk& c = EnsureChunk(p >> kChunkShift);
     const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
-    const int32_t len = static_cast<int32_t>(
-        std::min<int64_t>(kChunkPages - off, pfn + count - p));
+    int32_t len = static_cast<int32_t>(std::min<int64_t>(kChunkPages - off, end - p));
+    if (sp_enabled_) {
+      // Stop at the next boundary where a whole superpage becomes
+      // achievable, so the carver above gets its chance there.
+      for (int l = kNumSpLevels - 1; l >= 0; --l) {
+        const SpLevel& s = sp_[l];
+        if (s.span == 0) {
+          continue;
+        }
+        const Pfn next = (p + s.span) & ~(s.span - 1);
+        if (next < p + len && end - next >= s.span) {
+          len = static_cast<int32_t>(next - p);
+        }
+      }
+      CheckSpanInvalid(p, len);
+    }
     const Mfn m = mfn + (p - pfn);
     if (!c.packed.empty()) {
       for (int32_t i = 0; i < len; ++i) {
@@ -249,7 +572,15 @@ void P2mTable::MapRange(Pfn pfn, int64_t count, Mfn mfn) {
 void P2mTable::Remap(Pfn pfn, Mfn new_mfn) {
   CheckRange(pfn, 1);
   XNUMA_CHECK(new_mfn != kInvalidMfn);
-  Chunk& c = chunks_[pfn >> kChunkShift];
+  if (sp_enabled_) {
+    // Retargeting one page breaks machine contiguity: shatter the covering
+    // superpage down to the 4K level (one order per pass).
+    while (SpEntryAt(pfn) != 0) {
+      SplitOneLevel(pfn);
+    }
+  }
+  XNUMA_CHECK(chunks_[pfn >> kChunkShift] != nullptr);
+  Chunk& c = *chunks_[pfn >> kChunkShift];
   const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
   if (!c.packed.empty()) {
     uint64_t& e = c.packed[off];
@@ -269,9 +600,10 @@ void P2mTable::Remap(Pfn pfn, Mfn new_mfn) {
 
 void P2mTable::set_observability(Observability* obs) {
   if (obs == nullptr) {
-    remap_count_ = remap_race_count_ = split_metric_ = nullptr;
+    remap_count_ = remap_race_count_ = split_metric_ = promote_metric_ = nullptr;
     tlb_hit_metric_ = tlb_miss_metric_ = nullptr;
     extent_gauge_ = nullptr;
+    order_gauges_[0] = order_gauges_[1] = order_gauges_[2] = nullptr;
     return;
   }
   MetricsRegistry& m = obs->metrics();
@@ -280,10 +612,24 @@ void P2mTable::set_observability(Observability* obs) {
   remap_race_count_ = m.RegisterCounter(
       "p2m.remap_races", "events", "P2M remaps lost to an (injected) commit race");
   split_metric_ = m.RegisterCounter(
-      "p2m.splits", "splits", "P2M extents split by a per-page mutation");
+      "p2m.splits", "splits",
+      "P2M splits: extents split by a per-page mutation plus superpages "
+      "shattered one order down");
+  promote_metric_ = m.RegisterCounter(
+      "p2m.promotions", "promotions",
+      "Aligned runs re-coalesced into a 2M/1G superpage entry");
   extent_gauge_ = m.RegisterGauge(
       "p2m.extents", "extents",
       "Live extents in the last-mutated P2M table (extent-mode chunks only)");
+  order_gauges_[0] = m.RegisterGauge(
+      "p2m.order_pages_4k", "pages",
+      "Pages mapped at 4K order in the last-mutated order-enabled P2M table");
+  order_gauges_[1] = m.RegisterGauge(
+      "p2m.order_pages_2m", "pages",
+      "Pages covered by 2M superpage entries in the last-mutated P2M table");
+  order_gauges_[2] = m.RegisterGauge(
+      "p2m.order_pages_1g", "pages",
+      "Pages covered by 1G superpage entries in the last-mutated P2M table");
   tlb_hit_metric_ = m.RegisterCounter(
       "tlb.hits", "lookups", "P2M run lookups served from the per-vCPU TLB");
   tlb_miss_metric_ = m.RegisterCounter(
@@ -307,7 +653,13 @@ bool P2mTable::TryRemap(Pfn pfn, Mfn new_mfn) {
 
 Mfn P2mTable::Unmap(Pfn pfn) {
   CheckRange(pfn, 1);
-  Chunk& c = chunks_[pfn >> kChunkShift];
+  if (sp_enabled_) {
+    while (SpEntryAt(pfn) != 0) {
+      SplitOneLevel(pfn);
+    }
+  }
+  XNUMA_CHECK(chunks_[pfn >> kChunkShift] != nullptr);
+  Chunk& c = *chunks_[pfn >> kChunkShift];
   const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
   Mfn old;
   if (!c.packed.empty()) {
@@ -365,54 +717,93 @@ void P2mTable::RemoveSpan(Chunk& c, int32_t off, int32_t len) {
   MaybePack(c);
 }
 
-void P2mTable::UnmapRange(Pfn pfn, int64_t count) {
-  CheckRange(pfn, count);
-  Pfn p = pfn;
-  while (p < pfn + count) {
-    const int64_t ci = p >> kChunkShift;
-    Chunk& c = chunks_[ci];
-    const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
-    const int32_t len = static_cast<int32_t>(
-        std::min<int64_t>(kChunkPages - off, pfn + count - p));
-    if (off == 0 && len == ChunkPages(ci)) {
-      // Whole chunk: verify full validity, then reset the representation.
-      if (!c.packed.empty()) {
-        for (int32_t i = 0; i < len; ++i) {
-          XNUMA_CHECK((c.packed[i] & 1) != 0);
-        }
-        if (reference_) {
-          std::fill(c.packed.begin(), c.packed.end(), 0);
-        } else {
-          c.packed.clear();
-          c.packed.shrink_to_fit();
-          --packed_chunk_count_;
-        }
-      } else {
-        int64_t covered = 0;
-        for (const Extent& e : c.extents) {
-          covered += e.count;
-        }
-        XNUMA_CHECK(covered == len);
-        extent_count_ -= static_cast<int64_t>(c.extents.size());
-        c.extents.clear();
-      }
-    } else if (!c.packed.empty()) {
+void P2mTable::UnmapChunkSpan(int64_t chunk_idx, int32_t off, int32_t len) {
+  XNUMA_CHECK(chunks_[chunk_idx] != nullptr);
+  Chunk& c = *chunks_[chunk_idx];
+  if (off == 0 && len == c.cpages) {
+    // Whole chunk: verify full validity, then reset the representation.
+    if (!c.packed.empty()) {
       for (int32_t i = 0; i < len; ++i) {
-        XNUMA_CHECK((c.packed[off + i] & 1) != 0);
-        c.packed[off + i] = 0;
+        XNUMA_CHECK((c.packed[i] & 1) != 0);
+      }
+      if (reference_) {
+        std::fill(c.packed.begin(), c.packed.end(), 0);
+      } else {
+        c.packed.clear();
+        c.packed.shrink_to_fit();
+        --packed_chunk_count_;
       }
     } else {
-      RemoveSpan(c, off, len);
+      int64_t covered = 0;
+      for (const Extent& e : c.extents) {
+        covered += e.count;
+      }
+      XNUMA_CHECK(covered == len);
+      extent_count_ -= static_cast<int64_t>(c.extents.size());
+      c.extents.clear();
+      c.extents.shrink_to_fit();
     }
-    valid_count_ -= len;
-    TouchChunk(c);
+  } else if (!c.packed.empty()) {
+    for (int32_t i = 0; i < len; ++i) {
+      XNUMA_CHECK((c.packed[off + i] & 1) != 0);
+      c.packed[off + i] = 0;
+    }
+  } else {
+    RemoveSpan(c, off, len);
+  }
+  valid_count_ -= len;
+  TouchChunk(c);
+}
+
+void P2mTable::UnmapRange(Pfn pfn, int64_t count) {
+  CheckRange(pfn, count);
+  const Pfn end = pfn + count;
+  Pfn p = pfn;
+  while (p < end) {
+    if (sp_enabled_) {
+      int level = -1;
+      if (SpEntryAt(p, &level) != 0) {
+        const SpLevel& s = sp_[level];
+        const Pfn sp_first = (p >> s.shift) << s.shift;
+        if (sp_first >= pfn && sp_first + s.span <= end) {
+          // The superpage lies wholly inside the range: drop it in place.
+          valid_count_ -= s.span;  // before RemoveSp so its gauge refresh is consistent
+          RemoveSp(level, sp_first);
+          p = sp_first + s.span;
+        } else {
+          // Partial overlap: shatter one order and reprocess.
+          SplitOneLevel(p);
+        }
+        continue;
+      }
+    }
+    int32_t len = static_cast<int32_t>(
+        std::min<int64_t>(kChunkPages - (p & (kChunkPages - 1)), end - p));
+    if (sp_enabled_) {
+      const Pfn sp_next = NextSuperpageStart(p, len);
+      len = static_cast<int32_t>(sp_next - p);
+    }
+    UnmapChunkSpan(p >> kChunkShift, static_cast<int32_t>(p & (kChunkPages - 1)),
+                   len);
     p += len;
   }
 }
 
 void P2mTable::WriteProtect(Pfn pfn) {
   CheckRange(pfn, 1);
-  Chunk& c = chunks_[pfn >> kChunkShift];
+  if (sp_enabled_) {
+    const uint64_t sp = SpEntryAt(pfn);
+    if (sp != 0) {
+      if ((sp & 2) == 0) {
+        return;  // already protected; no state change, no split
+      }
+      while (SpEntryAt(pfn) != 0) {
+        SplitOneLevel(pfn);
+      }
+    }
+  }
+  XNUMA_CHECK(chunks_[pfn >> kChunkShift] != nullptr);
+  Chunk& c = *chunks_[pfn >> kChunkShift];
   const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
   if (!c.packed.empty()) {
     uint64_t& e = c.packed[off];
@@ -434,7 +825,19 @@ void P2mTable::WriteProtect(Pfn pfn) {
 
 void P2mTable::WriteUnprotect(Pfn pfn) {
   CheckRange(pfn, 1);
-  Chunk& c = chunks_[pfn >> kChunkShift];
+  if (sp_enabled_) {
+    const uint64_t sp = SpEntryAt(pfn);
+    if (sp != 0) {
+      if ((sp & 2) != 0) {
+        return;  // already writable; no state change, no split
+      }
+      while (SpEntryAt(pfn) != 0) {
+        SplitOneLevel(pfn);
+      }
+    }
+  }
+  XNUMA_CHECK(chunks_[pfn >> kChunkShift] != nullptr);
+  Chunk& c = *chunks_[pfn >> kChunkShift];
   const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
   if (!c.packed.empty()) {
     uint64_t& e = c.packed[off];
@@ -520,12 +923,36 @@ void P2mTable::SetWritableSpan(Chunk& c, int32_t off, int32_t len, bool writable
 
 void P2mTable::WriteProtectRange(Pfn pfn, int64_t count) {
   CheckRange(pfn, count);
+  const Pfn end = pfn + count;
   Pfn p = pfn;
-  while (p < pfn + count) {
-    Chunk& c = chunks_[p >> kChunkShift];
+  while (p < end) {
+    if (sp_enabled_) {
+      int level = -1;
+      if (SpEntryAt(p, &level) != 0) {
+        SpLevel& s = sp_[level];
+        const Pfn sp_first = (p >> s.shift) << s.shift;
+        if (sp_first >= pfn && sp_first + s.span <= end) {
+          // Whole superpage inside the range: flip the bit in place.
+          uint64_t& e = s.entries[sp_first >> s.shift];
+          if ((e & 2) != 0) {
+            e &= ~uint64_t{2};
+            TouchSp();
+          }
+          p = sp_first + s.span;
+        } else {
+          SplitOneLevel(p);
+        }
+        continue;
+      }
+    }
+    XNUMA_CHECK(chunks_[p >> kChunkShift] != nullptr);
+    Chunk& c = *chunks_[p >> kChunkShift];
     const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
-    const int32_t len = static_cast<int32_t>(
-        std::min<int64_t>(kChunkPages - off, pfn + count - p));
+    int32_t len = static_cast<int32_t>(
+        std::min<int64_t>(kChunkPages - off, end - p));
+    if (sp_enabled_) {
+      len = static_cast<int32_t>(NextSuperpageStart(p, len) - p);
+    }
     SetWritableSpan(c, off, len, false);
     TouchChunk(c);
     p += len;
@@ -534,24 +961,141 @@ void P2mTable::WriteProtectRange(Pfn pfn, int64_t count) {
 
 void P2mTable::WriteUnprotectRange(Pfn pfn, int64_t count) {
   CheckRange(pfn, count);
+  const Pfn end = pfn + count;
   Pfn p = pfn;
-  while (p < pfn + count) {
-    Chunk& c = chunks_[p >> kChunkShift];
+  while (p < end) {
+    if (sp_enabled_) {
+      int level = -1;
+      if (SpEntryAt(p, &level) != 0) {
+        SpLevel& s = sp_[level];
+        const Pfn sp_first = (p >> s.shift) << s.shift;
+        if (sp_first >= pfn && sp_first + s.span <= end) {
+          uint64_t& e = s.entries[sp_first >> s.shift];
+          if ((e & 2) == 0) {
+            e |= 2;
+            TouchSp();
+          }
+          p = sp_first + s.span;
+        } else {
+          SplitOneLevel(p);
+        }
+        continue;
+      }
+    }
+    XNUMA_CHECK(chunks_[p >> kChunkShift] != nullptr);
+    Chunk& c = *chunks_[p >> kChunkShift];
     const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
-    const int32_t len = static_cast<int32_t>(
-        std::min<int64_t>(kChunkPages - off, pfn + count - p));
+    int32_t len = static_cast<int32_t>(
+        std::min<int64_t>(kChunkPages - off, end - p));
+    if (sp_enabled_) {
+      len = static_cast<int32_t>(NextSuperpageStart(p, len) - p);
+    }
     SetWritableSpan(c, off, len, true);
     TouchChunk(c);
     p += len;
   }
 }
 
-P2mTable::Run P2mTable::ComputeRun(int64_t chunk_idx, Pfn pfn) const {
-  const Chunk& c = chunks_[chunk_idx];
+// ---- Promotion -----------------------------------------------------------
+
+bool P2mTable::TryPromote(Pfn first, PageOrder order) {
+  if (!sp_enabled_) {
+    return false;
+  }
+  const int level = order == PageOrder::k1G ? 1 : (order == PageOrder::k2M ? 0 : -1);
+  if (level < 0 || sp_[level].span == 0) {
+    return false;
+  }
+  const SpLevel& s = sp_[level];
+  if (first < 0 || (first & (s.span - 1)) != 0 || first + s.span > num_pages_) {
+    return false;
+  }
+  if (!s.entries.empty() && (s.entries[first >> s.shift] & 1) != 0) {
+    return false;  // already a superpage of this order
+  }
+  if (level == 0 && sp_[1].span > 0 && !sp_[1].entries.empty() &&
+      (sp_[1].entries[first >> sp_[1].shift] & 1) != 0) {
+    return false;  // covered by a larger order
+  }
+  // Verify: the whole span must be valid, machine-contiguous from the base,
+  // and uniformly writable/read-only. Machine alignment of the base mfn is
+  // deliberately NOT required (MODEL.md §14).
+  Mfn base_mfn = kInvalidMfn;
+  bool writable = false;
+  int8_t kind = 0;
+  int64_t id = 0;
+  Pfn p = first;
+  while (p < first + s.span) {
+    const Run r = ResolveRun(p, &kind, &id);
+    if (!r.valid) {
+      return false;
+    }
+    const Mfn mfn_at_p = r.mfn + (p - r.first);
+    if (p == first) {
+      base_mfn = mfn_at_p;
+      writable = r.writable;
+    } else if (r.writable != writable || mfn_at_p != base_mfn + (p - first)) {
+      return false;
+    }
+    p = std::min(r.first + r.count, first + s.span);
+  }
+  // Commit: remove every constituent mapping (a pure representation
+  // deletion — the pages stay logically mapped), then install the
+  // superpage entry. Net valid_count_ is unchanged.
+  p = first;
+  while (p < first + s.span) {
+    const Run r = ResolveRun(p, &kind, &id);
+    const Pfn take_end = std::min(r.first + r.count, first + s.span);
+    if (kind >= 1) {
+      RemoveSp(kind - 1, r.first);
+    } else {
+      Chunk& c = *chunks_[id];
+      const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
+      const int32_t len = static_cast<int32_t>(take_end - p);
+      if (!c.packed.empty()) {
+        for (int32_t i = 0; i < len; ++i) {
+          c.packed[off + i] = 0;
+        }
+        bool any = false;
+        for (const uint64_t e : c.packed) {
+          if (e != 0) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) {
+          c.packed.clear();
+          c.packed.shrink_to_fit();
+          --packed_chunk_count_;
+        }
+      } else {
+        RemoveSpan(c, off, len);
+      }
+      TouchChunk(c);
+      MaybeShrink(c);
+    }
+    p = take_end;
+  }
+  InstallSp(level, first, base_mfn, writable);
+  ++promotion_count_;
+  if (promote_metric_ != nullptr) {
+    promote_metric_->Increment();
+  }
+  return true;
+}
+
+// ---- Run lookup ----------------------------------------------------------
+
+P2mTable::Run P2mTable::ComputeChunkRun(int64_t chunk_idx, Pfn pfn) const {
+  const Chunk* cp = chunks_[chunk_idx].get();
   const Pfn base = chunk_idx << kChunkShift;
   const int32_t off = static_cast<int32_t>(pfn - base);
   const int32_t cpages = static_cast<int32_t>(ChunkPages(chunk_idx));
   Run r;
+  if (cp == nullptr) {
+    return Run{base, cpages, kInvalidMfn, false, false};
+  }
+  const Chunk& c = *cp;
   if (!c.packed.empty()) {
     const uint64_t e = c.packed[off];
     int32_t lo = off;
@@ -594,20 +1138,104 @@ P2mTable::Run P2mTable::ComputeRun(int64_t chunk_idx, Pfn pfn) const {
   return r;
 }
 
+void P2mTable::ClipInvalidRun(Pfn pfn, Run* r) const {
+  // A superpage install does not touch the chunks beneath it, so a
+  // chunk-derived invalid run may span pages a superpage actually maps.
+  // Shrink it to the superpage-free window around pfn. (Valid chunk runs
+  // can never overlap a superpage — CheckSpanInvalid guards installs.)
+  Pfn lo = r->first;
+  Pfn hi = r->first + r->count;
+  for (int l = 0; l < kNumSpLevels; ++l) {
+    const SpLevel& s = sp_[l];
+    if (s.span == 0 || s.present == 0) {
+      continue;
+    }
+    for (Pfn q = ((pfn >> s.shift) + 1) << s.shift; q < hi; q += s.span) {
+      if ((s.entries[q >> s.shift] & 1) != 0) {
+        hi = q;
+        break;
+      }
+    }
+    Pfn q = (pfn >> s.shift) << s.shift;
+    while (q > 0 && q > lo) {
+      q -= s.span;
+      if (q + s.span <= lo) {
+        break;
+      }
+      if ((s.entries[q >> s.shift] & 1) != 0) {
+        lo = q + s.span;
+        break;
+      }
+    }
+  }
+  r->first = lo;
+  r->count = hi - lo;
+}
+
+P2mTable::Run P2mTable::ResolveRun(Pfn pfn, int8_t* kind, int64_t* id) const {
+  if (sp_enabled_) {
+    for (int l = kNumSpLevels - 1; l >= 0; --l) {
+      const SpLevel& s = sp_[l];
+      if (s.span == 0 || s.present == 0) {
+        continue;
+      }
+      const int64_t slot = pfn >> s.shift;
+      const uint64_t e = s.entries[slot];
+      if ((e & 1) != 0) {
+        *kind = static_cast<int8_t>(l + 1);
+        *id = slot;
+        return Run{slot << s.shift, s.span, static_cast<Mfn>(e >> 2), true,
+                   (e & 2) != 0};
+      }
+    }
+  }
+  const int64_t ci = pfn >> kChunkShift;
+  *kind = 0;
+  *id = ci;
+  Run r = ComputeChunkRun(ci, pfn);
+  if (sp_enabled_ && !r.valid) {
+    ClipInvalidRun(pfn, &r);
+  }
+  return r;
+}
+
 P2mTable::Run P2mTable::LookupRun(Pfn pfn, int32_t vcpu) const {
   CheckRange(pfn, 1);
   const int64_t ci = pfn >> kChunkShift;
   if (reference_) {
-    return ComputeRun(ci, pfn);  // reference tables bypass the TLB
+    return ComputeChunkRun(ci, pfn);  // reference tables bypass the TLB
   }
-  const Chunk& c = chunks_[ci];
   // Callers may pass a pCPU id rather than a vCPU index; fold it onto the
   // configured contexts so co-scheduled lookups still get distinct sets.
   const int ctx = vcpu >= 0 ? static_cast<int>(vcpu % tlb_contexts_) : 0;
-  TlbEntry& t =
-      tlb_[static_cast<size_t>(ctx) * kTlbSets + (ci & (kTlbSets - 1))];
-  if (t.chunk == ci && t.gen == c.gen && t.epoch == tlb_epoch_ &&
-      pfn >= t.run.first && pfn < t.run.first + t.run.count) {
+  TlbEntry* set_base = &tlb_[static_cast<size_t>(ctx) * kTlbSets];
+  if (sp_enabled_) {
+    // A superpage run lives in the set its slot index hashes to; probe the
+    // candidate set of each enabled order before the chunk set.
+    for (int l = kNumSpLevels - 1; l >= 0; --l) {
+      const SpLevel& s = sp_[l];
+      if (s.span == 0) {
+        continue;
+      }
+      const int64_t slot = pfn >> s.shift;
+      const TlbEntry& t = set_base[slot & (kTlbSets - 1)];
+      if (t.kind == l + 1 && t.id == slot && t.gen == sp_gen_ &&
+          t.epoch == tlb_epoch_ && pfn >= t.run.first &&
+          pfn < t.run.first + t.run.count) {
+        ++tlb_hits_;
+        if (tlb_hit_metric_ != nullptr) {
+          tlb_hit_metric_->Increment();
+        }
+        return t.run;
+      }
+    }
+  }
+  const Chunk* c = chunks_[ci].get();
+  const uint32_t chunk_gen = c != nullptr ? c->gen : 0;
+  TlbEntry& t = set_base[ci & (kTlbSets - 1)];
+  if (t.kind == 0 && t.id == ci && t.gen == chunk_gen && t.sp_gen == sp_gen_ &&
+      t.epoch == tlb_epoch_ && pfn >= t.run.first &&
+      pfn < t.run.first + t.run.count) {
     ++tlb_hits_;
     if (tlb_hit_metric_ != nullptr) {
       tlb_hit_metric_->Increment();
@@ -618,11 +1246,17 @@ P2mTable::Run P2mTable::LookupRun(Pfn pfn, int32_t vcpu) const {
   if (tlb_miss_metric_ != nullptr) {
     tlb_miss_metric_->Increment();
   }
-  t.chunk = ci;
-  t.gen = c.gen;
-  t.epoch = tlb_epoch_;
-  t.run = ComputeRun(ci, pfn);
-  return t.run;
+  int8_t kind = 0;
+  int64_t id = 0;
+  const Run run = ResolveRun(pfn, &kind, &id);
+  TlbEntry& victim = set_base[id & (kTlbSets - 1)];
+  victim.id = id;
+  victim.kind = kind;
+  victim.gen = kind == 0 ? chunk_gen : sp_gen_;
+  victim.sp_gen = sp_gen_;
+  victim.epoch = tlb_epoch_;
+  victim.run = run;
+  return run;
 }
 
 void P2mTable::ConfigureTlb(int num_vcpus) {
@@ -632,23 +1266,99 @@ void P2mTable::ConfigureTlb(int num_vcpus) {
 
 void P2mTable::InvalidateTlb() const {
   // Entries from older epochs fail the epoch compare; a wrap after 2^32
-  // epochs can only re-admit an entry whose chunk generation still matches,
+  // epochs can only re-admit an entry whose generation stamp still matches,
   // which is by definition still coherent.
   ++tlb_epoch_;
 }
 
+// ---- Accounting ----------------------------------------------------------
+
 int64_t P2mTable::MemoryBytes() const {
   int64_t bytes = static_cast<int64_t>(sizeof(*this));
-  bytes += static_cast<int64_t>(chunks_.capacity() * sizeof(Chunk));
-  for (const Chunk& c : chunks_) {
-    bytes += static_cast<int64_t>(c.extents.capacity() * sizeof(Extent));
-    bytes += static_cast<int64_t>(c.packed.capacity() * sizeof(uint64_t));
+  bytes += static_cast<int64_t>(chunks_.capacity() * sizeof(chunks_[0]));
+  for (const std::unique_ptr<Chunk>& cp : chunks_) {
+    if (cp == nullptr) {
+      continue;
+    }
+    bytes += static_cast<int64_t>(sizeof(Chunk));
+    bytes += static_cast<int64_t>(cp->extents.capacity() * sizeof(Extent));
+    bytes += static_cast<int64_t>(cp->packed.capacity() * sizeof(uint64_t));
+  }
+  for (int l = 0; l < kNumSpLevels; ++l) {
+    bytes += static_cast<int64_t>(sp_[l].entries.capacity() * sizeof(uint64_t));
   }
   return bytes;
 }
 
 int64_t P2mTable::TlbBytes() const {
   return static_cast<int64_t>(tlb_.capacity() * sizeof(TlbEntry));
+}
+
+void P2mTable::AuditCounters() const {
+  int64_t valid = 0;
+  int64_t extents = 0;
+  int64_t packed_chunks = 0;
+  for (int64_t ci = 0; ci < static_cast<int64_t>(chunks_.size()); ++ci) {
+    const Chunk* cp = chunks_[ci].get();
+    if (cp == nullptr) {
+      continue;
+    }
+    const Chunk& c = *cp;
+    XNUMA_CHECK(c.cpages == static_cast<int32_t>(ChunkPages(ci)));
+    if (!c.packed.empty()) {
+      XNUMA_CHECK(c.extents.empty());
+      XNUMA_CHECK(static_cast<int64_t>(c.packed.size()) == c.cpages);
+      ++packed_chunks;
+      for (const uint64_t e : c.packed) {
+        if ((e & 1) != 0) {
+          ++valid;
+        }
+      }
+    } else {
+      int32_t prev_end = 0;
+      for (const Extent& e : c.extents) {
+        XNUMA_CHECK(e.count > 0);
+        XNUMA_CHECK(e.first >= prev_end);
+        XNUMA_CHECK(e.end() <= c.cpages);
+        prev_end = e.end();
+        valid += e.count;
+        ++extents;
+      }
+    }
+  }
+  for (int l = 0; l < kNumSpLevels; ++l) {
+    const SpLevel& s = sp_[l];
+    if (s.span == 0) {
+      continue;
+    }
+    int64_t present = 0;
+    for (int64_t slot = 0; slot < static_cast<int64_t>(s.entries.size()); ++slot) {
+      if ((s.entries[slot] & 1) == 0) {
+        continue;
+      }
+      ++present;
+      const Pfn first = slot << s.shift;
+      XNUMA_CHECK(first + s.span <= num_pages_);
+      // No chunk-level mapping — and no smaller superpage — may overlap a
+      // live superpage.
+      if (l == 1 && sp_[0].span > 0 && sp_[0].present > 0) {
+        for (Pfn p = first; p < first + s.span; p += sp_[0].span) {
+          XNUMA_CHECK((sp_[0].entries[p >> sp_[0].shift] & 1) == 0);
+        }
+      }
+      Pfn p = first;
+      while (p < first + s.span) {
+        const Run r = ComputeChunkRun(p >> kChunkShift, p);
+        XNUMA_CHECK(!r.valid);
+        p = r.first + r.count;
+      }
+      valid += s.span;
+    }
+    XNUMA_CHECK(present == s.present);
+  }
+  XNUMA_CHECK(valid == valid_count_);
+  XNUMA_CHECK(extents == extent_count_);
+  XNUMA_CHECK(packed_chunks == packed_chunk_count_);
 }
 
 }  // namespace xnuma

@@ -8,25 +8,44 @@
 // traps stores only — the mechanism behind safe page migration (§4.1).
 //
 // Representation. Xen maps memory in superpage extents (§3.3), and so does
-// this table: the pfn space is divided into 512-page chunks, and each chunk
-// is stored either as a sorted vector of extents — runs of contiguous
-// (pfn, mfn) mappings sharing one writable bit, split and merged by the
-// per-page mutators — or, once per-page churn has shredded the runs past
-// kPackThreshold extents, as packed 8-byte entries with the valid/writable
-// flags folded into the spare low bits of the Mfn. Extents never cross a
-// chunk boundary, so every mutation touches exactly one chunk.
+// this table, at two layers:
+//
+// * **Page-order hierarchy** (docs/MODEL.md §14). A table configured with
+//   ConfigureOrders() carries first-class 2M/1G superpage entries in two
+//   direct-indexed arrays, one packed word per aligned slot. A superpage
+//   covers its whole span with one entry: MapRange carves aligned,
+//   machine-contiguous spans into the largest order that fits; per-page
+//   mutations (Unmap/Remap/WriteProtect — the migration write path) split
+//   the covering superpage lazily into the next order down, shattering only
+//   the sub-block actually touched; TryPromote() re-coalesces a uniformly
+//   mapped aligned span back up (the background promotion daemon's entry
+//   point, src/hv/promotion.h). Whole-span range operations (protect/unmap)
+//   act on superpage entries in place, without splitting. The default —
+//   max order 4K — disables the hierarchy entirely and is bit-identical to
+//   a table without it.
+// * **Extent-compressed 4K level**. The pfn space is divided into 512-page
+//   chunks, allocated lazily (a chunk fully covered by superpages costs one
+//   null pointer), and each chunk is stored either as a sorted vector of
+//   extents — runs of contiguous (pfn, mfn) mappings sharing one writable
+//   bit, split and merged by the per-page mutators — or, once per-page churn
+//   has shredded the runs past kPackThreshold extents, as packed 8-byte
+//   entries with the valid/writable flags folded into the spare low bits of
+//   the Mfn. Extents never cross a chunk boundary.
 //
 // The per-page API (Map/Unmap/Lookup/...) is a thin compatibility shim over
-// the extent store; range operations (MapRange/UnmapRange/...) and the run
-// lookup (LookupRun) amortise one descent over whole extents. A small
-// direct-mapped per-vCPU TLB caches resolved runs in front of LookupRun;
-// entries are validated against a per-chunk generation stamp, so mutating
-// one chunk invalidates only the cached runs of that chunk.
+// this store; range operations (MapRange/UnmapRange/...) and the run lookup
+// (LookupRun) amortise one descent over whole extents. A small direct-mapped
+// per-vCPU TLB caches resolved runs in front of LookupRun; a cached chunk
+// run is validated against a per-chunk generation stamp, a cached superpage
+// run against the table-wide superpage generation, so one cache entry covers
+// a whole 2M/1G span and mutating one chunk invalidates only that chunk's
+// cached runs.
 
 #ifndef XENNUMA_SRC_HV_P2M_H_
 #define XENNUMA_SRC_HV_P2M_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/types.h"
@@ -38,8 +57,9 @@ class P2mTable {
  public:
   // A maximal run of pages sharing one validity/writability state. For a
   // valid run, page `first + i` maps to `mfn + i`; for an invalid run, the
-  // whole run is unmapped and `mfn` is kInvalidMfn. Runs never cross a
-  // 512-page chunk boundary, so callers iterate:
+  // whole run is unmapped and `mfn` is kInvalidMfn. 4K-level runs never
+  // cross a 512-page chunk boundary; a superpage run covers its whole
+  // aligned 2M/1G span. Callers iterate:
   //   for (Pfn p = lo; p < hi; p += run.count) { run = LookupRun(p); ... }
   struct Run {
     Pfn first = kInvalidPfn;
@@ -53,6 +73,49 @@ class P2mTable {
 
   int64_t num_pages() const { return num_pages_; }
 
+  // ---- Page-order hierarchy ---------------------------------------------
+
+  // Enables first-class superpage orders up to `max_order`. Must be called
+  // before any page is mapped. `pages_per_2m` / `pages_per_1g` are the
+  // simulated-page spans of the two orders at the machine's frame scale
+  // (FrameAllocator::FramesPerOrder); an order whose span collapses to one
+  // page (or, for 1G, to the 2M span) is disabled — at the default
+  // 4 MiB/frame scale only the 1G order (256 pages) exists. The default
+  // max order k4K — and reference mode — leave the hierarchy off and the
+  // table bit-identical to the pre-order representation.
+  void ConfigureOrders(PageOrder max_order, int64_t pages_per_2m, int64_t pages_per_1g);
+  PageOrder max_order() const { return max_order_; }
+  // Span, in pages, of the given order at this table's configuration
+  // (1 for k4K and for disabled orders).
+  int64_t OrderSpan(PageOrder order) const;
+
+  // Pages currently mapped at the given order (the order histogram: k4K
+  // counts chunk-extent/packed pages, k2M/k1G count superpage coverage).
+  int64_t OrderPages(PageOrder order) const;
+  // Live superpage entries of the given order (0 for k4K).
+  int64_t SuperpageCount(PageOrder order) const;
+
+  // Re-coalesces the aligned `order`-sized span starting at `first` into one
+  // superpage entry. Succeeds only when the whole span is mapped
+  // machine-contiguously with one writable state and is not already covered
+  // by a superpage of this or a larger order. Pure representation change:
+  // every Lookup answers identically afterwards. Returns false (table
+  // unchanged) otherwise.
+  bool TryPromote(Pfn first, PageOrder order);
+
+  // Splits the superpage covering `pfn` (if any) one order down: a 1G entry
+  // becomes 2M children (or chunk extents when the 2M order is disabled), a
+  // 2M entry becomes chunk extents. Per-page mutators call this lazily, so
+  // only the sub-block actually touched ever shatters. No-op when `pfn` is
+  // not superpage-mapped. Pure representation change.
+  void SplitOneLevel(Pfn pfn);
+
+  int64_t promotion_count() const { return promotion_count_; }
+  // Superpage entries split one order down (demand splits + range splits).
+  int64_t superpage_split_count() const { return superpage_split_count_; }
+
+  // ---- Entry lookups ----------------------------------------------------
+
   bool IsValid(Pfn pfn) const { return (EntryAt(pfn) & 1) != 0; }
   bool IsWritable(Pfn pfn) const { return (EntryAt(pfn) & 3) == 3; }
   Mfn Lookup(Pfn pfn) const {
@@ -63,7 +126,8 @@ class P2mTable {
   // Resolves the maximal run containing `pfn` (see Run). `vcpu` selects the
   // per-vCPU TLB context (ids fold modulo the configured context count;
   // negative ids share context 0). The returned run is a snapshot: any
-  // mutation of its chunk invalidates it.
+  // mutation of its chunk (or, for superpage runs, any superpage mutation)
+  // invalidates it.
   Run LookupRun(Pfn pfn, int32_t vcpu = 0) const;
 
   // Installs a mapping; the entry must currently be invalid.
@@ -71,10 +135,12 @@ class P2mTable {
 
   // Maps `count` pages [pfn, pfn+count) to the contiguous machine frames
   // [mfn, mfn+count); every entry must currently be invalid. Equivalent to
-  // count Map() calls but inserts whole extents per chunk.
+  // count Map() calls but inserts whole extents per chunk and, when orders
+  // are enabled, carves aligned sub-spans into native 2M/1G superpages.
   void MapRange(Pfn pfn, int64_t count, Mfn mfn);
 
   // Atomically replaces the target of a valid entry (migration commit).
+  // Splits a covering superpage down to the 4K level first.
   void Remap(Pfn pfn, Mfn new_mfn);
 
   // Remap that can lose the commit race injected through the fault layer:
@@ -86,21 +152,24 @@ class P2mTable {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // Optional metrics (p2m.remaps, p2m.remap_races, p2m.extents, p2m.splits,
-  // tlb.hits, tlb.misses). nullptr detaches.
+  // p2m.promotions, p2m.order_pages_{4k,2m,1g}, tlb.hits, tlb.misses).
+  // nullptr detaches.
   void set_observability(Observability* obs);
 
   // Drops a valid mapping; returns the machine frame that backed it.
   Mfn Unmap(Pfn pfn);
 
   // Drops `count` valid mappings [pfn, pfn+count); every entry must
-  // currently be valid. Does not return the backing frames — rollback
-  // callers know the base from the matching MapRange.
+  // currently be valid. Superpages wholly inside the range are dropped in
+  // place; partial overlaps split first. Does not return the backing frames
+  // — rollback callers know the base from the matching MapRange.
   void UnmapRange(Pfn pfn, int64_t count);
 
   void WriteProtect(Pfn pfn);
   void WriteUnprotect(Pfn pfn);
 
   // Range forms of the protection flips; every entry must be valid.
+  // Superpages wholly inside the range flip in place without splitting.
   void WriteProtectRange(Pfn pfn, int64_t count);
   void WriteUnprotectRange(Pfn pfn, int64_t count);
 
@@ -115,8 +184,8 @@ class P2mTable {
 
   // Drops every cached run in every context (O(1): bumps the epoch stamp
   // entries must match). The engine calls this once per epoch to bound
-  // staleness; per-chunk generation stamps already handle correctness for
-  // intra-epoch mutations.
+  // staleness; per-chunk/superpage generation stamps already handle
+  // correctness for intra-epoch mutations.
   void InvalidateTlb() const;
 
   int64_t tlb_hits() const { return tlb_hits_; }
@@ -124,7 +193,8 @@ class P2mTable {
 
   // ---- Introspection ---------------------------------------------------
 
-  // Number of extents across all extent-mode chunks (packed chunks count 0).
+  // Number of extents across all extent-mode chunks (packed chunks and
+  // superpage entries count 0).
   int64_t extent_count() const { return extent_count_; }
   // Extents created by splitting an existing extent (Unmap/Remap/
   // WriteProtect landing mid-run).
@@ -132,20 +202,29 @@ class P2mTable {
   // Chunks currently in packed per-page representation.
   int64_t packed_chunk_count() const { return packed_chunk_count_; }
   // Approximate heap footprint of the mapping store (chunk headers +
-  // extent vectors + packed entries), for the sub-linear-growth evidence
-  // in the bench. The TLB is a fixed-size per-domain cache, reported
-  // separately so it does not drown small tables.
+  // extent vectors + packed entries + superpage arrays), for the
+  // sub-linear-growth evidence in the bench. The TLB is a fixed-size
+  // per-domain cache, reported separately so it does not drown small tables.
   int64_t MemoryBytes() const;
   int64_t TlbBytes() const;
+
+  // Recomputes every derived counter (valid_count, extent_count,
+  // packed_chunk_count, superpage presence, order histogram) from the raw
+  // representation and XNUMA_CHECKs each against the incrementally
+  // maintained value; also checks that no chunk-level mapping overlaps a
+  // superpage. O(table); tests call it directly and the promotion daemon
+  // calls it when XNUMA_P2M_AUDIT is set (the placement-cache audit
+  // pattern, XNUMA_VERIFY_PLACEMENT_CACHE).
+  void AuditCounters() const;
 
   // ---- Reference mode --------------------------------------------------
 
   // Forces tables constructed afterwards into the per-page reference
   // representation: every chunk packed from birth, no extent compression,
-  // TLB bypassed. The differential test runs each policy under both
-  // representations and requires bit-identical results. Compiling with
-  // -DXNUMA_P2M_REFERENCE (CMake option XNUMA_P2M_REFERENCE) makes this the
-  // process default.
+  // no superpage orders, TLB bypassed. The differential test runs each
+  // policy under both representations and requires bit-identical results.
+  // Compiling with -DXNUMA_P2M_REFERENCE (CMake option XNUMA_P2M_REFERENCE)
+  // makes this the process default.
   static void SetReferenceModeForTest(bool on);
   bool reference_mode() const { return reference_; }
 
@@ -179,11 +258,32 @@ class P2mTable {
     std::vector<uint64_t> packed;
     // Bumped on every mutation; TLB entries snapshot it.
     uint32_t gen = 0;
+    // Pages this chunk spans (kChunkPages except a trailing partial chunk).
+    int32_t cpages = 0;
   };
 
+  // One superpage order: a direct-indexed array of packed words,
+  // (mfn << 2) | (writable << 1) | present, 0 == no superpage here. Index i
+  // covers pages [i << shift, (i + 1) << shift).
+  struct SpLevel {
+    int64_t span = 0;  // pages per superpage; 0 = order disabled
+    int shift = 0;
+    std::vector<uint64_t> entries;
+    int64_t present = 0;
+  };
+  static constexpr int kNumSpLevels = 2;  // [0] = 2M, [1] = 1G
+
   struct TlbEntry {
-    int64_t chunk = -1;
+    // Chunk index for a 4K-level run, superpage slot index for a superpage
+    // run; `kind` (0 = chunk, 1 = 2M, 2 = 1G) disambiguates the namespaces.
+    int64_t id = -1;
+    int8_t kind = 0;
+    // Chunk generation for 4K runs, superpage generation for superpage runs.
     uint32_t gen = 0;
+    // Superpage generation snapshot for 4K runs: a superpage installed over
+    // a cached invalid chunk run must invalidate it even though no chunk
+    // was touched. Always 0 == 0 while orders are off.
+    uint32_t sp_gen = 0;
     uint32_t epoch = 0;
     Run run;
   };
@@ -194,6 +294,10 @@ class P2mTable {
 
   void CheckRange(Pfn pfn, int64_t count) const;
   uint64_t EntryAt(Pfn pfn) const;
+  // Superpage entry covering `pfn` adjusted to the page (0 when none);
+  // `level` receives the covering order's level index.
+  uint64_t SpEntryAt(Pfn pfn, int* level = nullptr) const;
+  Chunk& EnsureChunk(int64_t chunk_idx);
   // Number of extents whose `first` is <= off (binary search).
   static int LowerPos(const Chunk& c, int32_t off);
   // Index of the extent containing `off`, or -1.
@@ -210,22 +314,65 @@ class P2mTable {
   int TryMergeAt(Chunk& c, int idx);
   // Removes the fully-valid span [off, off+len) from an extent-mode chunk.
   void RemoveSpan(Chunk& c, int32_t off, int32_t len);
+  // Unmaps the fully-valid span [off, off+len) of one chunk (whole-chunk
+  // resets drop the representation entirely); adjusts valid_count_.
+  void UnmapChunkSpan(int64_t chunk_idx, int32_t off, int32_t len);
   // Flips the writable bit on the fully-valid span [off, off+len).
   void SetWritableSpan(Chunk& c, int32_t off, int32_t len, bool writable);
   // Converts the chunk to packed per-page entries.
   void PackChunk(Chunk& c);
   void MaybePack(Chunk& c);
+  // Releases the heap of a chunk that promotion emptied, so MemoryBytes()
+  // stays consistent across split/promote cycles.
+  void MaybeShrink(Chunk& c);
   void TouchChunk(Chunk& c);
+  // Bumps the superpage generation (invalidating every cached run) and
+  // refreshes the order-histogram gauges.
+  void TouchSp();
   int64_t ChunkPages(int64_t chunk_idx) const;
-  Run ComputeRun(int64_t chunk_idx, Pfn pfn) const;
+  Run ComputeChunkRun(int64_t chunk_idx, Pfn pfn) const;
+  // Shrinks an invalid chunk run so it does not overlap superpage coverage
+  // (superpage installs do not touch chunk state, so chunk-derived invalid
+  // runs may span pages a superpage maps).
+  void ClipInvalidRun(Pfn pfn, Run* r) const;
+  // Resolves a run without the TLB; reports which store produced it
+  // (kind 0 = chunk, 1/2 = superpage level) and the store index.
+  Run ResolveRun(Pfn pfn, int8_t* kind, int64_t* id) const;
+  // XNUMA_CHECKs that [first, first+count) is wholly invalid (chunks and
+  // superpages). Costs one run walk, not one check per page.
+  void CheckSpanInvalid(Pfn first, int64_t count) const;
+  // Allocates a level's slot array on first install; a level nothing maps
+  // at stays an empty vector, which every read path treats as all-absent.
+  void EnsureSpEntries(SpLevel& s);
+  // Installs a superpage entry; the span must be invalid. Adjusts no page
+  // counters (callers own valid_count_).
+  void InstallSp(int level, Pfn first, Mfn mfn, bool writable);
+  // Drops a superpage entry; returns its packed word. Adjusts no counters
+  // beyond presence.
+  uint64_t RemoveSp(int level, Pfn first);
+  // Materialises [first, first+count) -> mfn as chunk extents (split
+  // fallout). valid_count_ is untouched: the pages stay mapped throughout.
+  void MaterializeSpan(Pfn first, int64_t count, Mfn mfn, bool writable);
+  // First pfn in [first, first+count) covered by a present superpage, or
+  // first+count when none — clips chunk-level range walks.
+  Pfn NextSuperpageStart(Pfn first, int64_t count) const;
+  void RefreshOrderGauges();
 
   int64_t num_pages_ = 0;
-  std::vector<Chunk> chunks_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
   int64_t valid_count_ = 0;
   int64_t extent_count_ = 0;
   int64_t split_count_ = 0;
   int64_t packed_chunk_count_ = 0;
   bool reference_ = false;
+
+  // Page-order hierarchy state (all inert while sp_enabled_ is false).
+  bool sp_enabled_ = false;
+  PageOrder max_order_ = PageOrder::k4K;
+  SpLevel sp_[kNumSpLevels];
+  uint32_t sp_gen_ = 0;
+  int64_t promotion_count_ = 0;
+  int64_t superpage_split_count_ = 0;
 
   // The simulator drives each domain's table from one machine thread, so
   // the TLB and its stats may be mutable state behind const lookups.
@@ -239,7 +386,9 @@ class P2mTable {
   Counter* remap_count_ = nullptr;
   Counter* remap_race_count_ = nullptr;
   Counter* split_metric_ = nullptr;
+  Counter* promote_metric_ = nullptr;
   Gauge* extent_gauge_ = nullptr;
+  Gauge* order_gauges_[3] = {nullptr, nullptr, nullptr};  // 4K, 2M, 1G pages
   mutable Counter* tlb_hit_metric_ = nullptr;
   mutable Counter* tlb_miss_metric_ = nullptr;
 };

@@ -63,13 +63,17 @@ NodeId MapWithFallback(PlacementBackend& backend, Pfn pfn, NodeId preferred, int
 }
 
 std::unique_ptr<NumaPolicy> MakePolicy(StaticPolicy kind) {
+  return MakePolicy(kind, PolicyGeometry{});
+}
+
+std::unique_ptr<NumaPolicy> MakePolicy(StaticPolicy kind, const PolicyGeometry& geom) {
   switch (kind) {
     case StaticPolicy::kFirstTouch:
-      return std::make_unique<FirstTouchPolicy>();
+      return std::make_unique<FirstTouchPolicy>(geom.ft_fault_map_pages);
     case StaticPolicy::kRound4k:
       return std::make_unique<Round4kPolicy>();
     case StaticPolicy::kRound1g:
-      return std::make_unique<Round1gPolicy>();
+      return std::make_unique<Round1gPolicy>(geom.pages_per_1g, geom.pages_per_2m);
   }
   XNUMA_CHECK(false);
   return nullptr;

@@ -221,6 +221,12 @@ Engine::Engine(Hypervisor& hv, const LatencyModel& latency, EngineConfig config)
   // Install the fault plan before any placement work: eager policies map
   // pages at domain creation, and those paths must already see the plan.
   hv.fault_injector().Configure(config_.fault);
+  if (config_.p2m_promote) {
+    PromotionDaemon::Config pconfig;
+    pconfig.slots_per_epoch = config_.p2m_promote_slots;
+    pconfig.seed = config_.seed;
+    promotion_ = std::make_unique<PromotionDaemon>(hv, pconfig);
+  }
   const Topology& topo = hv.topology();
   const int nodes = topo.num_nodes();
   mc_util_.assign(nodes, 0.0);
@@ -1414,6 +1420,13 @@ RunResult Engine::Run() {
     }
     TickCarrefour(now);
     TickScheduler(now);
+    if (promotion_ != nullptr) {
+      // Heal superpages fragmented by this epoch's migrations. Positioned
+      // after the migration/Carrefour work so freshly uniform runs promote
+      // in the same epoch; the placement itself is unaffected (promotion is
+      // representation-only).
+      promotion_->Tick();
+    }
     RecordTrace(now);
     EmitEpochObservability(now);
     if (epoch_hook_) {

@@ -38,6 +38,7 @@
 #include "src/hv/hypervisor.h"
 #include "src/hv/io_model.h"
 #include "src/hv/ipi_model.h"
+#include "src/hv/promotion.h"
 #include "src/hv/scheduler.h"
 #include "src/numa/latency_model.h"
 #include "src/numa/perf_counters.h"
@@ -86,6 +87,14 @@ struct EngineConfig {
   // Lower bound on simulated pages per region so per-thread slices remain
   // meaningful for small-footprint applications.
   int64_t min_region_pages = 96;
+
+  // Background superpage promotion daemon (src/hv/promotion.h): one
+  // deterministic sweep per epoch over order-enabled domains, re-coalescing
+  // runs Carrefour/first-touch churn fragmented. Promotion is a pure P2M
+  // representation change, so results are bit-identical with it on or off;
+  // only `p2m.promotions` and the order-histogram metrics move.
+  bool p2m_promote = false;
+  int p2m_promote_slots = 32;
 
   CarrefourConfig carrefour;
   AutoSelectorConfig auto_selector;
@@ -260,6 +269,7 @@ class Engine : public PageAccessSource {
   std::unique_ptr<CarrefourSystemComponent> carrefour_system_;
   std::unique_ptr<CarrefourUserComponent> carrefour_user_;
   std::unique_ptr<AutoPolicySelector> auto_selector_;
+  std::unique_ptr<PromotionDaemon> promotion_;
 
   std::vector<std::unique_ptr<JobState>> jobs_;
 

@@ -1,0 +1,204 @@
+// Differential tests for the P2M page-order hierarchy: enabling 2M/1G
+// superpage orders — and running the background promotion daemon on top —
+// must be bit-identical to the plain extent store, for every placement
+// policy, clean and fault-armed.
+//
+// Three representation ladders run the same seeded simulation:
+//   base     — max order 4K: the hierarchy is configured off (the PR-5
+//              extent store, itself checked against the per-page reference
+//              in p2m_differential_test; re-checked here via `reference`).
+//   order    — max order 1G: aligned spans carve native superpage entries,
+//              migration/first-touch churn splits them on demand.
+//   promoted — order plus the promotion daemon ticking every epoch.
+// Superpages and promotion are pure representation changes, so every result
+// field must match across the ladder; only p2m.* metrics may move.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fault/fault.h"
+#include "src/guest/guest_os.h"
+#include "src/hv/hypervisor.h"
+#include "src/hv/p2m.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+#include "src/sim/engine.h"
+#include "src/workload/app_profile.h"
+
+namespace xnuma {
+namespace {
+
+class ScopedReferenceMode {
+ public:
+  explicit ScopedReferenceMode(bool on) { P2mTable::SetReferenceModeForTest(on); }
+  ~ScopedReferenceMode() { P2mTable::SetReferenceModeForTest(false); }
+};
+
+// Same churn profile as p2m_differential_test: a shared master-init region
+// (remapped by Carrefour) plus an owner-partitioned private region, with a
+// release rate high enough to split extents — and shatter superpages —
+// every epoch.
+AppProfile DiffChurnApp() {
+  AppProfile app;
+  app.name = "p2m-order-diff";
+  app.cpu_cycles_per_access = 150;
+  app.nominal_seconds = 0.5;
+  app.release_rate_per_s = 20000.0;
+  app.disk_read_mb = 64.0;
+  RegionSpec shared;
+  shared.name = "shared";
+  shared.footprint_mb = 512;
+  shared.init = AllocPattern::kMasterInit;
+  shared.access_share = 0.6;
+  shared.hot_fraction = 0.25;
+  shared.hot_share = 0.8;
+  app.regions.push_back(shared);
+  RegionSpec priv;
+  priv.name = "private";
+  priv.footprint_mb = 256;
+  priv.init = AllocPattern::kOwnerPartitioned;
+  priv.access_share = 0.4;
+  priv.owner_affinity = 0.9;
+  app.regions.push_back(priv);
+  return app;
+}
+
+struct DiffCase {
+  const char* label;
+  StaticPolicy placement;
+  bool carrefour;
+  double fault_rate;  // 0 = fault layer off; >0 = uniform chaos plan
+};
+
+class P2mOrderDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+struct DiffOutcome {
+  JobResult job;
+  FaultStats faults;
+  int64_t guest_minor_faults = 0;
+  int64_t guest_releases = 0;
+  // Representation-side diagnostics (allowed to differ across the ladder).
+  int64_t order_pages_1g = 0;
+  int64_t superpage_splits = 0;
+};
+
+DiffOutcome RunOnce(const AppProfile& app, const DiffCase& dc, PageOrder max_order,
+                    bool promote, bool reference = false) {
+  ScopedReferenceMode mode(reference);
+  EngineConfig ec;
+  ec.seed = 21;
+  ec.max_sim_seconds = 20.0;
+  ec.p2m_promote = promote;
+  if (dc.fault_rate > 0.0) {
+    ec.fault = FaultPlan::Uniform(/*seed=*/99, dc.fault_rate);
+  }
+
+  Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  LatencyModel latency;
+  DomainConfig cfg;
+  cfg.name = "dom";
+  cfg.num_vcpus = 12;
+  cfg.memory_pages = 4096;
+  for (int i = 0; i < 12; ++i) {
+    cfg.pinned_cpus.push_back(i);
+  }
+  cfg.policy.placement = dc.placement;
+  cfg.policy.carrefour = dc.carrefour;
+  cfg.p2m_max_order = max_order;
+  const DomainId dom = hv.CreateDomain(cfg);
+  // At the default 4 MiB frame scale the 1G order spans 256 pages; the 2M
+  // order collapses and k1G is the effective maximum.
+  EXPECT_EQ(hv.domain(dom).p2m().max_order(),
+            reference ? PageOrder::k4K : max_order);
+  GuestOs guest(hv, dom);
+  Engine engine(hv, latency, ec);
+  JobSpec spec;
+  spec.app = &app;
+  spec.domain = dom;
+  spec.guest = &guest;
+  spec.threads = 12;
+  spec.vcpu_migration_period_s = 0.2;
+  engine.AddJob(spec);
+  const RunResult r = engine.Run();
+
+  DiffOutcome out;
+  out.job = r.jobs.back();
+  out.faults = r.faults;
+  out.guest_minor_faults = guest.stats().guest_minor_faults;
+  out.guest_releases = guest.stats().releases;
+  out.order_pages_1g = hv.domain(dom).p2m().OrderPages(PageOrder::k1G);
+  out.superpage_splits = hv.domain(dom).p2m().superpage_split_count();
+  hv.domain(dom).p2m().AuditCounters();
+  return out;
+}
+
+void ExpectSameOutcome(const DiffOutcome& a, const DiffOutcome& b) {
+  EXPECT_TRUE(a.job.finished);
+  EXPECT_TRUE(b.job.finished);
+  EXPECT_EQ(a.job.completion_seconds, b.job.completion_seconds);
+  EXPECT_EQ(a.job.init_seconds, b.job.init_seconds);
+  EXPECT_EQ(a.job.compute_seconds, b.job.compute_seconds);
+  EXPECT_EQ(a.job.imbalance_pct, b.job.imbalance_pct);
+  EXPECT_EQ(a.job.interconnect_pct, b.job.interconnect_pct);
+  EXPECT_EQ(a.job.avg_mc_util_pct, b.job.avg_mc_util_pct);
+  EXPECT_EQ(a.job.avg_latency_cycles, b.job.avg_latency_cycles);
+  EXPECT_EQ(a.job.observed_disk_mb_per_s, b.job.observed_disk_mb_per_s);
+  EXPECT_EQ(a.job.hv_page_faults, b.job.hv_page_faults);
+  EXPECT_EQ(a.job.carrefour_migrations, b.job.carrefour_migrations);
+  EXPECT_EQ(a.job.faults_injected, b.job.faults_injected);
+  EXPECT_EQ(a.job.faults_recovered, b.job.faults_recovered);
+  EXPECT_EQ(a.job.faults_aborted, b.job.faults_aborted);
+  EXPECT_EQ(a.guest_minor_faults, b.guest_minor_faults);
+  EXPECT_EQ(a.guest_releases, b.guest_releases);
+  for (int site = 0; site < kNumFaultSites; ++site) {
+    EXPECT_EQ(a.faults.injected[site], b.faults.injected[site]) << "site " << site;
+    EXPECT_EQ(a.faults.recovered[site], b.faults.recovered[site]) << "site " << site;
+    EXPECT_EQ(a.faults.aborted[site], b.faults.aborted[site]) << "site " << site;
+  }
+}
+
+TEST_P(P2mOrderDifferentialTest, OrderLadderIsBitIdentical) {
+  const DiffCase dc = GetParam();
+  const AppProfile app = DiffChurnApp();
+
+  const DiffOutcome base = RunOnce(app, dc, PageOrder::k4K, /*promote=*/false);
+  const DiffOutcome ref =
+      RunOnce(app, dc, PageOrder::k4K, /*promote=*/false, /*reference=*/true);
+  const DiffOutcome order = RunOnce(app, dc, PageOrder::k1G, /*promote=*/false);
+  const DiffOutcome promoted = RunOnce(app, dc, PageOrder::k1G, /*promote=*/true);
+
+  // Order-4K ≡ the PR-5 per-page reference baseline.
+  ExpectSameOutcome(base, ref);
+  // Order-1G ≡ order-4K: superpages are a pure representation change.
+  ExpectSameOutcome(order, base);
+  // Daemon on ≡ daemon off: promotion never changes what a lookup answers.
+  ExpectSameOutcome(promoted, order);
+
+  // The ladder must actually exercise the hierarchy: round-1G places whole
+  // aligned regions, so clean runs end with native 1G coverage.
+  EXPECT_EQ(base.order_pages_1g, 0);
+  EXPECT_EQ(base.superpage_splits, 0);
+  if (dc.placement == StaticPolicy::kRound1g && dc.fault_rate == 0.0) {
+    EXPECT_GT(order.order_pages_1g, 0);
+  }
+  if (dc.fault_rate > 0.0) {
+    EXPECT_GT(base.faults.TotalInjected(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, P2mOrderDifferentialTest,
+    ::testing::Values(DiffCase{"first_touch", StaticPolicy::kFirstTouch, false, 0.0},
+                      DiffCase{"round_4k", StaticPolicy::kRound4k, false, 0.0},
+                      DiffCase{"round_1g", StaticPolicy::kRound1g, false, 0.0},
+                      DiffCase{"first_touch_carrefour", StaticPolicy::kFirstTouch, true, 0.0},
+                      DiffCase{"first_touch_faults", StaticPolicy::kFirstTouch, false, 0.02},
+                      DiffCase{"round_1g_faults", StaticPolicy::kRound1g, false, 0.02}),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace
+}  // namespace xnuma

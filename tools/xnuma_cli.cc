@@ -36,6 +36,12 @@ int Usage() {
                "           --jobs N   (sweep: fan the policy matrix across N worker\n"
                "            threads; results are bit-identical to --jobs 1)\n"
                "           --fault_rate P --fault_seed N  (seeded chaos injection)\n"
+               "           --p2m_max_order 4k|2m|1g  (largest native P2M page\n"
+               "            order; 4k is the plain extent store)\n"
+               "           --p2m_promote  (background superpage promotion daemon;\n"
+               "            results are bit-identical, only p2m.* metrics move)\n"
+               "           --ft_superpage (first-touch maps whole aligned\n"
+               "            superpage blocks per fault; changes placement)\n"
                "           --metrics (print metrics: summary) --metrics-json FILE\n"
                "           --trace-json FILE  (Chrome trace_event JSON; open in\n"
                "            chrome://tracing or https://ui.perfetto.dev)\n"
@@ -81,7 +87,31 @@ RunOptions LoadOptions(const Flags& flags) {
   if (fault_rate > 0.0) {
     opts.engine.fault = FaultPlan::Uniform(fault_seed, fault_rate);
   }
+  opts.engine.p2m_promote = flags.GetBool("p2m_promote", false);
   return opts;
+}
+
+bool ParsePageOrder(const std::string& name, PageOrder* out) {
+  if (name == "4k" || name == "4K") {
+    *out = PageOrder::k4K;
+  } else if (name == "2m" || name == "2M") {
+    *out = PageOrder::k2M;
+  } else if (name == "1g" || name == "1G") {
+    *out = PageOrder::k1G;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+StackConfig WithP2mOptions(StackConfig stack, const Flags& flags) {
+  const std::string order = flags.GetString("p2m_max_order", "");
+  if (!order.empty() && !ParsePageOrder(order, &stack.p2m_max_order)) {
+    std::fprintf(stderr, "unknown page order '%s' (want 4k, 2m or 1g)\n", order.c_str());
+    std::exit(2);
+  }
+  stack.ft_superpage = flags.GetBool("ft_superpage", false);
+  return stack;
 }
 
 void PrintFaultSummary(const Flags& flags, const JobResult& r) {
@@ -104,13 +134,15 @@ StackConfig LoadStack(const Flags& flags) {
   }
   const bool carrefour = flags.GetBool("carrefour", false);
   if (stack == "linux") {
-    return LinuxStack({policy.empty() ? StaticPolicy::kFirstTouch : placement, carrefour});
+    return WithP2mOptions(
+        LinuxStack({policy.empty() ? StaticPolicy::kFirstTouch : placement, carrefour}),
+        flags);
   }
   if (stack == "xen") {
-    return XenStack();
+    return WithP2mOptions(XenStack(), flags);
   }
   if (stack == "xen+") {
-    return XenPlusStack({placement, carrefour});
+    return WithP2mOptions(XenPlusStack({placement, carrefour}), flags);
   }
   std::fprintf(stderr, "unknown stack '%s'\n", stack.c_str());
   std::exit(2);
@@ -187,7 +219,8 @@ int CmdRun(const Flags& flags) {
 int CmdSweep(const Flags& flags) {
   const AppProfile app = LoadApp(flags, "app");
   const std::string stack_name = flags.GetString("stack", "xen+");
-  const StackConfig base = stack_name == "linux" ? LinuxStack() : XenPlusStack();
+  const StackConfig base =
+      WithP2mOptions(stack_name == "linux" ? LinuxStack() : XenPlusStack(), flags);
   const auto candidates =
       stack_name == "linux" ? LinuxPolicyCandidates() : XenPolicyCandidates();
   const auto sweep = SweepPolicies(app, base, candidates, LoadOptions(flags));
@@ -216,7 +249,7 @@ int CmdPair(const Flags& flags) {
 
 int CmdAuto(const Flags& flags) {
   const AppProfile app = LoadApp(flags, "app");
-  const JobResult r = RunSingleApp(app, XenAutoStack(), LoadOptions(flags));
+  const JobResult r = RunSingleApp(app, WithP2mOptions(XenAutoStack(), flags), LoadOptions(flags));
   PrintResult(flags, "Xen+/auto", r);
   if (!flags.GetBool("csv", false)) {
     std::printf("final policy: %s after %d switches\n", ToString(r.final_policy),
