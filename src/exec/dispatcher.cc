@@ -1,0 +1,524 @@
+#include "src/exec/dispatcher.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+
+#include "src/common/check.h"
+#include "src/exec/run_outcome.h"
+#include "src/exec/worker_proto.h"
+
+namespace xnuma {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkerState {
+  pid_t pid = -1;
+  int to_fd = -1;    // parent -> worker stdin
+  int from_fd = -1;  // worker stdout -> parent
+  FrameDecoder decoder;
+  int slot = -1;  // slot in flight, -1 = idle
+  uint32_t attempt = 0;
+  Clock::time_point deadline{};
+  bool alive = false;
+};
+
+// Tallies committed into the registry after the join, single-threaded —
+// the same registry discipline as ParallelFor (docs/OBSERVABILITY.md).
+struct DispatchTally {
+  int64_t spawned = 0;
+  int64_t respawned = 0;
+  int64_t dispatches = 0;
+  int64_t retries = 0;
+  int64_t timeouts = 0;
+  int64_t duplicates = 0;
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t failed = 0;
+};
+
+bool WriteAllFd(int fd, const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // EPIPE: the worker died; the read side will notice
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string DescribeExit(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return std::string("killed by signal ") + std::to_string(WTERMSIG(status));
+  }
+  return "ended with wait status " + std::to_string(status);
+}
+
+class DispatchRun {
+ public:
+  DispatchRun(const Dispatcher::Options& options, const std::vector<RunSpec>& specs)
+      : options_(options), specs_(specs), outcomes_(specs.size()), committed_(specs.size(), 0),
+        attempts_(specs.size(), 0) {}
+
+  std::vector<RunOutcome> Run();
+  const DispatchTally& tally() const { return tally_; }
+
+ private:
+  void SpawnWorker(bool respawn);
+  void AssignWork();
+  void HandleFrames(WorkerState& worker);
+  void HandleWorkerFailure(WorkerState& worker, const std::string& reason);
+  void ReapWorker(WorkerState& worker, std::string* exit_text);
+  void CloseWorkerFds(WorkerState& worker);
+  void EnforceDeadlines();
+  int BusyWorkers() const;
+
+  const Dispatcher::Options& options_;
+  const std::vector<RunSpec>& specs_;
+  std::vector<RunOutcome> outcomes_;
+  std::vector<uint8_t> committed_;
+  std::vector<int> attempts_;  // dispatch attempts consumed per slot
+  std::deque<int> pending_;
+  std::vector<WorkerState> workers_;
+  size_t remaining_ = 0;  // slots not yet committed
+  DispatchTally tally_;
+};
+
+int DispatchRun::BusyWorkers() const {
+  int busy = 0;
+  for (const WorkerState& w : workers_) {
+    if (w.alive && w.slot >= 0) {
+      ++busy;
+    }
+  }
+  return busy;
+}
+
+void DispatchRun::SpawnWorker(bool respawn) {
+  int to_child[2];
+  int from_child[2];
+  // O_CLOEXEC on the parent-held ends is load-bearing: without it a later
+  // worker inherits this worker's pipe ends and the parent never sees EOF
+  // when this worker dies — crash detection would silently hang.
+  XNUMA_CHECK(::pipe2(to_child, O_CLOEXEC) == 0);
+  XNUMA_CHECK(::pipe2(from_child, O_CLOEXEC) == 0);
+
+  std::vector<std::string> argv_strings = options_.worker_argv;
+  if (argv_strings.empty()) {
+    argv_strings = {"/proc/self/exe", "--worker"};
+  }
+  if (options_.worker_chaos) {
+    argv_strings.push_back("--worker_chaos");
+    argv_strings.push_back(std::to_string(options_.worker_chaos_seed));
+  }
+
+  const pid_t pid = ::fork();
+  XNUMA_CHECK(pid >= 0);
+  if (pid == 0) {
+    // Child: wire the pipes to stdin/stdout (dup2 clears CLOEXEC) and exec.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    std::vector<char*> argv;
+    argv.reserve(argv_strings.size() + 1);
+    for (std::string& arg : argv_strings) {
+      argv.push_back(arg.data());
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "xnuma dispatcher: execv(%s) failed: %s\n", argv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  WorkerState worker;
+  worker.pid = pid;
+  worker.to_fd = to_child[1];
+  worker.from_fd = from_child[0];
+  worker.alive = true;
+  workers_.push_back(std::move(worker));
+  ++tally_.spawned;
+  if (respawn) {
+    ++tally_.respawned;
+  }
+}
+
+void DispatchRun::CloseWorkerFds(WorkerState& worker) {
+  if (worker.to_fd >= 0) {
+    ::close(worker.to_fd);
+    worker.to_fd = -1;
+  }
+  if (worker.from_fd >= 0) {
+    ::close(worker.from_fd);
+    worker.from_fd = -1;
+  }
+}
+
+void DispatchRun::ReapWorker(WorkerState& worker, std::string* exit_text) {
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(worker.pid, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  if (exit_text != nullptr) {
+    *exit_text = r == worker.pid ? DescribeExit(status) : "could not be reaped";
+  }
+  worker.alive = false;
+  CloseWorkerFds(worker);
+}
+
+void DispatchRun::HandleWorkerFailure(WorkerState& worker, const std::string& reason) {
+  const int slot = worker.slot;
+  worker.slot = -1;
+  if (slot < 0 || committed_[static_cast<size_t>(slot)]) {
+    return;  // idle worker died; no run was lost
+  }
+  if (attempts_[static_cast<size_t>(slot)] <= options_.retry_budget) {
+    ++tally_.retries;
+    pending_.push_back(slot);
+    return;
+  }
+  RunOutcome& out = outcomes_[static_cast<size_t>(slot)];
+  out.label = specs_[static_cast<size_t>(slot)].label;
+  out.ok = false;
+  out.error = "worker " + reason + " (attempt " +
+              std::to_string(attempts_[static_cast<size_t>(slot)]) + " of " +
+              std::to_string(options_.retry_budget + 1) + "; retry budget exhausted)";
+  committed_[static_cast<size_t>(slot)] = 1;
+  XNUMA_CHECK(remaining_ > 0);
+  --remaining_;
+}
+
+void DispatchRun::AssignWork() {
+  // Keep enough workers alive for the pending queue, then hand the lowest
+  // pending slot to each idle worker.
+  while (!pending_.empty()) {
+    int alive = 0;
+    for (const WorkerState& w : workers_) {
+      alive += w.alive ? 1 : 0;
+    }
+    const int procs = std::clamp(options_.procs, 1, kMaxDispatchProcs);
+    const int wanted = std::min(procs, BusyWorkers() + static_cast<int>(pending_.size()));
+    if (alive >= wanted) {
+      break;
+    }
+    SpawnWorker(/*respawn=*/tally_.spawned >= static_cast<int64_t>(wanted));
+  }
+  for (WorkerState& worker : workers_) {
+    if (pending_.empty()) {
+      break;
+    }
+    if (!worker.alive || worker.slot >= 0) {
+      continue;
+    }
+    const int slot = pending_.front();
+    pending_.pop_front();
+
+    WorkFrame work;
+    work.slot = static_cast<uint32_t>(slot);
+    work.attempt = static_cast<uint32_t>(attempts_[static_cast<size_t>(slot)]);
+    work.spec = specs_[static_cast<size_t>(slot)];
+    std::string error;
+    const std::vector<uint8_t> bytes = EncodeWork(work, &error);
+    if (bytes.empty()) {
+      // Unserializable spec (over-long label, NaN field): degrade exactly
+      // like a validation failure; never charge the retry budget.
+      RunOutcome& out = outcomes_[static_cast<size_t>(slot)];
+      out.label = specs_[static_cast<size_t>(slot)].label;
+      out.ok = false;
+      out.error = "spec cannot be serialized: " + error;
+      committed_[static_cast<size_t>(slot)] = 1;
+      XNUMA_CHECK(remaining_ > 0);
+      --remaining_;
+      continue;
+    }
+
+    worker.slot = slot;
+    worker.attempt = work.attempt;
+    worker.deadline = options_.deadline_seconds > 0.0
+                          ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                               std::chrono::duration<double>(
+                                                   options_.deadline_seconds))
+                          : Clock::time_point::max();
+    ++attempts_[static_cast<size_t>(slot)];
+    ++tally_.dispatches;
+    tally_.bytes_sent += static_cast<int64_t>(bytes.size());
+    if (!WriteAllFd(worker.to_fd, bytes)) {
+      // Write failed: the worker is already gone. The read side delivers
+      // EOF and routes this through the normal failure path next loop.
+    }
+  }
+}
+
+void DispatchRun::HandleFrames(WorkerState& worker) {
+  WireFrame frame;
+  while (worker.decoder.Next(&frame)) {
+    switch (frame.type) {
+      case FrameType::kHello:
+        break;  // version already enforced by the frame decoder
+      case FrameType::kResult: {
+        ResultFrame result;
+        const std::string err = DecodeResult(frame.payload, &result);
+        if (!err.empty()) {
+          HandleWorkerFailure(worker, "sent an undecodable result (" + err + ")");
+          ::kill(worker.pid, SIGKILL);
+          ReapWorker(worker, nullptr);
+          return;
+        }
+        const int slot = static_cast<int>(result.slot);
+        // Duplicate suppression: only the frame for the attempt currently
+        // in flight on this worker, for a not-yet-committed slot, commits.
+        // Everything else — an echoed frame, a stale attempt — is dropped.
+        if (worker.slot == slot && worker.attempt == result.attempt &&
+            slot >= 0 && static_cast<size_t>(slot) < specs_.size() &&
+            !committed_[static_cast<size_t>(slot)]) {
+          outcomes_[static_cast<size_t>(slot)] = result.outcome;
+          committed_[static_cast<size_t>(slot)] = 1;
+          worker.slot = -1;
+          XNUMA_CHECK(remaining_ > 0);
+          --remaining_;
+        } else {
+          ++tally_.duplicates;
+        }
+        break;
+      }
+      case FrameType::kWork:
+      case FrameType::kShutdown:
+        HandleWorkerFailure(worker, "sent a parent-only frame");
+        ::kill(worker.pid, SIGKILL);
+        ReapWorker(worker, nullptr);
+        return;
+    }
+  }
+  if (!worker.decoder.ok()) {
+    HandleWorkerFailure(worker, "corrupted its stream (" + worker.decoder.error() + ")");
+    ::kill(worker.pid, SIGKILL);
+    ReapWorker(worker, nullptr);
+  }
+}
+
+void DispatchRun::EnforceDeadlines() {
+  const Clock::time_point now = Clock::now();
+  for (WorkerState& worker : workers_) {
+    if (!worker.alive || worker.slot < 0 || now < worker.deadline) {
+      continue;
+    }
+    ++tally_.timeouts;
+    ::kill(worker.pid, SIGKILL);
+    ReapWorker(worker, nullptr);
+    HandleWorkerFailure(worker, "exceeded the " + std::to_string(options_.deadline_seconds) +
+                                    " s run deadline");
+  }
+}
+
+std::vector<RunOutcome> DispatchRun::Run() {
+  // Validate in the parent first: a bad spec degrades to an error outcome
+  // without ever being shipped, with the exact text the in-process runner
+  // produces (shared helper, src/exec/run_outcome.h).
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    outcomes_[i].label = specs_[i].label;
+    const std::string error = ValidateRunSpec(specs_[i]);
+    if (!error.empty()) {
+      outcomes_[i].error = error;
+      committed_[i] = 1;
+    } else {
+      pending_.push_back(static_cast<int>(i));
+      ++remaining_;
+    }
+  }
+
+  while (remaining_ > 0) {
+    AssignWork();
+
+    std::vector<pollfd> fds;
+    std::vector<size_t> fd_worker;
+    Clock::time_point nearest = Clock::time_point::max();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i].alive) {
+        continue;
+      }
+      fds.push_back({workers_[i].from_fd, POLLIN, 0});
+      fd_worker.push_back(i);
+      if (workers_[i].slot >= 0) {
+        nearest = std::min(nearest, workers_[i].deadline);
+      }
+    }
+    XNUMA_CHECK(!fds.empty());  // remaining_ > 0 implies in-flight or pending work
+
+    int timeout_ms = 100;
+    if (nearest != Clock::time_point::max()) {
+      const auto until =
+          std::chrono::duration_cast<std::chrono::milliseconds>(nearest - Clock::now());
+      timeout_ms = std::clamp(static_cast<int>(until.count()) + 1, 0, 100);
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      break;  // unrecoverable poll failure; drain below degrades the rest
+    }
+
+    for (size_t k = 0; k < fds.size(); ++k) {
+      WorkerState& worker = workers_[fd_worker[k]];
+      if (!worker.alive || (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      uint8_t buf[64 * 1024];
+      const ssize_t n = ::read(worker.from_fd, buf, sizeof(buf));
+      if (n > 0) {
+        tally_.bytes_received += n;
+        worker.decoder.Append(buf, static_cast<size_t>(n));
+        HandleFrames(worker);
+      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        // EOF: the worker is gone. Drain any complete frames it managed to
+        // write first (a result may have raced its own death), then treat
+        // what is left as a crash.
+        HandleFrames(worker);
+        if (worker.alive) {
+          std::string exit_text;
+          ReapWorker(worker, &exit_text);
+          HandleWorkerFailure(worker, exit_text);
+        }
+      }
+    }
+    EnforceDeadlines();
+  }
+
+  // Orderly shutdown: ask idle workers to exit, then reap everything.
+  const std::vector<uint8_t> shutdown = EncodeShutdown();
+  for (WorkerState& worker : workers_) {
+    if (worker.alive) {
+      WriteAllFd(worker.to_fd, shutdown);
+      ::close(worker.to_fd);
+      worker.to_fd = -1;
+    }
+  }
+  for (WorkerState& worker : workers_) {
+    if (worker.alive) {
+      ReapWorker(worker, nullptr);
+    }
+  }
+
+  for (const RunOutcome& out : outcomes_) {
+    if (!out.ok) {
+      ++tally_.failed;
+    }
+  }
+  return std::move(outcomes_);
+}
+
+}  // namespace
+
+std::vector<RunOutcome> Dispatcher::RunAll(const std::vector<RunSpec>& specs) const {
+  if (specs.empty()) {
+    return {};
+  }
+
+  // Writing into a pipe whose worker just died must surface as EPIPE on
+  // the write (handled), not SIGPIPE to the process.
+  struct sigaction ignore_pipe{};
+  ignore_pipe.sa_handler = SIG_IGN;
+  struct sigaction old_pipe{};
+  ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+  DispatchRun run(options_, specs);
+  std::vector<RunOutcome> outcomes = run.Run();
+
+  ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+  if (options_.obs != nullptr) {
+    const DispatchTally& t = run.tally();
+    MetricsRegistry& m = options_.obs->metrics();
+    m.RegisterCounter("exec.runs_started", "runs",
+                      "Matrix runs handed to a parallel-runner worker")
+        ->Increment(t.dispatches);
+    if (t.failed > 0) {
+      m.RegisterCounter("exec.runs_failed", "runs",
+                        "Matrix runs that failed (body threw or spec rejected)")
+          ->Increment(t.failed);
+    }
+    m.RegisterGauge("exec.dispatch.procs", "processes",
+                    "Worker processes requested by the most recent dispatch")
+        ->Set(static_cast<double>(std::clamp(options_.procs, 1, kMaxDispatchProcs)));
+    m.RegisterCounter("exec.dispatch.workers_spawned", "workers",
+                      "Worker processes forked by the dispatcher")
+        ->Increment(t.spawned);
+    m.RegisterCounter("exec.dispatch.workers_respawned", "workers",
+                      "Replacement workers forked after a crash, timeout or protocol error")
+        ->Increment(t.respawned);
+    m.RegisterCounter("exec.dispatch.retries", "runs",
+                      "Runs re-dispatched after their worker died or timed out")
+        ->Increment(t.retries);
+    m.RegisterCounter("exec.dispatch.timeouts", "runs",
+                      "Runs SIGKILLed past the per-run deadline")
+        ->Increment(t.timeouts);
+    m.RegisterCounter("exec.dispatch.duplicates_dropped", "frames",
+                      "Result frames dropped by (slot, attempt) dedup")
+        ->Increment(t.duplicates);
+    m.RegisterCounter("exec.dispatch.bytes_sent", "bytes",
+                      "Serialized RunSpec bytes shipped to workers")
+        ->Increment(t.bytes_sent);
+    m.RegisterCounter("exec.dispatch.bytes_received", "bytes",
+                      "Serialized result bytes received from workers")
+        ->Increment(t.bytes_received);
+  }
+  return outcomes;
+}
+
+std::vector<PolicySweepEntry> DispatchedSweepPolicies(const AppProfile& app,
+                                                      const StackConfig& base,
+                                                      const std::vector<PolicyConfig>& candidates,
+                                                      const RunOptions& options,
+                                                      Dispatcher::Options dispatch) {
+  if (options.procs <= 0) {
+    return SweepPolicies(app, base, candidates, options);
+  }
+
+  std::vector<RunSpec> specs(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    specs[i].app = app;
+    specs[i].stack = base;
+    specs[i].stack.policy = candidates[i];
+    specs[i].stack.label = base.label + "/" + ToString(candidates[i]);
+    specs[i].label = specs[i].stack.label;
+    specs[i].options = options;
+    specs[i].options.jobs = 1;
+    specs[i].options.procs = 0;
+  }
+
+  dispatch.procs = options.procs;
+  const std::vector<RunOutcome> outcomes = Dispatcher(dispatch).RunAll(specs);
+
+  std::vector<PolicySweepEntry> sweep(candidates.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok) {
+      // Mirror ParallelFor's lowest-index rethrow: the first failing cell
+      // names the sweep's error.
+      throw std::runtime_error("sweep cell '" + outcomes[i].label +
+                               "' failed: " + outcomes[i].error);
+    }
+    sweep[i] = {candidates[i], outcomes[i].result};
+  }
+  return sweep;
+}
+
+}  // namespace xnuma

@@ -1,0 +1,93 @@
+// Multi-process experiment dispatcher: the fork/exec step of the roadmap's
+// "processes, then machines" ladder for the deterministic runner.
+//
+// The parent serializes RunSpecs over a length-prefixed pipe protocol
+// (src/exec/worker_proto.h) to `--worker` child processes, collects
+// serialized result frames, and commits them into the same pre-sized slot
+// array ParallelRunner uses — outcome[i] belongs to specs[i] for any
+// worker count, and because RunSingleApp is a pure function of the spec,
+// the outcomes are *bit-identical* to in-process execution
+// (tests/dispatcher_differential_test.cc).
+//
+// Robustness is first-class, because workers are now OS processes that can
+// die (docs/MODEL.md §15):
+//   * a worker that exits, is killed, or corrupts its stream loses only the
+//     run it was executing — the slot is re-dispatched to a fresh worker,
+//     up to `retry_budget` retries, then degraded to an error outcome with
+//     the shared run_outcome semantics;
+//   * every dispatched run carries a deadline; a worker that blows it is
+//     SIGKILLed and handled exactly like a crash, so a hung run can never
+//     hang the sweep;
+//   * results are deduplicated by (slot, attempt): a frame for a slot that
+//     already committed, or from a superseded attempt, is dropped (counted
+//     in exec.dispatch.duplicates_dropped).
+//
+// Everything observable lands in exec.dispatch.* metrics after the join
+// (docs/OBSERVABILITY.md). The socket-based multi-machine dispatcher is the
+// next rung and reuses this wire format unchanged.
+
+#ifndef XENNUMA_SRC_EXEC_DISPATCHER_H_
+#define XENNUMA_SRC_EXEC_DISPATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/experiment_runner.h"
+#include "src/obs/obs.h"
+
+namespace xnuma {
+
+inline constexpr int kMaxDispatchProcs = 64;
+
+class Dispatcher {
+ public:
+  struct Options {
+    // Worker processes. Clamped to [1, kMaxDispatchProcs] and to the
+    // number of pending specs.
+    int procs = 1;
+    // Re-dispatches allowed per slot beyond its first attempt. Exhausting
+    // the budget yields an error outcome naming the last failure.
+    int retry_budget = 2;
+    // Per-run wall-clock deadline; a worker past it is SIGKILLed and the
+    // run retried. 0 disables (not recommended with chaos enabled).
+    double deadline_seconds = 300.0;
+    // Worker command line. Empty = {"/proc/self/exe", "--worker"}: any
+    // binary that calls MaybeWorkerMain first in main() is its own worker.
+    std::vector<std::string> worker_argv;
+    // Test-only: forward `--worker_chaos seed` to workers (see
+    // WorkerOptions in worker_proto.h).
+    bool worker_chaos = false;
+    uint64_t worker_chaos_seed = 0;
+    // Dispatcher-level observability (exec.dispatch.* metrics), touched
+    // only from the calling process/thread.
+    Observability* obs = nullptr;
+  };
+
+  Dispatcher() = default;
+  explicit Dispatcher(Options options) : options_(options) {}
+
+  // Runs every spec across worker processes; outcome[i] belongs to
+  // specs[i] and is bit-identical to ParallelRunner's for any procs value.
+  // Invalid specs degrade to error outcomes without ever being shipped.
+  std::vector<RunOutcome> RunAll(const std::vector<RunSpec>& specs) const;
+
+  int procs() const { return options_.procs; }
+
+ private:
+  Options options_;
+};
+
+// SweepPolicies routed through the dispatcher when options.procs > 0 (the
+// CLI's `sweep --procs N`), falling back to the in-process SweepPolicies
+// otherwise. Lives here, not in src/core, because the dispatcher sits above
+// xnuma_core in the layering. A failed cell throws with the lowest-index
+// error, mirroring ParallelFor's lowest-index rethrow contract.
+std::vector<PolicySweepEntry> DispatchedSweepPolicies(const AppProfile& app,
+                                                      const StackConfig& base,
+                                                      const std::vector<PolicyConfig>& candidates,
+                                                      const RunOptions& options,
+                                                      Dispatcher::Options dispatch = {});
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_EXEC_DISPATCHER_H_

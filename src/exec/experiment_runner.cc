@@ -1,34 +1,8 @@
 #include "src/exec/experiment_runner.h"
 
-#include <exception>
+#include "src/exec/run_outcome.h"
 
 namespace xnuma {
-
-namespace {
-
-// Rejects specs that could not run to completion (or could not run in
-// isolation) before any machine is assembled, so a bad cell degrades into
-// an error outcome instead of an XNUMA_CHECK abort mid-run.
-std::string ValidateSpec(const RunSpec& spec) {
-  if (spec.options.threads < 1 || spec.options.threads > 48) {
-    return "threads must be in [1, 48] (AMD48 testbed), got " +
-           std::to_string(spec.options.threads);
-  }
-  if (spec.app.regions.empty()) {
-    return "app '" + spec.app.name + "' has no memory regions";
-  }
-  if (spec.options.trace != nullptr) {
-    return "spec attaches a shared TraceRecorder; per-run state must be "
-           "constructed inside the run (isolation contract, MODEL.md §12)";
-  }
-  if (spec.options.obs != nullptr) {
-    return "spec attaches a shared Observability; per-run state must be "
-           "constructed inside the run (isolation contract, MODEL.md §12)";
-  }
-  return "";
-}
-
-}  // namespace
 
 std::vector<RunOutcome> ParallelRunner::RunAll(const std::vector<RunSpec>& specs) const {
   std::vector<RunOutcome> outcomes(specs.size());
@@ -36,21 +10,13 @@ std::vector<RunOutcome> ParallelRunner::RunAll(const std::vector<RunSpec>& specs
   ParallelForOptions pf;
   pf.jobs = options_.jobs;
   pf.obs = options_.obs;
+  // ExecuteSpec validates and catches *everything* (including non-std
+  // throws), so no body ever reaches ParallelFor's lowest-index rethrow —
+  // one poisoned cell can never discard the rest of the drained matrix.
   ParallelFor(static_cast<int>(specs.size()),
               [&](int i) {
-                const RunSpec& spec = specs[static_cast<size_t>(i)];
-                RunOutcome& out = outcomes[static_cast<size_t>(i)];
-                out.label = spec.label;
-                out.error = ValidateSpec(spec);
-                if (!out.error.empty()) {
-                  return;
-                }
-                try {
-                  out.result = RunSingleApp(spec.app, spec.stack, spec.options);
-                  out.ok = true;
-                } catch (const std::exception& e) {
-                  out.error = e.what();
-                }
+                outcomes[static_cast<size_t>(i)] =
+                    ExecuteSpec(specs[static_cast<size_t>(i)], options_.run);
               },
               pf);
 

@@ -45,6 +45,11 @@ struct RunOutcome {
   JobResult result;   // valid when ok
 };
 
+// The function a runner executes per spec. Null means RunSingleApp; tests
+// substitute hostile bodies (throwing non-std values, etc.) to pin the
+// degrade-to-outcome contract without building hostile machines.
+using RunSpecFn = JobResult (*)(const AppProfile&, const StackConfig&, const RunOptions&);
+
 class ParallelRunner {
  public:
   struct Options {
@@ -54,6 +59,9 @@ class ParallelRunner {
     // Runner-level observability (exec.* metrics). Only ever touched from
     // the calling thread, never from workers.
     Observability* obs = nullptr;
+    // Test seam: body executed per spec (null = RunSingleApp). Shared with
+    // the dispatcher worker via ExecuteSpec (src/exec/run_outcome.h).
+    RunSpecFn run = nullptr;
   };
 
   ParallelRunner() = default;

@@ -1,0 +1,45 @@
+#include "src/exec/run_outcome.h"
+
+#include <exception>
+
+namespace xnuma {
+
+std::string ValidateRunSpec(const RunSpec& spec) {
+  if (spec.options.threads < 1 || spec.options.threads > 48) {
+    return "threads must be in [1, 48] (AMD48 testbed), got " +
+           std::to_string(spec.options.threads);
+  }
+  if (spec.app.regions.empty()) {
+    return "app '" + spec.app.name + "' has no memory regions";
+  }
+  if (spec.options.trace != nullptr) {
+    return "spec attaches a shared TraceRecorder; per-run state must be "
+           "constructed inside the run (isolation contract, MODEL.md §12)";
+  }
+  if (spec.options.obs != nullptr) {
+    return "spec attaches a shared Observability; per-run state must be "
+           "constructed inside the run (isolation contract, MODEL.md §12)";
+  }
+  return "";
+}
+
+RunOutcome ExecuteSpec(const RunSpec& spec, RunSpecFn run) {
+  RunOutcome out;
+  out.label = spec.label;
+  out.error = ValidateRunSpec(spec);
+  if (!out.error.empty()) {
+    return out;
+  }
+  try {
+    out.result = run != nullptr ? run(spec.app, spec.stack, spec.options)
+                                : RunSingleApp(spec.app, spec.stack, spec.options);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "run threw a non-std::exception value";
+  }
+  return out;
+}
+
+}  // namespace xnuma

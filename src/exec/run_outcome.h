@@ -1,0 +1,41 @@
+// Shared error-reporting for experiment executors.
+//
+// ParallelRunner (in-process threads) and the multi-process dispatcher's
+// worker loop execute the same RunSpecs and must degrade failures the same
+// way: a spec that is invalid, or whose run throws *anything*, becomes an
+// ok == false outcome with the error text — it never rethrows and never
+// tears down the rest of the matrix. Centralizing the conversion here is
+// what keeps the two paths' error outcomes byte-identical (the differential
+// tests compare them directly).
+//
+// Historical note: the runner used to catch only std::exception, so a cell
+// throwing a non-exception value escaped into ParallelFor, which rethrew
+// the lowest-index exception after the join and the caller lost every other
+// outcome. ExecuteSpec catches (...) precisely so one poisoned cell can
+// never discard a drained matrix (tests/parallel_runner_test.cc pins this).
+
+#ifndef XENNUMA_SRC_EXEC_RUN_OUTCOME_H_
+#define XENNUMA_SRC_EXEC_RUN_OUTCOME_H_
+
+#include <string>
+
+#include "src/exec/experiment_runner.h"
+
+namespace xnuma {
+
+// Non-empty = human-readable reason the spec must not run (bad thread
+// count, empty app, shared per-run state attached — the isolation contract
+// of docs/MODEL.md §12). Used by the runner, the dispatcher parent (so a
+// bad spec is never shipped to a worker), and the worker (defense in depth
+// against a parent speaking an older contract).
+std::string ValidateRunSpec(const RunSpec& spec);
+
+// Executes one spec via `run` (null = RunSingleApp) with the shared
+// degrade-to-outcome semantics described above. Never throws. RunSpecFn
+// lives in experiment_runner.h so ParallelRunner::Options can carry the
+// same hook.
+RunOutcome ExecuteSpec(const RunSpec& spec, RunSpecFn run = nullptr);
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_EXEC_RUN_OUTCOME_H_

@@ -1,0 +1,272 @@
+// Crash-tolerance battery for the multi-process dispatcher: workers that
+// _exit(1), are SIGKILLed mid-run, hang past the deadline, or echo
+// duplicate result frames — all driven by the deterministic --worker_chaos
+// hook — must cost only retries, never correctness. Outcomes after retries
+// are bit-identical to a clean run; an exhausted retry budget degrades to
+// an error outcome; the dispatch never hangs.
+//
+// This binary defines its own main() so it can re-exec itself as the
+// dispatch worker (MaybeWorkerMain) — gtest_main would shadow that.
+
+#include "src/exec/dispatcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/exec/worker_proto.h"
+#include "src/obs/obs.h"
+#include "tests/outcome_matchers.h"
+
+namespace xnuma {
+namespace {
+
+// 8 fast runs: 2 apps x 2 stacks x 2 seeds, ~0.5 s nominal each.
+std::vector<RunSpec> CrashMatrix() {
+  std::vector<RunSpec> specs;
+  for (const char* name : {"ep.D", "kmeans"}) {
+    AppProfile app = *FindApp(name);
+    const double scale = 0.5 / app.nominal_seconds;
+    app.nominal_seconds = 0.5;
+    app.disk_read_mb *= scale;
+    for (int xen : {0, 1}) {
+      for (uint64_t seed : {7ull, 11ull}) {
+        RunSpec spec;
+        spec.app = app;
+        spec.stack = xen ? XenPlusStack() : LinuxStack();
+        spec.options.seed = seed;
+        spec.options.engine.max_sim_seconds = 60.0;
+        spec.label = std::string(name) + "/" + spec.stack.label + "/s" + std::to_string(seed);
+        specs.push_back(spec);
+      }
+    }
+  }
+  return specs;
+}
+
+// Mirror of the worker's chaos derivation (DecideFate in worker_proto.cc)
+// so every assertion below is exact, not probabilistic: failure mode 0 =
+// _exit(1) before running, 1 = SIGKILL after computing, 2 = hang.
+uint64_t ChaosMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct SlotChaos {
+  uint32_t doomed = 0;  // failing attempts before the first success
+  std::vector<uint32_t> modes;
+  bool duplicate = false;
+};
+
+SlotChaos ChaosFor(uint64_t seed, uint32_t slot) {
+  SlotChaos c;
+  const uint64_t h = ChaosMix(seed ^ (0x51ab5ull + slot));
+  c.doomed = static_cast<uint32_t>(h % 3);
+  for (uint32_t attempt = 0; attempt < c.doomed; ++attempt) {
+    c.modes.push_back(static_cast<uint32_t>(ChaosMix(h ^ attempt) % 3));
+  }
+  c.duplicate = (h >> 32) % 4 == 0;
+  return c;
+}
+
+// Seed 11 over 8 slots exercises every failure mode at least once (one
+// hang, SIGKILLs, _exit), 4 doomed attempts total, and 3 duplicate echoes
+// — verified by the mirror above inside the test.
+constexpr uint64_t kFullCoverageSeed = 11;
+
+TEST(DispatcherCrashTest, RetriedOutcomesAreBitIdenticalToCleanRun) {
+  const std::vector<RunSpec> specs = CrashMatrix();
+
+  // Confirm the seed still exercises everything (guards the mirror and the
+  // worker against drifting apart silently).
+  uint32_t doomed_total = 0;
+  uint32_t hangs = 0;
+  uint32_t duplicates = 0;
+  for (uint32_t slot = 0; slot < specs.size(); ++slot) {
+    const SlotChaos c = ChaosFor(kFullCoverageSeed, slot);
+    doomed_total += c.doomed;
+    for (uint32_t mode : c.modes) {
+      hangs += mode == 2 ? 1 : 0;
+    }
+    duplicates += c.duplicate ? 1 : 0;
+  }
+  ASSERT_EQ(doomed_total, 4u);
+  ASSERT_EQ(hangs, 1u);
+  ASSERT_EQ(duplicates, 3u);
+
+  Dispatcher::Options clean_opt;
+  clean_opt.procs = 2;
+  const std::vector<RunOutcome> clean = Dispatcher(clean_opt).RunAll(specs);
+  ASSERT_EQ(clean.size(), specs.size());
+  for (const RunOutcome& out : clean) {
+    ASSERT_TRUE(out.ok) << out.label << ": " << out.error;
+  }
+
+  Observability obs;
+  Dispatcher::Options chaos_opt;
+  chaos_opt.procs = 2;
+  chaos_opt.retry_budget = 3;  // doomed is at most 2: success is guaranteed
+  chaos_opt.deadline_seconds = 2.0;
+  chaos_opt.worker_chaos = true;
+  chaos_opt.worker_chaos_seed = kFullCoverageSeed;
+  chaos_opt.obs = &obs;
+  const std::vector<RunOutcome> survived = Dispatcher(chaos_opt).RunAll(specs);
+
+  ExpectSameOutcomes(clean, survived, "chaos-retried vs clean");
+
+  MetricsRegistry& m = obs.metrics();
+  EXPECT_EQ(m.RegisterCounter("exec.dispatch.retries", "runs", "")->value(), 4);
+  EXPECT_EQ(m.RegisterCounter("exec.dispatch.timeouts", "runs", "")->value(), 1);
+  EXPECT_EQ(m.RegisterCounter("exec.dispatch.duplicates_dropped", "frames", "")->value(), 3);
+  EXPECT_GE(m.RegisterCounter("exec.dispatch.workers_respawned", "workers", "")->value(), 1);
+  EXPECT_GE(m.RegisterCounter("exec.dispatch.workers_spawned", "workers", "")->value(), 2);
+  EXPECT_GT(m.RegisterCounter("exec.dispatch.bytes_sent", "bytes", "")->value(), 0);
+  EXPECT_GT(m.RegisterCounter("exec.dispatch.bytes_received", "bytes", "")->value(), 0);
+  EXPECT_EQ(m.RegisterGauge("exec.dispatch.procs", "processes", "")->value(), 2.0);
+  // Dispatch attempts = 8 first dispatches + 4 retries.
+  EXPECT_EQ(m.RegisterCounter("exec.runs_started", "runs", "")->value(), 12);
+}
+
+TEST(DispatcherCrashTest, ExhaustedBudgetDegradesToErrorOutcomesAndNeverHangs) {
+  // Seed 2 over 6 slots: slots with doomed == 0 succeed even with budget 0,
+  // slots with doomed >= 1 exhaust a zero budget on their first attempt
+  // (one of them by hanging — the deadline must end it).
+  constexpr uint64_t kSeed = 2;
+  std::vector<RunSpec> specs = CrashMatrix();
+  specs.resize(6);
+
+  std::vector<bool> expect_ok(specs.size());
+  std::vector<uint32_t> first_mode(specs.size(), 99);
+  for (uint32_t slot = 0; slot < specs.size(); ++slot) {
+    const SlotChaos c = ChaosFor(kSeed, slot);
+    expect_ok[slot] = c.doomed == 0;
+    if (c.doomed > 0) {
+      first_mode[slot] = c.modes[0];
+    }
+  }
+  ASSERT_EQ(std::count(expect_ok.begin(), expect_ok.end(), true), 2);
+  ASSERT_EQ(std::count(first_mode.begin(), first_mode.end(), 2u), 1);  // one hang
+
+  Dispatcher::Options clean_opt;
+  clean_opt.procs = 2;
+  const std::vector<RunOutcome> clean = Dispatcher(clean_opt).RunAll(specs);
+
+  Observability obs;
+  Dispatcher::Options opt;
+  opt.procs = 2;
+  opt.retry_budget = 0;
+  opt.deadline_seconds = 1.5;
+  opt.worker_chaos = true;
+  opt.worker_chaos_seed = kSeed;
+  opt.obs = &obs;
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<RunOutcome> outcomes = Dispatcher(opt).RunAll(specs);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  ASSERT_EQ(outcomes.size(), specs.size());
+  // Bounded: one 1.5 s deadline plus the real runs — nowhere near the 60 s
+  // a single un-deadlined chaos hang would burn.
+  EXPECT_LT(wall_s, 30.0);
+
+  for (size_t slot = 0; slot < outcomes.size(); ++slot) {
+    if (expect_ok[slot]) {
+      EXPECT_TRUE(outcomes[slot].ok) << outcomes[slot].label << ": " << outcomes[slot].error;
+      ExpectSameResult(clean[slot].result, outcomes[slot].result,
+                       "surviving slot " + std::to_string(slot));
+      continue;
+    }
+    EXPECT_FALSE(outcomes[slot].ok) << outcomes[slot].label;
+    EXPECT_NE(outcomes[slot].error.find("retry budget exhausted"), std::string::npos)
+        << outcomes[slot].error;
+    EXPECT_NE(outcomes[slot].error.find("attempt 1 of 1"), std::string::npos)
+        << outcomes[slot].error;
+    if (first_mode[slot] == 0) {
+      EXPECT_NE(outcomes[slot].error.find("exited with status 1"), std::string::npos)
+          << outcomes[slot].error;
+    } else if (first_mode[slot] == 1) {
+      EXPECT_NE(outcomes[slot].error.find("killed by signal"), std::string::npos)
+          << outcomes[slot].error;
+    } else {
+      EXPECT_NE(outcomes[slot].error.find("run deadline"), std::string::npos)
+          << outcomes[slot].error;
+    }
+  }
+  EXPECT_EQ(obs.metrics().RegisterCounter("exec.dispatch.retries", "runs", "")->value(), 0);
+  EXPECT_EQ(obs.metrics().RegisterCounter("exec.runs_failed", "runs", "")->value(), 4);
+}
+
+TEST(DispatcherCrashTest, InvalidCellPlusCrashingWorkersStillDrainsEverySlot) {
+  // The satellite-4 regression, cross-process flavor: one cell that can
+  // never run (validation failure) plus chaos-crashing workers must still
+  // drain every other slot with clean, bit-identical results.
+  std::vector<RunSpec> specs = CrashMatrix();
+  specs.resize(6);
+  specs[2].options.threads = 1000;
+  specs[2].label = "invalid-threads";
+
+  Dispatcher::Options clean_opt;
+  clean_opt.procs = 2;
+  const std::vector<RunOutcome> clean = Dispatcher(clean_opt).RunAll(specs);
+
+  Observability obs;
+  Dispatcher::Options opt;
+  opt.procs = 2;
+  opt.retry_budget = 3;
+  opt.deadline_seconds = 2.0;
+  opt.worker_chaos = true;
+  opt.worker_chaos_seed = kFullCoverageSeed;
+  opt.obs = &obs;
+  const std::vector<RunOutcome> outcomes = Dispatcher(opt).RunAll(specs);
+
+  ASSERT_EQ(outcomes.size(), 6u);
+  EXPECT_FALSE(outcomes[2].ok);
+  // Same validation text the in-process runner produces (shared helper).
+  EXPECT_NE(outcomes[2].error.find("threads must be in [1, 48]"), std::string::npos)
+      << outcomes[2].error;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (i == 2) {
+      continue;
+    }
+    EXPECT_TRUE(outcomes[i].ok) << outcomes[i].label << ": " << outcomes[i].error;
+  }
+  ExpectSameOutcomes(clean, outcomes, "chaos+invalid vs clean");
+}
+
+TEST(DispatcherCrashTest, WorkerBinaryThatCannotExecExhaustsCleanly) {
+  // A worker command that fails to exec (child _exit(127) immediately)
+  // must degrade every slot, quickly, with the exec failure visible.
+  std::vector<RunSpec> specs = CrashMatrix();
+  specs.resize(2);
+
+  Dispatcher::Options opt;
+  opt.procs = 2;
+  opt.retry_budget = 1;
+  opt.worker_argv = {"/nonexistent/xnuma-worker", "--worker"};
+  const std::vector<RunOutcome> outcomes = Dispatcher(opt).RunAll(specs);
+
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const RunOutcome& out : outcomes) {
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("exited with status 127"), std::string::npos) << out.error;
+    EXPECT_NE(out.error.find("retry budget exhausted"), std::string::npos) << out.error;
+  }
+}
+
+}  // namespace
+}  // namespace xnuma
+
+int main(int argc, char** argv) {
+  const int worker_status = xnuma::MaybeWorkerMain(argc, argv);
+  if (worker_status >= 0) {
+    return worker_status;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

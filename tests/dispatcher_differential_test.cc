@@ -1,0 +1,160 @@
+// Differential proof for the multi-process dispatcher: the same RunSpec
+// matrix executed in-process (ParallelRunner) and across worker processes
+// (--procs 1 and 4) must produce byte-identical outcome arrays — for every
+// static policy, clean and fault-armed — and DispatchedSweepPolicies must
+// be indistinguishable from the in-core SweepPolicies. This is the
+// bit-identical contract of docs/MODEL.md §15, checked end to end through
+// fork/exec, the wire format, and the slot-commit path.
+//
+// This binary defines its own main() so it can re-exec itself as the
+// dispatch worker (MaybeWorkerMain) — gtest_main would shadow that.
+
+#include "src/exec/dispatcher.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/exec/worker_proto.h"
+#include "tests/outcome_matchers.h"
+
+namespace xnuma {
+namespace {
+
+// One run per (stack, policy candidate) — the full Figure 2 + Figure 7
+// policy space (FT, FT/C, R4K, R4K/C on Linux; R1G, FT, FT/C, R4K, R4K/C
+// on Xen+) — optionally fault-armed in every cell.
+std::vector<RunSpec> PolicyMatrix(const std::string& app_name, bool fault_armed) {
+  AppProfile app = *FindApp(app_name);
+  const double scale = 0.5 / app.nominal_seconds;
+  app.nominal_seconds = 0.5;
+  app.disk_read_mb *= scale;
+
+  std::vector<RunSpec> specs;
+  for (int xen : {0, 1}) {
+    const StackConfig base = xen ? XenPlusStack() : LinuxStack();
+    const auto candidates = xen ? XenPolicyCandidates() : LinuxPolicyCandidates();
+    for (const PolicyConfig& policy : candidates) {
+      RunSpec spec;
+      spec.app = app;
+      spec.stack = base;
+      spec.stack.policy = policy;
+      spec.options.seed = 7;
+      spec.options.engine.max_sim_seconds = 60.0;
+      if (fault_armed) {
+        spec.options.engine.fault = FaultPlan::Uniform(99, 0.01);
+      }
+      spec.label = base.label + "/" + ToString(policy) + (fault_armed ? "/fault" : "");
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+class DispatcherDifferentialTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DispatcherDifferentialTest, InProcessAndProcs1And4AreBitIdentical) {
+  const bool fault_armed = GetParam();
+  const std::vector<RunSpec> specs = PolicyMatrix("cg.C", fault_armed);
+  ASSERT_EQ(specs.size(), 9u);  // 4 Linux + 5 Xen+ policy configurations
+
+  ParallelRunner::Options serial_opt;
+  serial_opt.jobs = 1;
+  const std::vector<RunOutcome> in_process = ParallelRunner(serial_opt).RunAll(specs);
+  for (const RunOutcome& out : in_process) {
+    ASSERT_TRUE(out.ok) << out.label << ": " << out.error;
+    ASSERT_TRUE(out.result.finished) << out.label;
+  }
+  if (fault_armed) {
+    int64_t injected = 0;
+    for (const RunOutcome& out : in_process) {
+      injected += out.result.faults_injected;
+    }
+    ASSERT_GT(injected, 0) << "fault plan never fired — the armed half "
+                              "of the differential is vacuous";
+  }
+
+  for (int procs : {1, 4}) {
+    Dispatcher::Options opt;
+    opt.procs = procs;
+    const std::vector<RunOutcome> dispatched = Dispatcher(opt).RunAll(specs);
+    ExpectSameOutcomes(in_process, dispatched,
+                       std::string(fault_armed ? "fault-armed" : "clean") +
+                           " procs=" + std::to_string(procs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CleanAndFaultArmed, DispatcherDifferentialTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "FaultArmed" : "Clean";
+                         });
+
+TEST(DispatchedSweepTest, MatchesInCoreSweepForEveryProcsValue) {
+  AppProfile app = *FindApp("kmeans");
+  const double scale = 0.5 / app.nominal_seconds;
+  app.nominal_seconds = 0.5;
+  app.disk_read_mb *= scale;
+
+  for (const bool xen : {false, true}) {
+    const StackConfig base = xen ? XenPlusStack() : LinuxStack();
+    const auto candidates = xen ? XenPolicyCandidates() : LinuxPolicyCandidates();
+
+    RunOptions options;
+    options.engine.max_sim_seconds = 60.0;
+    const auto in_core = SweepPolicies(app, base, candidates, options);
+
+    for (int procs : {1, 4}) {
+      options.procs = procs;
+      const auto dispatched = DispatchedSweepPolicies(app, base, candidates, options);
+      ASSERT_EQ(dispatched.size(), in_core.size());
+      for (size_t i = 0; i < in_core.size(); ++i) {
+        EXPECT_EQ(dispatched[i].policy, in_core[i].policy);
+        ExpectSameResult(in_core[i].result, dispatched[i].result,
+                         std::string(base.label) + "/" + ToString(in_core[i].policy) +
+                             " procs=" + std::to_string(procs));
+      }
+      EXPECT_EQ(BestEntry(dispatched).policy, BestEntry(in_core).policy);
+    }
+
+    // procs = 0 must fall back to the in-core path (same object semantics).
+    options.procs = 0;
+    const auto fallback = DispatchedSweepPolicies(app, base, candidates, options);
+    ASSERT_EQ(fallback.size(), in_core.size());
+    for (size_t i = 0; i < in_core.size(); ++i) {
+      ExpectSameResult(in_core[i].result, fallback[i].result, "procs=0 fallback");
+    }
+  }
+}
+
+TEST(DispatchedSweepTest, FailingCellThrowsLowestIndexError) {
+  // Mirrors ParallelFor's lowest-index rethrow: a sweep whose cell cannot
+  // run surfaces that cell's error as the sweep's exception.
+  AppProfile app = *FindApp("kmeans");
+  app.regions.clear();  // every cell fails validation
+
+  RunOptions options;
+  options.procs = 2;
+  try {
+    DispatchedSweepPolicies(app, XenPlusStack(), XenPolicyCandidates(), options);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    // The first candidate's label names the error.
+    EXPECT_NE(what.find(ToString(XenPolicyCandidates()[0])), std::string::npos) << what;
+    EXPECT_NE(what.find("no memory regions"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace xnuma
+
+int main(int argc, char** argv) {
+  const int worker_status = xnuma::MaybeWorkerMain(argc, argv);
+  if (worker_status >= 0) {
+    return worker_status;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

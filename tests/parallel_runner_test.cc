@@ -14,6 +14,7 @@
 
 #include "src/exec/parallel_for.h"
 #include "src/obs/obs.h"
+#include "tests/outcome_matchers.h"
 
 namespace xnuma {
 namespace {
@@ -48,40 +49,14 @@ std::vector<RunSpec> TestMatrix() {
   return specs;
 }
 
-// Field-by-field equality over everything JobResult carries. Exact compares
-// on doubles are the point: bit-identical, not approximately equal.
-void ExpectSameResult(const JobResult& a, const JobResult& b, const std::string& where) {
-  EXPECT_EQ(a.app, b.app) << where;
-  EXPECT_EQ(a.domain, b.domain) << where;
-  EXPECT_EQ(a.finished, b.finished) << where;
-  EXPECT_EQ(a.completion_seconds, b.completion_seconds) << where;
-  EXPECT_EQ(a.init_seconds, b.init_seconds) << where;
-  EXPECT_EQ(a.compute_seconds, b.compute_seconds) << where;
-  EXPECT_EQ(a.imbalance_pct, b.imbalance_pct) << where;
-  EXPECT_EQ(a.interconnect_pct, b.interconnect_pct) << where;
-  EXPECT_EQ(a.avg_mc_util_pct, b.avg_mc_util_pct) << where;
-  EXPECT_EQ(a.avg_latency_cycles, b.avg_latency_cycles) << where;
-  EXPECT_EQ(a.observed_disk_mb_per_s, b.observed_disk_mb_per_s) << where;
-  EXPECT_EQ(a.observed_ctx_switches_per_s, b.observed_ctx_switches_per_s) << where;
-  EXPECT_EQ(a.hv_page_faults, b.hv_page_faults) << where;
-  EXPECT_EQ(a.carrefour_migrations, b.carrefour_migrations) << where;
-  EXPECT_EQ(a.final_policy, b.final_policy) << where;
-  EXPECT_EQ(a.policy_switches, b.policy_switches) << where;
-  EXPECT_EQ(a.faults_injected, b.faults_injected) << where;
-  EXPECT_EQ(a.faults_recovered, b.faults_recovered) << where;
-  EXPECT_EQ(a.faults_aborted, b.faults_aborted) << where;
-}
-
-void ExpectSameOutcomes(const std::vector<RunOutcome>& a, const std::vector<RunOutcome>& b,
-                        const std::string& where) {
-  ASSERT_EQ(a.size(), b.size()) << where;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const std::string at = where + " [" + a[i].label + "]";
-    EXPECT_EQ(a[i].label, b[i].label) << at;
-    EXPECT_EQ(a[i].ok, b[i].ok) << at;
-    EXPECT_EQ(a[i].error, b[i].error) << at;
-    ExpectSameResult(a[i].result, b[i].result, at);
+// Hostile run bodies for the degrade-to-outcome regression below. Plain
+// functions because ParallelRunner::Options::run is a function pointer.
+JobResult ThrowNonStdOnKmeans(const AppProfile& app, const StackConfig& stack,
+                              const RunOptions& options) {
+  if (app.name == "kmeans") {
+    throw 42;  // not a std::exception — used to escape the runner entirely
   }
+  return RunSingleApp(app, stack, options);
 }
 
 TEST(ParallelRunnerTest, BitIdenticalAcrossJobs1_4_16) {
@@ -143,6 +118,34 @@ TEST(ParallelRunnerTest, SharedObsOrTraceSpecIsRejected) {
   EXPECT_FALSE(outcomes[1].ok);
   EXPECT_NE(outcomes[1].error.find("isolation contract"), std::string::npos)
       << outcomes[1].error;
+}
+
+// Regression (PR 7): a cell throwing a value that is not a std::exception
+// used to escape the runner's catch, reach ParallelFor's lowest-index
+// rethrow, and discard the entire drained matrix. With the shared
+// ExecuteSpec (src/exec/run_outcome.h) it degrades into an error outcome
+// and every other slot survives — for every jobs value.
+TEST(ParallelRunnerTest, NonStdThrowDegradesToErrorOutcomeAndMatrixDrains) {
+  const std::vector<RunSpec> specs = TestMatrix();  // kmeans cells: [4..7]
+
+  for (int jobs : {1, 4}) {
+    ParallelRunner::Options opt;
+    opt.jobs = jobs;
+    opt.run = &ThrowNonStdOnKmeans;
+    std::vector<RunOutcome> outcomes;
+    ASSERT_NO_THROW(outcomes = ParallelRunner(opt).RunAll(specs)) << "jobs=" << jobs;
+    ASSERT_EQ(outcomes.size(), 8u);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (i < 4) {
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].label << ": " << outcomes[i].error;
+        EXPECT_TRUE(outcomes[i].result.finished) << outcomes[i].label;
+      } else {
+        EXPECT_FALSE(outcomes[i].ok) << outcomes[i].label;
+        EXPECT_EQ(outcomes[i].error, "run threw a non-std::exception value")
+            << outcomes[i].label;
+      }
+    }
+  }
 }
 
 TEST(ParallelRunnerTest, EmptyMatrix) {
