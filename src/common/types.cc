@@ -17,10 +17,22 @@ const char* ToString(StaticPolicy policy) {
 const char* ToString(const PolicyConfig& config) {
   switch (config.placement) {
     case StaticPolicy::kFirstTouch:
+      if (config.vnuma) {
+        return config.carrefour ? "vNUMA(First-Touch) / Carrefour"
+                                : "vNUMA(First-Touch)";
+      }
       return config.carrefour ? "First-Touch / Carrefour" : "First-Touch";
     case StaticPolicy::kRound4k:
+      if (config.vnuma) {
+        return config.carrefour ? "vNUMA(Round-4K) / Carrefour"
+                                : "vNUMA(Round-4K)";
+      }
       return config.carrefour ? "Round-4K / Carrefour" : "Round-4K";
     case StaticPolicy::kRound1g:
+      if (config.vnuma) {
+        return config.carrefour ? "vNUMA(Round-1G) / Carrefour"
+                                : "vNUMA(Round-1G)";
+      }
       return config.carrefour ? "Round-1G / Carrefour" : "Round-1G";
   }
   return "?";

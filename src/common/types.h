@@ -24,6 +24,7 @@ using Vpn = int64_t;  // Guest-virtual page number.
 
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr CpuId kInvalidCpu = -1;
+inline constexpr VcpuId kInvalidVcpu = -1;
 inline constexpr DomainId kInvalidDomain = -1;
 inline constexpr Mfn kInvalidMfn = -1;
 inline constexpr Pfn kInvalidPfn = -1;
@@ -57,6 +58,11 @@ enum class StaticPolicy {
 struct PolicyConfig {
   StaticPolicy placement = StaticPolicy::kRound4k;
   bool carrefour = false;
+  // Guest-cooperative placement (docs/VNUMA.md): first-touch faults honour
+  // the vNUMA partition once the guest has fetched its topology tables.
+  // While no guest has fetched them the wrapper delegates to `placement`
+  // untouched, so the flag alone never changes a result.
+  bool vnuma = false;
 
   bool operator==(const PolicyConfig&) const = default;
 };

@@ -78,12 +78,21 @@ struct Machine {
     dc.pci_passthrough = passthrough;
     dc.p2m_max_order = stack.p2m_max_order;
     dc.ft_superpage = stack.ft_superpage;
+    const bool vnuma = stack.vnuma != VnumaMode::kOff && stack.mode == ExecMode::kGuest;
+    if (vnuma) {
+      dc.vnuma = true;
+      dc.policy.vnuma = true;  // hybrid wrapper around the base placement
+      if (stack.vnuma == VnumaMode::kHybrid) {
+        dc.policy.carrefour = true;  // the hypervisor's dynamic override
+      }
+    }
     const DomainId dom = hv->CreateDomain(dc);
 
     GuestOs::Options go;
     go.mode = stack.mode == ExecMode::kGuest ? KernelMode::kParavirt : KernelMode::kNativeKernel;
     go.queue_batch_size = stack.queue_batch;
     go.queue_partition_bits = stack.queue_partition_bits;
+    go.vnuma = vnuma;  // the guest fetches its tables at boot
     guests.push_back(std::make_unique<GuestOs>(*hv, dom, go));
 
     JobSpec job;
@@ -148,6 +157,28 @@ StackConfig XenPlusStack(PolicyConfig policy) {
   s.policy = policy;
   s.pci_passthrough = true;
   s.mcs_for_eligible = true;
+  return s;
+}
+
+const char* ToString(VnumaMode mode) {
+  switch (mode) {
+    case VnumaMode::kOff:
+      return "off";
+    case VnumaMode::kGuest:
+      return "guest";
+    case VnumaMode::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+StackConfig XenVnumaStack(VnumaMode mode) {
+  // First-touch base: before the guest fetches its tables the domain
+  // behaves exactly like Xen+/First-Touch (the differential tests pin this
+  // down); afterwards faults honour the vNUMA partition.
+  StackConfig s = XenPlusStack({StaticPolicy::kFirstTouch, false});
+  s.vnuma = mode;
+  s.label = mode == VnumaMode::kHybrid ? "Xen+/vNUMA-hybrid" : "Xen+/vNUMA";
   return s;
 }
 

@@ -26,6 +26,18 @@
 
 namespace xnuma {
 
+// Guest-visible topology mode for a stack (docs/VNUMA.md). kGuest exposes
+// the vNUMA tables and boots a topology-aware guest allocator; kHybrid adds
+// Carrefour on top as the hypervisor's dynamic override (guest hints +
+// hypervisor correction). kOff is the paper's stance: no topology leaks.
+enum class VnumaMode {
+  kOff,
+  kGuest,
+  kHybrid,
+};
+
+const char* ToString(VnumaMode mode);
+
 struct StackConfig {
   std::string label;
   ExecMode mode = ExecMode::kGuest;
@@ -45,6 +57,10 @@ struct StackConfig {
   // First-touch faults map whole aligned superpage blocks (CLI
   // --ft_superpage; opt-in because it changes placement).
   bool ft_superpage = false;
+  // Guest-visible topology (CLI --vnuma). Only meaningful for guest-mode
+  // stacks; AddAppVm enables the domain's vNUMA tables, the hybrid policy
+  // wrapper, and the guest's NUMA-aware allocator when != kOff.
+  VnumaMode vnuma = VnumaMode::kOff;
 };
 
 // Xen+ with the automatic policy selector driving the NUMA policy.
@@ -56,6 +72,10 @@ StackConfig LinuxStack(PolicyConfig policy = {StaticPolicy::kFirstTouch, false})
 StackConfig XenStack();
 // Xen+ with the given placement (defaults to Xen's round-1G).
 StackConfig XenPlusStack(PolicyConfig policy = {StaticPolicy::kRound1g, false});
+// Xen+ with the guest-visible vNUMA topology (docs/VNUMA.md): first-touch
+// base policy, partition-honouring once the guest fetches its tables.
+// kHybrid adds Carrefour as the hypervisor override.
+StackConfig XenVnumaStack(VnumaMode mode = VnumaMode::kGuest);
 
 struct RunOptions {
   int threads = 48;

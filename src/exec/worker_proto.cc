@@ -318,11 +318,13 @@ void DeserializeApp(WireReader* r, AppProfile* app) {
 void SerializePolicy(const PolicyConfig& policy, WireWriter* w) {
   w->U8(static_cast<uint8_t>(policy.placement));
   w->Bool(policy.carrefour);
+  w->Bool(policy.vnuma);
 }
 
 void DeserializePolicy(WireReader* r, PolicyConfig* policy) {
   policy->placement = ReadEnum<StaticPolicy>(r, 2, "StaticPolicy");
   policy->carrefour = r->Bool();
+  policy->vnuma = r->Bool();
 }
 
 void SerializeStack(const StackConfig& stack, WireWriter* w) {
@@ -336,6 +338,7 @@ void SerializeStack(const StackConfig& stack, WireWriter* w) {
   w->Bool(stack.auto_numa_policy);
   w->U8(static_cast<uint8_t>(stack.p2m_max_order));
   w->Bool(stack.ft_superpage);
+  w->U8(static_cast<uint8_t>(stack.vnuma));
 }
 
 void DeserializeStack(WireReader* r, StackConfig* stack) {
@@ -349,6 +352,7 @@ void DeserializeStack(WireReader* r, StackConfig* stack) {
   stack->auto_numa_policy = r->Bool();
   stack->p2m_max_order = ReadEnum<PageOrder>(r, 2, "PageOrder");
   stack->ft_superpage = r->Bool();
+  stack->vnuma = ReadEnum<VnumaMode>(r, 2, "VnumaMode");
 }
 
 void SerializeCarrefourConfig(const CarrefourConfig& c, WireWriter* w) {

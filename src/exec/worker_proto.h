@@ -33,7 +33,8 @@
 namespace xnuma {
 
 inline constexpr uint32_t kWireMagic = 0x584e5750;  // "XNWP"
-inline constexpr uint16_t kWireVersion = 1;
+// v2: PolicyConfig.vnuma + StackConfig.vnuma (the vNUMA interface, PR 8).
+inline constexpr uint16_t kWireVersion = 2;
 // Guards against garbage length fields; real payloads are a few KiB.
 inline constexpr uint32_t kMaxWirePayload = 1u << 20;
 // Longest string any message may carry (labels, app names, error texts).

@@ -1,6 +1,7 @@
 #include "src/guest/guest_os.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/common/check.h"
 
@@ -21,6 +22,107 @@ GuestOs::GuestOs(Hypervisor& hv, DomainId domain, Options options)
       options_.queue_max_pending);
   queue_->set_fault_injector(&hv.fault_injector());
   queue_->set_observability(hv.observability());
+  if (options_.vnuma) {
+    FetchVnuma();
+  }
+}
+
+void GuestOs::FetchVnuma() {
+  // Boot-time topology discovery (docs/VNUMA.md): ask the hypervisor for
+  // the tables and consume them through the serialized ABI — the guest
+  // parses exactly the bytes a real XENMEM_get_vnuma_info copy would hand
+  // it, so the wire contract is exercised on every vNUMA boot.
+  VnumaInfo hv_info;
+  const HypercallStatus status = hv_->HypercallGetVnumaInfo(domain_, &hv_info);
+  XNUMA_CHECK(status == HypercallStatus::kOk);
+  const std::vector<uint8_t> wire = SerializeVnumaInfo(hv_info);
+  std::string error;
+  XNUMA_CHECK(DeserializeVnumaInfo(wire, &vnuma_, &error));
+
+  // Partition the free pages into per-vnode LIFO freelists. The initial
+  // single list is ascending, so draining it in order keeps "pop_back =
+  // most recently freed / highest pfn" within every vnode.
+  pfn_vnode_.assign(pfn_owner_.size(), 0);
+  for (const VnumaMemrange& mr : vnuma_.memranges) {
+    for (Pfn pfn = mr.start; pfn < mr.end; ++pfn) {
+      pfn_vnode_[pfn] = mr.vnode;
+    }
+  }
+  vnode_free_.assign(vnuma_.nr_vnodes, {});
+  for (Pfn pfn : free_list_) {
+    vnode_free_[pfn_vnode_[pfn]].push_back(pfn);
+  }
+  free_list_.clear();
+
+  // Distance-ordered fallback: for vnode v, try v first, then the others by
+  // increasing virtual distance (ties to the lower vnode).
+  vnode_order_.assign(vnuma_.nr_vnodes, {});
+  for (int32_t v = 0; v < vnuma_.nr_vnodes; ++v) {
+    std::vector<int32_t>& order = vnode_order_[v];
+    for (int32_t u = 0; u < vnuma_.nr_vnodes; ++u) {
+      order.push_back(u);
+    }
+    const int32_t nr = vnuma_.nr_vnodes;
+    const std::vector<int32_t>& dist = vnuma_.distances;
+    std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      return dist[v * nr + a] < dist[v * nr + b];
+    });
+  }
+
+  // Boot-time pcpu -> vnode snapshot, for touches that carry no vCPU
+  // identity. Like vcpu_to_vnode itself, it is never updated when vCPUs
+  // move later.
+  cpu_vnode_.assign(hv_->topology().num_cpus(), -1);
+  const Domain& dom = hv_->domain(domain_);
+  for (VcpuId v = 0; v < vnuma_.nr_vcpus; ++v) {
+    const CpuId cpu = dom.VnumaVcpuCpu(v);
+    if (cpu >= 0 && cpu < static_cast<CpuId>(cpu_vnode_.size())) {
+      cpu_vnode_[cpu] = vnuma_.vcpu_to_vnode[v];
+    }
+  }
+
+  if (!vnuma_active_ && hv_->observability() != nullptr) {
+    MetricsRegistry& m = hv_->observability()->metrics();
+    vnuma_local_counter_ = m.RegisterCounter(
+        "guest.vnuma.local_allocs", "pages",
+        "Guest allocations served from the preferred vnode's freelist");
+    vnuma_remote_counter_ = m.RegisterCounter(
+        "guest.vnuma.remote_allocs", "pages",
+        "Guest allocations that fell back to another vnode's freelist");
+  }
+  vnuma_active_ = true;
+}
+
+void GuestOs::RefreshVnuma() {
+  XNUMA_CHECK(vnuma_active_);
+  VnumaInfo hv_info;
+  XNUMA_CHECK(hv_->HypercallGetVnumaInfo(domain_, &hv_info) == HypercallStatus::kOk);
+  const std::vector<uint8_t> wire = SerializeVnumaInfo(hv_info);
+  std::string error;
+  XNUMA_CHECK(DeserializeVnumaInfo(wire, &vnuma_, &error));
+  // The partition (memranges) is a creation-time constant, so the freelists
+  // stand; only the vcpu map and the snapshot generation moved.
+  cpu_vnode_.assign(cpu_vnode_.size(), -1);
+  const Domain& dom = hv_->domain(domain_);
+  for (VcpuId v = 0; v < vnuma_.nr_vcpus; ++v) {
+    const CpuId cpu = dom.VnumaVcpuCpu(v);
+    if (cpu >= 0 && cpu < static_cast<CpuId>(cpu_vnode_.size())) {
+      cpu_vnode_[cpu] = vnuma_.vcpu_to_vnode[v];
+    }
+  }
+}
+
+int GuestOs::PreferredVnode(CpuId cpu, VcpuId vcpu) const {
+  if (!vnuma_active_) {
+    return -1;
+  }
+  if (vcpu >= 0 && vcpu < vnuma_.nr_vcpus) {
+    return vnuma_.vcpu_to_vnode[vcpu];
+  }
+  if (cpu >= 0 && cpu < static_cast<CpuId>(cpu_vnode_.size()) && cpu_vnode_[cpu] >= 0) {
+    return cpu_vnode_[cpu];
+  }
+  return 0;
 }
 
 int GuestOs::CreateProcess(int64_t num_vpages) {
@@ -81,10 +183,36 @@ bool GuestOs::VpageOfPfn(Pfn pfn, int* pid, Vpn* vpn) const {
   return true;
 }
 
-Pfn GuestOs::AllocPhysPage() {
-  XNUMA_CHECK(!free_list_.empty());
-  const Pfn pfn = free_list_.back();
-  free_list_.pop_back();
+Pfn GuestOs::AllocPhysPage(int vnode_pref) {
+  Pfn pfn = kInvalidPfn;
+  if (!vnuma_active_) {
+    XNUMA_CHECK(!free_list_.empty());
+    pfn = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    // Local-first, then the other vnodes by increasing virtual distance.
+    XNUMA_CHECK(vnode_pref >= 0 && vnode_pref < vnuma_.nr_vnodes);
+    for (int32_t v : vnode_order_[vnode_pref]) {
+      if (vnode_free_[v].empty()) {
+        continue;
+      }
+      pfn = vnode_free_[v].back();
+      vnode_free_[v].pop_back();
+      if (v == vnode_pref) {
+        ++stats_.vnuma_local_allocs;
+        if (vnuma_local_counter_ != nullptr) {
+          vnuma_local_counter_->Increment();
+        }
+      } else {
+        ++stats_.vnuma_remote_allocs;
+        if (vnuma_remote_counter_ != nullptr) {
+          vnuma_remote_counter_->Increment();
+        }
+      }
+      break;
+    }
+    XNUMA_CHECK(pfn != kInvalidPfn);  // all vnode freelists exhausted
+  }
   if (options_.mode == KernelMode::kParavirt) {
     RequeueDroppedQueueOps();
     queue_->PushAlloc(pfn);
@@ -113,7 +241,7 @@ void GuestOs::RequeueDroppedQueueOps() {
   }
 }
 
-TouchResult GuestOs::TouchPage(int pid, Vpn vpn, CpuId cpu) {
+TouchResult GuestOs::TouchPage(int pid, Vpn vpn, CpuId cpu, VcpuId vcpu) {
   XNUMA_CHECK(pid >= 0 && pid < num_processes());
   Process& proc = processes_[pid];
   XNUMA_CHECK(vpn >= 0 && vpn < static_cast<Vpn>(proc.vpage_to_pfn.size()));
@@ -123,7 +251,7 @@ TouchResult GuestOs::TouchPage(int pid, Vpn vpn, CpuId cpu) {
   if (pfn == kInvalidPfn) {
     // Lazy allocation (§3.1): the guest kernel intercepts the invalid access
     // and maps the virtual page to a physical page from its free list.
-    pfn = AllocPhysPage();
+    pfn = AllocPhysPage(PreferredVnode(cpu, vcpu));
     proc.vpage_to_pfn[vpn] = pfn;
     pfn_owner_[pfn] = {pid, vpn};
     result.guest_alloc = true;
@@ -165,7 +293,7 @@ TouchResult GuestOs::TouchPage(int pid, Vpn vpn, CpuId cpu) {
 
 void GuestOs::TouchRange(int pid, Vpn first, int64_t count, CpuId cpu,
                          double touch_cost_s, double minor_fault_s,
-                         double hv_fault_s, double* cost_seconds) {
+                         double hv_fault_s, double* cost_seconds, VcpuId vcpu) {
   XNUMA_CHECK(pid >= 0 && pid < num_processes());
   Process& proc = processes_[pid];
   XNUMA_CHECK(first >= 0 && count > 0 &&
@@ -182,7 +310,7 @@ void GuestOs::TouchRange(int pid, Vpn first, int64_t count, CpuId cpu,
     Pfn pfn = proc.vpage_to_pfn[vpn];
     const bool guest_alloc = pfn == kInvalidPfn;
     if (guest_alloc) {
-      pfn = AllocPhysPage();
+      pfn = AllocPhysPage(PreferredVnode(cpu, vcpu));
       proc.vpage_to_pfn[vpn] = pfn;
       pfn_owner_[pfn] = {pid, vpn};
       ++stats_.guest_minor_faults;
@@ -239,7 +367,11 @@ void GuestOs::ReleasePage(int pid, Vpn vpn) {
   if (options_.zero_on_free) {
     ++stats_.pages_zeroed;
   }
-  free_list_.push_back(pfn);
+  if (vnuma_active_) {
+    vnode_free_[pfn_vnode_[pfn]].push_back(pfn);
+  } else {
+    free_list_.push_back(pfn);
+  }
   ++stats_.releases;
 
   if (options_.mode == KernelMode::kParavirt) {
@@ -262,6 +394,26 @@ void GuestOs::ReleasePage(int pid, Vpn vpn) {
 
 std::vector<Pfn> GuestOs::TakeFreePages(int64_t count) {
   std::vector<Pfn> taken;
+  if (vnuma_active_) {
+    // Balloon out of every vnode round-robin (cold ends), so no single
+    // vnode is drained to zero while others stay full.
+    bool progress = true;
+    while (static_cast<int64_t>(taken.size()) < count && progress) {
+      progress = false;
+      for (auto& list : vnode_free_) {
+        if (static_cast<int64_t>(taken.size()) >= count) {
+          break;
+        }
+        if (list.empty()) {
+          continue;
+        }
+        taken.push_back(list.front());
+        list.pop_front();
+        progress = true;
+      }
+    }
+    return taken;
+  }
   while (static_cast<int64_t>(taken.size()) < count && !free_list_.empty()) {
     // Take from the front (cold end): recently-freed pages at the back are
     // about to be reallocated.
@@ -273,8 +425,23 @@ std::vector<Pfn> GuestOs::TakeFreePages(int64_t count) {
 
 void GuestOs::ReturnFreePages(const std::vector<Pfn>& pages) {
   for (Pfn pfn : pages) {
-    free_list_.push_front(pfn);
+    if (vnuma_active_) {
+      vnode_free_[pfn_vnode_[pfn]].push_front(pfn);
+    } else {
+      free_list_.push_front(pfn);
+    }
   }
+}
+
+int64_t GuestOs::free_pages() const {
+  if (!vnuma_active_) {
+    return static_cast<int64_t>(free_list_.size());
+  }
+  int64_t total = 0;
+  for (const auto& list : vnode_free_) {
+    total += static_cast<int64_t>(list.size());
+  }
+  return total;
 }
 
 NodeId GuestOs::NodeOfVpage(int pid, Vpn vpn) const {

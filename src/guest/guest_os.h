@@ -34,6 +34,11 @@ struct GuestOsStats {
   int64_t guest_minor_faults = 0;
   int64_t releases = 0;
   int64_t pages_zeroed = 0;
+  // vNUMA allocator outcomes (docs/VNUMA.md): an allocation is *local* when
+  // it was served from the preferred vnode's freelist, *remote* when the
+  // distance-ordered fallback had to borrow from another vnode.
+  int64_t vnuma_local_allocs = 0;
+  int64_t vnuma_remote_allocs = 0;
 };
 
 class GuestOs {
@@ -48,6 +53,12 @@ class GuestOs {
     // Before releasing, Linux fills the page with zeros (§4.4.2), which is
     // what makes all free pages interchangeable for first-touch.
     bool zero_on_free = true;
+    // Topology-aware guest (docs/VNUMA.md): fetch the vNUMA tables at boot
+    // and allocate physical pages from per-vnode freelists, local-first
+    // with distance-ordered fallback. Requires the domain to have been
+    // created with DomainConfig::vnuma. Off = the classical single
+    // free list, byte-identical to every earlier release.
+    bool vnuma = false;
   };
 
   GuestOs(Hypervisor& hv, DomainId domain, Options options);
@@ -64,7 +75,13 @@ class GuestOs {
   //  - unmapped vpage -> guest minor fault, allocate a physical page from
   //    the free list (reporting the allocation through the PV queue);
   //  - invalid P2M entry -> hypervisor fault, resolved by the NUMA policy.
-  TouchResult TouchPage(int pid, Vpn vpn, CpuId cpu);
+  // `vcpu` is the identity of the touching vCPU (what a real kernel reads
+  // via smp_processor_id); the vNUMA allocator keys vnode selection on it.
+  // kInvalidVcpu falls back to the boot-time cpu->vnode snapshot — both are
+  // deliberately *stale* views after a vCPU migration, which is exactly the
+  // failure mode the topology-mismatch experiments reproduce. Ignored when
+  // vNUMA is off.
+  TouchResult TouchPage(int pid, Vpn vpn, CpuId cpu, VcpuId vcpu = kInvalidVcpu);
 
   // Touches the `count` virtual pages [vpn, vpn+count) in ascending order,
   // equivalent to `count` TouchPage() calls from `cpu`. The per-page
@@ -75,7 +92,7 @@ class GuestOs {
   // through the P2M extent lookup instead of page-at-a-time.
   void TouchRange(int pid, Vpn vpn, int64_t count, CpuId cpu,
                   double touch_cost_s, double minor_fault_s, double hv_fault_s,
-                  double* cost_seconds);
+                  double* cost_seconds, VcpuId vcpu = kInvalidVcpu);
 
   // The process unmaps `vpn`; its physical page is zeroed and returned to
   // the free list (reported through the PV queue, or handled synchronously
@@ -86,7 +103,7 @@ class GuestOs {
   NodeId NodeOfVpage(int pid, Vpn vpn) const;
   Pfn PfnOfVpage(int pid, Vpn vpn) const;
 
-  int64_t free_pages() const { return static_cast<int64_t>(free_list_.size()); }
+  int64_t free_pages() const;
 
   // Ballooning support: removes up to `count` pages from the free list (the
   // guest loses the ability to allocate them) / returns pages to it.
@@ -95,6 +112,18 @@ class GuestOs {
 
   PvPageQueue& pv_queue() { return *queue_; }
   const GuestOsStats& stats() const { return stats_; }
+
+  // ---- vNUMA topology client (docs/VNUMA.md). ----
+  // Whether the guest booted with (and fetched) vNUMA tables.
+  bool vnuma_active() const { return vnuma_active_; }
+  // The tables as fetched (round-tripped through the serialized ABI).
+  const VnumaInfo& vnuma_info() const { return vnuma_; }
+  // Re-fetches the tables — what a guest that *could* re-read topology at
+  // runtime would do. Updates the vcpu->vnode map and generation; the page
+  // partition is a creation-time constant so freelists are untouched.
+  // Mainstream kernels cannot do this after boot (NUMA data structures are
+  // __init), which is why the migration experiments run without it.
+  void RefreshVnuma();
 
   // Recovery contract for dropped PV-queue batches: re-enqueues every
   // dropped alloc, and every dropped release whose page is still free.
@@ -130,7 +159,11 @@ class GuestOs {
     std::vector<uint8_t> vpage_dirty;  // dedup bitmap for the dirty set
   };
 
-  Pfn AllocPhysPage();
+  Pfn AllocPhysPage(int vnode_pref);
+  void FetchVnuma();
+  // Preferred vnode for an allocation by `vcpu` on `cpu`; -1 when vNUMA is
+  // off (the legacy single-freelist path).
+  int PreferredVnode(CpuId cpu, VcpuId vcpu) const;
   void MarkVpageDirty(int pid, Vpn vpn);
   int64_t DirtyLimit() const;
 
@@ -141,6 +174,18 @@ class GuestOs {
   std::deque<Pfn> free_list_;  // LIFO: recently freed pages are reused first
   std::unique_ptr<PvPageQueue> queue_;
   GuestOsStats stats_;
+
+  // vNUMA allocator state (empty unless Options::vnuma). The single
+  // free_list_ is drained into vnode_free_ at fetch time, preserving the
+  // per-vnode LIFO recency order.
+  bool vnuma_active_ = false;
+  VnumaInfo vnuma_;
+  std::vector<std::deque<Pfn>> vnode_free_;      // [nr_vnodes]
+  std::vector<int32_t> pfn_vnode_;               // [domain pages]
+  std::vector<std::vector<int32_t>> vnode_order_;  // distance-sorted fallback
+  std::vector<int32_t> cpu_vnode_;  // boot-time pcpu -> vnode snapshot, -1 unknown
+  Counter* vnuma_local_counter_ = nullptr;
+  Counter* vnuma_remote_counter_ = nullptr;
 
   uint64_t placement_generation_ = 0;
   std::vector<VpageEvent> dirty_vpages_;

@@ -4,7 +4,9 @@
 #ifndef XENNUMA_SRC_HV_DOMAIN_H_
 #define XENNUMA_SRC_HV_DOMAIN_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -92,6 +94,47 @@ class Domain {
   const std::unordered_map<Pfn, std::vector<Mfn>>& replicas() const { return replicas_; }
   std::unordered_map<Pfn, std::vector<Mfn>>& mutable_replicas() { return replicas_; }
 
+  // ---- vNUMA topology state (docs/VNUMA.md, docs/MODEL.md §16). ----
+  // The guest-visible tables themselves are built on demand by the
+  // hypercall (src/hv/vnuma.cc); the domain only keeps what can change
+  // after creation: where each vCPU currently runs, and a seqlock guarding
+  // snapshot consistency. Everything below is a no-op for domains created
+  // without vNUMA (the common case pays one boolean test).
+
+  // Sizes and seeds the vCPU-location table from the current pins. Must be
+  // called after the vCPU set is final; vcpus must not be added afterwards.
+  void ConfigureVnuma(bool enabled);
+  bool vnuma_enabled() const { return vnuma_enabled_; }
+
+  // True once a guest has fetched the topology tables; read on the
+  // first-touch fault path by the hybrid policy.
+  bool vnuma_hints_active() const {
+    return vnuma_enabled_ && vnuma_hints_active_.load(std::memory_order_relaxed);
+  }
+  void set_vnuma_hints_active() {
+    vnuma_hints_active_.store(true, std::memory_order_relaxed);
+  }
+
+  // Seqlock word: even = stable, odd = write in progress. The guest-visible
+  // generation is vnuma_seq()/2, i.e. the count of topology-relevant changes
+  // since creation.
+  uint64_t vnuma_seq() const { return vnuma_seq_.load(std::memory_order_acquire); }
+  uint64_t vnuma_generation() const { return vnuma_seq() / 2; }
+
+  // Records that vCPU `vcpu` now runs on `cpu` (engine vCPU-migration
+  // events, credit-scheduler rebalancing). Bumps the generation.
+  void NoteVcpuLocation(VcpuId vcpu, CpuId cpu);
+
+  // Records a topology-relevant placement change that does not move a vCPU
+  // (a page migrated across nodes under the guest's feet): the tables'
+  // *locality meaning* rotted, so the generation bumps without a table edit.
+  void NoteVnumaPlacementDrift();
+
+  // Where vCPU `vcpu` currently runs, per the vNUMA location table.
+  CpuId VnumaVcpuCpu(VcpuId vcpu) const {
+    return vnuma_vcpu_cpu_[vcpu].load(std::memory_order_relaxed);
+  }
+
   // ---- Flush-walk scratch (hypervisor page-queue hypercall). ----
   // The latest-op-per-page walk (§4.2.4) dedups pfns against a per-page
   // generation stamp instead of building a hash set per flush; comparing to
@@ -120,6 +163,15 @@ class Domain {
   std::unordered_map<Pfn, std::vector<Mfn>> replicas_;
   std::vector<uint32_t> flush_visited_;
   uint32_t flush_gen_ = 0;
+
+  // vNUMA state (see ConfigureVnuma). Writers serialize on the mutex and
+  // publish through the seqlock; readers (the hypercall) retry until they
+  // observe the same even seq before and after copying the location table.
+  bool vnuma_enabled_ = false;
+  std::atomic<bool> vnuma_hints_active_{false};
+  std::atomic<uint64_t> vnuma_seq_{0};
+  std::mutex vnuma_writer_mutex_;
+  std::unique_ptr<std::atomic<CpuId>[]> vnuma_vcpu_cpu_;
 };
 
 }  // namespace xnuma

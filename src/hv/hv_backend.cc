@@ -16,6 +16,7 @@ void HvPlacementBackend::set_observability(Observability* obs) {
   if (obs_ == nullptr) {
     map_count_ = map_range_count_ = migration_count_ = failed_migration_count_ = nullptr;
     migrated_bytes_ = replication_count_ = collapse_count_ = invalidation_count_ = nullptr;
+    vnuma_drift_count_ = nullptr;
     migrate_seconds_ = nullptr;
     return;
   }
@@ -38,6 +39,9 @@ void HvPlacementBackend::set_observability(Observability* obs) {
   invalidation_count_ = m.RegisterCounter(
       "hv.backend.invalidations", "pages",
       "P2M entries invalidated (releases re-arming the first-touch trap)");
+  vnuma_drift_count_ = m.RegisterCounter(
+      "hv.backend.vnuma_drift", "migrations",
+      "Cross-node page migrations that staled a vNUMA snapshot (docs/VNUMA.md)");
   migrate_seconds_ = m.RegisterHistogram("hv.backend.migrate_seconds", "s",
                                          "Wall-clock cost of one page migration");
 }
@@ -298,6 +302,14 @@ bool HvPlacementBackend::Migrate(Pfn pfn, NodeId node) {
   ++domain_->stats().pages_migrated;
   domain_->stats().bytes_migrated += frames_->bytes_per_frame();
   MarkDirty(pfn);
+  if (domain_->vnuma_enabled()) {
+    // The page left the node the guest's cached topology implies: any vNUMA
+    // snapshot taken before this migration is now stale (docs/MODEL.md §16).
+    domain_->NoteVnumaPlacementDrift();
+    if (vnuma_drift_count_ != nullptr) {
+      vnuma_drift_count_->Increment();
+    }
+  }
   if (obs_ != nullptr) {
     migration_count_->Increment();
     migrated_bytes_->Increment(frames_->bytes_per_frame());

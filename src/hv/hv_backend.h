@@ -45,6 +45,7 @@ class HvPlacementBackend : public PlacementBackend {
   bool Migrate(Pfn pfn, NodeId node) override;
   void Invalidate(Pfn pfn) override;
   int64_t FreeFramesOnNode(NodeId node) const override;
+  bool guest_hints_active() const override { return domain_->vnuma_hints_active(); }
 
   // ---- Read-only replication (optional §3.4 extension). ----
   // Creates one machine copy of `pfn` on every home node other than the one
@@ -104,6 +105,7 @@ class HvPlacementBackend : public PlacementBackend {
   Counter* replication_count_ = nullptr;
   Counter* collapse_count_ = nullptr;
   Counter* invalidation_count_ = nullptr;
+  Counter* vnuma_drift_count_ = nullptr;
   Histogram* migrate_seconds_ = nullptr;
 };
 

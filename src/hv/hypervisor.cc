@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/common/check.h"
+#include "src/policy/vnuma_hybrid.h"
 
 namespace xnuma {
 
@@ -26,6 +27,7 @@ void Hypervisor::set_observability(Observability* obs) {
   }
   if (obs_ == nullptr) {
     set_policy_calls_ = queue_flush_calls_ = page_fault_count_ = nullptr;
+    vnuma_info_calls_ = nullptr;
     flush_sim_seconds_ = nullptr;
     return;
   }
@@ -36,6 +38,9 @@ void Hypervisor::set_observability(Observability* obs) {
                                          "Page-queue flush hypercalls (interface 2)");
   page_fault_count_ = m.RegisterCounter("hv.page_faults", "faults",
                                         "Hypervisor first-touch page faults handled");
+  vnuma_info_calls_ = m.RegisterCounter(
+      "hv.hypercall.get_vnuma_info", "calls",
+      "vNUMA topology queries answered (docs/VNUMA.md)");
   flush_sim_seconds_ = m.RegisterHistogram(
       "hv.hypercall.flush_sim_seconds", "s",
       "Simulated hypervisor time consumed per page-queue flush");
@@ -182,7 +187,8 @@ DomainId Hypervisor::TryCreateDomain(const DomainConfig& config) {
     }
   }
   dom->set_policy_geometry(geom);
-  dom->SetPolicy(config.policy, MakePolicy(config.policy.placement, geom));
+  dom->ConfigureVnuma(config.vnuma);
+  dom->SetPolicy(config.policy, MakePolicy(config.policy, geom));
 
   domains_.push_back(std::move(dom));
   backends_.push_back(std::make_unique<HvPlacementBackend>(*domains_.back(), frames_));
@@ -212,13 +218,43 @@ HypercallStatus Hypervisor::HypercallSetPolicy(DomainId id, const PolicyConfig& 
   if (config.placement == StaticPolicy::kFirstTouch && dom.pci_passthrough()) {
     return HypercallStatus::kPolicyConflictsWithIommu;
   }
-  if (config.placement == dom.policy_config().placement) {
+  if (config.placement == dom.policy_config().placement &&
+      config.vnuma == dom.policy_config().vnuma) {
     dom.set_carrefour(config.carrefour);
     return HypercallStatus::kOk;
   }
-  dom.SetPolicy(config, MakePolicy(config.placement, dom.policy_geometry()));
+  dom.SetPolicy(config, MakePolicy(config, dom.policy_geometry()));
   dom.policy()->Initialize(backend(id));
   return HypercallStatus::kOk;
+}
+
+HypercallStatus Hypervisor::HypercallGetVnumaInfo(DomainId id, VnumaInfo* info) {
+  XNUMA_CHECK(info != nullptr);
+  if (id < 0 || id >= num_domains()) {
+    return HypercallStatus::kBadDomain;
+  }
+  Domain& dom = domain(id);
+  if (!dom.vnuma_enabled()) {
+    return HypercallStatus::kVnumaDisabled;
+  }
+  *info = BuildVnumaInfo(dom, *topo_);
+  // The guest now holds topology tables: switch the hybrid policy over to
+  // honouring them. (Idempotent; never reset — a real guest keeps using its
+  // boot-time tables however stale they get, which is the failure mode the
+  // migration experiment reproduces.)
+  dom.set_vnuma_hints_active();
+  if (vnuma_info_calls_ != nullptr) {
+    vnuma_info_calls_->Increment();
+    EmitEvent(obs_, "hypercall_get_vnuma_info", "hv");
+  }
+  return HypercallStatus::kOk;
+}
+
+void Hypervisor::NoteVcpuMoved(DomainId id, VcpuId vcpu, CpuId cpu) {
+  if (id < 0 || id >= num_domains()) {
+    return;
+  }
+  domain(id).NoteVcpuLocation(vcpu, cpu);
 }
 
 double Hypervisor::HypercallPageQueueFlush(DomainId id, std::span<const PageQueueOp> ops) {

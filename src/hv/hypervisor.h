@@ -15,6 +15,7 @@
 #include "src/hv/costs.h"
 #include "src/hv/domain.h"
 #include "src/hv/hv_backend.h"
+#include "src/hv/vnuma.h"
 #include "src/mm/frame_allocator.h"
 #include "src/numa/topology.h"
 
@@ -43,6 +44,11 @@ struct DomainConfig {
   // toucher's node instead of one page. Changes placement and fault counts,
   // so it is never implied by p2m_max_order.
   bool ft_superpage = false;
+  // Opt-in guest-visible topology (docs/VNUMA.md): the domain exposes one
+  // virtual node per home node through HypercallGetVnumaInfo and tracks the
+  // snapshot generation. Off (the default) keeps the paper's stance — the
+  // guest sees no topology — and makes the hypercall return kVnumaDisabled.
+  bool vnuma = false;
 };
 
 enum class HypercallStatus {
@@ -51,6 +57,9 @@ enum class HypercallStatus {
   // §4.4.1: the PCI passthrough IOMMU cannot tolerate invalid P2M entries,
   // so first-touch cannot be enabled while passthrough is active.
   kPolicyConflictsWithIommu,
+  // The domain was created without vNUMA (DomainConfig::vnuma unset), so it
+  // has no guest-visible topology to report (docs/VNUMA.md).
+  kVnumaDisabled,
 };
 
 // One entry of the batched page queue (§4.2.4).
@@ -104,6 +113,20 @@ class Hypervisor {
   // Returns the simulated hypervisor time consumed by this flush.
   double HypercallPageQueueFlush(DomainId id, std::span<const PageQueueOp> ops);
 
+  // ---- vNUMA extension (docs/VNUMA.md): XENMEM_get_vnuma_info-shaped
+  // query. Fills *info with a snapshot of the domain's virtual topology
+  // (memranges / distances / vcpu_to_vnode), seqlock-consistent against
+  // concurrent vCPU relocation, stamped with the current generation. The
+  // first successful call marks the domain's guest hints active, switching
+  // the hybrid policy (PolicyConfig::vnuma) from its base behaviour to
+  // partition-honouring placement.
+  HypercallStatus HypercallGetVnumaInfo(DomainId id, VnumaInfo* info);
+
+  // Records that `vcpu` of domain `id` now runs on `cpu` (called by the
+  // engine's vCPU-migration events; the credit scheduler notes its own
+  // moves). Bumps the domain's vNUMA generation; no-op when vNUMA is off.
+  void NoteVcpuMoved(DomainId id, VcpuId vcpu, CpuId cpu);
+
   // Hypervisor page-fault path: a guest access touched a pfn whose P2M entry
   // is invalid. Resolves placement through the domain policy. Returns the
   // node chosen, or kInvalidNode when machine memory is exhausted.
@@ -133,6 +156,7 @@ class Hypervisor {
   Counter* set_policy_calls_ = nullptr;
   Counter* queue_flush_calls_ = nullptr;
   Counter* page_fault_count_ = nullptr;
+  Counter* vnuma_info_calls_ = nullptr;
   Histogram* flush_sim_seconds_ = nullptr;
 };
 

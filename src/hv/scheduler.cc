@@ -91,6 +91,7 @@ int CreditScheduler::Rebalance(const std::vector<Domain*>& domains) {
         --load_[v.pinned_cpu];
         ++load_[target];
         v.pinned_cpu = target;
+        dom->NoteVcpuLocation(v.id, target);
         ++migrations;
         changed = true;
         break;
@@ -121,6 +122,7 @@ int CreditScheduler::Rebalance(const std::vector<Domain*>& domains) {
       --load_[v.pinned_cpu];
       ++load_[target];
       v.pinned_cpu = target;
+      dom->NoteVcpuLocation(v.id, target);
       ++migrations;
     }
   }

@@ -63,6 +63,13 @@ class PlacementBackend {
   virtual void Invalidate(Pfn pfn) = 0;
 
   virtual int64_t FreeFramesOnNode(NodeId node) const = 0;
+
+  // Whether the guest behind this address space has fetched its vNUMA
+  // topology tables (docs/VNUMA.md): the hybrid policy honours the vNUMA
+  // partition only once hints are live, and delegates to its base policy
+  // untouched before that. Backends without a vNUMA-capable guest never
+  // report hints.
+  virtual bool guest_hints_active() const { return false; }
 };
 
 // First-touch fallback (§3.1): map on `preferred`; if that node is full,

@@ -1,0 +1,59 @@
+// The canonical vNUMA address-space partition (docs/VNUMA.md §3).
+//
+// A domain with H home nodes exposes H virtual nodes; its guest-physical
+// address space [0, num_pages) is split into H contiguous ranges, vnode i
+// backed (by construction, at creation time) by home node i. Both sides of
+// the interface derive placement from this ONE function: the hypervisor
+// builds the memrange table from it, and the hybrid policy maps a faulting
+// pfn to its partition node with it — so guest hints and hypervisor
+// placement can never disagree about which vnode a page belongs to.
+
+#ifndef XENNUMA_SRC_POLICY_VNUMA_LAYOUT_H_
+#define XENNUMA_SRC_POLICY_VNUMA_LAYOUT_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace xnuma {
+
+struct VnodeRange {
+  Pfn start = 0;  // inclusive
+  Pfn end = 0;    // exclusive; start == end is a legal empty vnode
+};
+
+// Even split of [0, num_pages) into nr_vnodes contiguous ranges. The first
+// (num_pages % nr_vnodes) vnodes carry one extra page, so the ranges are
+// sorted, disjoint, and cover the space exactly.
+inline std::vector<VnodeRange> VnumaSplit(int64_t num_pages, int nr_vnodes) {
+  std::vector<VnodeRange> ranges;
+  if (nr_vnodes <= 0) {
+    return ranges;
+  }
+  const int64_t base = num_pages / nr_vnodes;
+  const int64_t extra = num_pages % nr_vnodes;
+  ranges.reserve(nr_vnodes);
+  Pfn cursor = 0;
+  for (int v = 0; v < nr_vnodes; ++v) {
+    const int64_t len = base + (v < extra ? 1 : 0);
+    ranges.push_back({cursor, cursor + len});
+    cursor += len;
+  }
+  return ranges;
+}
+
+// O(1) inverse of VnumaSplit: the vnode owning `pfn`. Requires
+// 0 <= pfn < num_pages and nr_vnodes >= 1.
+inline int VnodeOfPfn(Pfn pfn, int64_t num_pages, int nr_vnodes) {
+  const int64_t base = num_pages / nr_vnodes;
+  const int64_t extra = num_pages % nr_vnodes;
+  const int64_t wide_span = (base + 1) * extra;  // vnodes [0, extra) are wider
+  if (pfn < wide_span) {
+    return static_cast<int>(pfn / (base + 1));
+  }
+  return static_cast<int>(extra + (pfn - wide_span) / base);
+}
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_POLICY_VNUMA_LAYOUT_H_

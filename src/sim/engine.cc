@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 
 #include "src/common/check.h"
 
@@ -185,6 +186,15 @@ struct Engine::JobState {
 
   int shared_region = 0;   // index of the DMA buffer region
   int private_region = 1;  // index of the churn target region
+
+  // Deferred-reuse churn pipeline (JobSpec::churn_reuse_delay_s): released
+  // vpages waiting out the reuse distance before their re-touch.
+  struct ChurnRelease {
+    double release_time;
+    int thread;
+    Vpn vpn;
+  };
+  std::deque<ChurnRelease> churn_pending;
 
   // ---- Incremental placement state. ----
   // Vpns drained from the guest/backend dirty sets, awaiting re-read.
@@ -392,7 +402,7 @@ void Engine::InitJob(JobState& job) {
     if (region.spec->init == AllocPattern::kMasterInit) {
       guest.TouchRange(job.pid, region.first_vpn, region.pages,
                        job.threads[0].cpu, kTouchCostSeconds, minor_cost,
-                       hv_fault_cost, &master_seconds);
+                       hv_fault_cost, &master_seconds, /*vcpu=*/0);
     } else {
       for (int t = 0; t < job.spec.threads; ++t) {
         const int64_t lo = region.SliceBegin(t, job.spec.threads);
@@ -400,7 +410,7 @@ void Engine::InitJob(JobState& job) {
         if (hi > lo) {
           guest.TouchRange(job.pid, region.first_vpn + lo, hi - lo,
                            job.threads[t].cpu, kTouchCostSeconds, minor_cost,
-                           hv_fault_cost, &owner_seconds[t]);
+                           hv_fault_cost, &owner_seconds[t], /*vcpu=*/t);
         }
       }
     }
@@ -1036,7 +1046,7 @@ void Engine::FinishJob(JobState& job, double now) {
   job.faults_aborted_at_finish = fs.TotalAborted();
 }
 
-void Engine::RunAllocatorChurn(JobState& job, double dt) {
+void Engine::RunAllocatorChurn(JobState& job, double dt, double now) {
   const AppProfile& app = *job.spec.app;
   if (app.release_rate_per_s <= 0.0 || job.finished) {
     return;
@@ -1051,22 +1061,59 @@ void Engine::RunAllocatorChurn(JobState& job, double dt) {
 
   RegionState& region = job.regions[job.private_region];
   double fault_cost = 0.0;
-  for (int i = 0; i < n_ops; ++i) {
-    const int t = static_cast<int>(job.rng.NextInt(job.spec.threads));
-    const int64_t begin = region.SliceBegin(t, job.spec.threads);
-    const int64_t end = region.SliceEnd(t, job.spec.threads);
-    if (end <= begin) {
-      continue;
+  if (job.spec.churn_reuse_delay_s > 0.0) {
+    // Deferred reuse: first re-touch the pipelined releases whose reuse
+    // distance has elapsed — the flush has invalidated them by now, so the
+    // touch faults and placement follows the current allocation decision,
+    // from the thread's *current* CPU. Then feed this epoch's releases
+    // into the pipeline.
+    int ops = 0;
+    while (ops < n_ops && !job.churn_pending.empty() &&
+           job.churn_pending.front().release_time + job.spec.churn_reuse_delay_s <= now) {
+      const JobState::ChurnRelease entry = job.churn_pending.front();
+      job.churn_pending.pop_front();
+      const TouchResult touch = guest.TouchPage(job.pid, entry.vpn,
+                                                job.threads[entry.thread].cpu,
+                                                /*vcpu=*/entry.thread);
+      if (touch.guest_alloc) {
+        fault_cost += guest_mode ? config_.guest_minor_fault_s : config_.native_minor_fault_s;
+      }
+      if (touch.hv_fault) {
+        fault_cost += guest_mode ? hv_->costs().page_fault_s : config_.native_minor_fault_s;
+      }
+      ++ops;
     }
-    const int64_t idx = begin + job.rng.NextInt(end - begin);
-    const Vpn vpn = region.first_vpn + idx;
-    guest.ReleasePage(job.pid, vpn);
-    const TouchResult touch = guest.TouchPage(job.pid, vpn, job.threads[t].cpu);
-    if (touch.guest_alloc) {
-      fault_cost += guest_mode ? config_.guest_minor_fault_s : config_.native_minor_fault_s;
+    for (; ops < n_ops; ++ops) {
+      const int t = static_cast<int>(job.rng.NextInt(job.spec.threads));
+      const int64_t begin = region.SliceBegin(t, job.spec.threads);
+      const int64_t end = region.SliceEnd(t, job.spec.threads);
+      if (end <= begin) {
+        continue;
+      }
+      const int64_t idx = begin + job.rng.NextInt(end - begin);
+      const Vpn vpn = region.first_vpn + idx;
+      guest.ReleasePage(job.pid, vpn);
+      job.churn_pending.push_back({now, t, vpn});
     }
-    if (touch.hv_fault) {
-      fault_cost += guest_mode ? hv_->costs().page_fault_s : config_.native_minor_fault_s;
+  } else {
+    for (int i = 0; i < n_ops; ++i) {
+      const int t = static_cast<int>(job.rng.NextInt(job.spec.threads));
+      const int64_t begin = region.SliceBegin(t, job.spec.threads);
+      const int64_t end = region.SliceEnd(t, job.spec.threads);
+      if (end <= begin) {
+        continue;
+      }
+      const int64_t idx = begin + job.rng.NextInt(end - begin);
+      const Vpn vpn = region.first_vpn + idx;
+      guest.ReleasePage(job.pid, vpn);
+      const TouchResult touch =
+          guest.TouchPage(job.pid, vpn, job.threads[t].cpu, /*vcpu=*/t);
+      if (touch.guest_alloc) {
+        fault_cost += guest_mode ? config_.guest_minor_fault_s : config_.native_minor_fault_s;
+      }
+      if (touch.hv_fault) {
+        fault_cost += guest_mode ? hv_->costs().page_fault_s : config_.native_minor_fault_s;
+      }
     }
   }
 
@@ -1115,6 +1162,11 @@ void Engine::MigrateVcpus(JobState& job, double now) {
     std::swap(ta.cpu, tb.cpu);
     ta.node = topo.node_of_cpu(ta.cpu);
     tb.node = topo.node_of_cpu(tb.cpu);
+    // Thread t runs on vCPU t: tell the hypervisor both vCPUs relocated so
+    // a vNUMA domain's topology generation reflects the move (the guest's
+    // cached vcpu_to_vnode is NOT updated — that staleness is the point).
+    hv_->NoteVcpuMoved(job.spec.domain, a, ta.cpu);
+    hv_->NoteVcpuMoved(job.spec.domain, b, tb.cpu);
     // The migrated vCPU's architectural state moves with it; charge a small
     // stall (cache/TLB refill on the new CPU).
     job.pending_stall_seconds += 50e-6 / job.spec.threads;
@@ -1415,7 +1467,7 @@ RunResult Engine::Run() {
         continue;
       }
       AdvanceProgress(*job, dt, now);
-      RunAllocatorChurn(*job, dt);
+      RunAllocatorChurn(*job, dt, now);
       MigrateVcpus(*job, now);
     }
     TickCarrefour(now);

@@ -119,6 +119,16 @@ struct JobSpec {
   // this job's threads swap physical CPUs across nodes. 0 disables.
   double vcpu_migration_period_s = 0.0;
   int vcpu_migrations_per_event = 4;
+  // Allocator-churn reuse distance, in simulated seconds. 0 (default)
+  // keeps the legacy sampling, which releases and re-touches a page in
+  // place — the re-allocation then cancels the release inside the batch
+  // (§4.2.4 latest-op-wins), so churn never re-places memory. A positive
+  // delay re-touches a released vpage only after the queue flush has
+  // invalidated its P2M entry (real allocator reuse distances exceed one
+  // flush batch), so the re-allocation takes a genuine first-touch fault
+  // and placement follows the *current* allocation decision — guest-side
+  // for a vNUMA domain, hypervisor-side otherwise (docs/VNUMA.md §6).
+  double churn_reuse_delay_s = 0.0;
 };
 
 struct JobResult {
@@ -242,7 +252,7 @@ class Engine : public PageAccessSource {
   void SolveUtilizationFixedPoint(double dt);
   double PathLinkUtil(NodeId src, NodeId dst) const;
   void AdvanceProgress(JobState& job, double dt, double now);
-  void RunAllocatorChurn(JobState& job, double dt);
+  void RunAllocatorChurn(JobState& job, double dt, double now);
   void MigrateVcpus(JobState& job, double now);
   void TickCarrefour(double now);
   double ThreadOverheadFraction(const JobState& job) const;

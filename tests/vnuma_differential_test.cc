@@ -1,0 +1,164 @@
+// Differential test for the vNUMA hybrid policy (docs/VNUMA.md §5): a
+// domain configured with the hybrid wrapper whose guest NEVER fetches the
+// topology tables must be bit-identical to the plain hypervisor-only stack.
+//
+// This is the interface's core safety contract: exposing the capability
+// costs nothing until a guest opts in. The wrapper sits on the first-touch
+// fault path of every configured domain, so any accidental divergence
+// (an extra rng draw, a reordered fallback, a float rounded differently)
+// would contaminate every vNUMA experiment's baseline. Same discipline as
+// fault_differential_test (rate zero) and obs_differential_test (attached
+// observer).
+//
+// A second teeth-check proves the test CAN see the difference: the same
+// machine with a topology-aware guest takes a different allocation path
+// (vnuma_local_allocs > 0).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/guest/guest_os.h"
+#include "src/hv/hypervisor.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+#include "src/sim/engine.h"
+#include "src/workload/app_profile.h"
+
+namespace xnuma {
+namespace {
+
+AppProfile VnumaChurnApp(const char* name) {
+  AppProfile app;
+  app.name = name;
+  app.cpu_cycles_per_access = 150;
+  app.nominal_seconds = 0.5;
+  app.release_rate_per_s = 20000.0;  // churn exercises alloc/release paths
+  app.disk_read_mb = 64.0;
+  RegionSpec shared;
+  shared.name = "shared";
+  shared.footprint_mb = 512;
+  shared.init = AllocPattern::kMasterInit;
+  shared.access_share = 0.6;
+  shared.hot_fraction = 0.25;
+  shared.hot_share = 0.8;
+  app.regions.push_back(shared);
+  RegionSpec priv;
+  priv.name = "private";
+  priv.footprint_mb = 256;
+  priv.init = AllocPattern::kOwnerPartitioned;
+  priv.access_share = 0.4;
+  priv.owner_affinity = 0.9;
+  app.regions.push_back(priv);
+  return app;
+}
+
+struct PolicyCase {
+  const char* label;
+  StaticPolicy placement;
+  bool carrefour;
+};
+
+enum class VnumaWiring {
+  kOff,          // plain domain, plain guest: the baseline
+  kDormant,      // hybrid wrapper installed, guest never fetches tables
+  kGuestAware,   // hybrid wrapper + topology-aware guest (teeth check)
+};
+
+struct RunOutput {
+  JobResult result;
+  int64_t vnuma_local_allocs = 0;
+  int64_t vnuma_remote_allocs = 0;
+};
+
+RunOutput RunOnce(const AppProfile& app, const PolicyCase& pc, VnumaWiring wiring) {
+  EngineConfig ec;
+  ec.seed = 21;
+  ec.max_sim_seconds = 20.0;
+
+  Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  LatencyModel latency;
+  DomainConfig dc;
+  dc.name = "dom";
+  dc.num_vcpus = 12;
+  dc.memory_pages = 4096;
+  for (int i = 0; i < 12; ++i) {
+    dc.pinned_cpus.push_back(i);
+  }
+  dc.policy.placement = pc.placement;
+  dc.policy.carrefour = pc.carrefour;
+  if (wiring != VnumaWiring::kOff) {
+    dc.vnuma = true;
+    dc.policy.vnuma = true;  // the hybrid wrapper around the base policy
+  }
+  const DomainId dom = hv.CreateDomain(dc);
+  GuestOs::Options go;
+  go.vnuma = wiring == VnumaWiring::kGuestAware;
+  GuestOs guest(hv, dom, go);
+  Engine engine(hv, latency, ec);
+  JobSpec spec;
+  spec.app = &app;
+  spec.domain = dom;
+  spec.guest = &guest;
+  spec.threads = 12;
+  // vCPU migrations run during the job, so NoteVcpuMoved fires on the
+  // dormant path too — generation bumps must not leak into placement.
+  spec.vcpu_migration_period_s = 0.2;
+  engine.AddJob(spec);
+  const RunResult r = engine.Run();
+  return {r.jobs.back(), guest.stats().vnuma_local_allocs, guest.stats().vnuma_remote_allocs};
+}
+
+class VnumaDifferentialTest : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(VnumaDifferentialTest, DormantHybridIsBitIdenticalToHypervisorOnly) {
+  const PolicyCase pc = GetParam();
+  const AppProfile app = VnumaChurnApp("vnuma-diff-churn");
+  const RunOutput off = RunOnce(app, pc, VnumaWiring::kOff);
+  const RunOutput dormant = RunOnce(app, pc, VnumaWiring::kDormant);
+
+  EXPECT_TRUE(off.result.finished);
+  EXPECT_TRUE(dormant.result.finished);
+  EXPECT_EQ(off.result.completion_seconds, dormant.result.completion_seconds);
+  EXPECT_EQ(off.result.init_seconds, dormant.result.init_seconds);
+  EXPECT_EQ(off.result.compute_seconds, dormant.result.compute_seconds);
+  EXPECT_EQ(off.result.imbalance_pct, dormant.result.imbalance_pct);
+  EXPECT_EQ(off.result.interconnect_pct, dormant.result.interconnect_pct);
+  EXPECT_EQ(off.result.avg_mc_util_pct, dormant.result.avg_mc_util_pct);
+  EXPECT_EQ(off.result.avg_latency_cycles, dormant.result.avg_latency_cycles);
+  EXPECT_EQ(off.result.observed_disk_mb_per_s, dormant.result.observed_disk_mb_per_s);
+  EXPECT_EQ(off.result.observed_ctx_switches_per_s,
+            dormant.result.observed_ctx_switches_per_s);
+  EXPECT_EQ(off.result.hv_page_faults, dormant.result.hv_page_faults);
+  EXPECT_EQ(off.result.carrefour_migrations, dormant.result.carrefour_migrations);
+
+  // The dormant guest never fetched, so the allocator stayed classical.
+  EXPECT_EQ(dormant.vnuma_local_allocs, 0);
+  EXPECT_EQ(dormant.vnuma_remote_allocs, 0);
+}
+
+TEST_P(VnumaDifferentialTest, TopologyAwareGuestActuallyTakesTheVnumaPath) {
+  const PolicyCase pc = GetParam();
+  const AppProfile app = VnumaChurnApp("vnuma-diff-churn");
+  const RunOutput aware = RunOnce(app, pc, VnumaWiring::kGuestAware);
+  EXPECT_TRUE(aware.result.finished);
+  // Teeth: the guest allocated through the per-vnode freelists. (Result
+  // equality with the baseline is NOT asserted either way — placement may
+  // or may not coincide for a given workload; the contract is only that
+  // the dormant path is identical and the aware path is exercised.)
+  EXPECT_GT(aware.vnuma_local_allocs + aware.vnuma_remote_allocs, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, VnumaDifferentialTest,
+    ::testing::Values(PolicyCase{"first_touch", StaticPolicy::kFirstTouch, false},
+                      PolicyCase{"round_4k", StaticPolicy::kRound4k, false},
+                      PolicyCase{"round_1g", StaticPolicy::kRound1g, false},
+                      PolicyCase{"first_touch_carrefour", StaticPolicy::kFirstTouch, true}),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace
+}  // namespace xnuma

@@ -1,0 +1,283 @@
+// vNUMA interface tests (docs/VNUMA.md): the hypercall surface, the table
+// contents, generation semantics under vCPU moves and page migration, the
+// address-space partition helpers, and the guest's topology-aware allocator
+// including the deliberate staleness after a vCPU migration.
+
+#include "src/hv/vnuma.h"
+
+#include <gtest/gtest.h>
+
+#include "src/guest/guest_os.h"
+#include "src/hv/hypervisor.h"
+#include "src/numa/topology.h"
+#include "src/policy/vnuma_layout.h"
+
+namespace xnuma {
+namespace {
+
+class VnumaTest : public ::testing::Test {
+ protected:
+  VnumaTest() : topo_(Topology::Amd48()), hv_(topo_) {}
+
+  // 4 vCPUs pinned to one CPU on each of nodes 0..3, 64 pages -> 4 vnodes
+  // of 16 pages each.
+  DomainId MakeVnumaDomain(StaticPolicy placement = StaticPolicy::kFirstTouch) {
+    DomainConfig dc;
+    dc.num_vcpus = 4;
+    dc.memory_pages = 64;
+    dc.pinned_cpus = {0, 6, 12, 18};
+    dc.policy.placement = placement;
+    dc.policy.vnuma = true;
+    dc.vnuma = true;
+    return hv_.CreateDomain(dc);
+  }
+
+  Topology topo_;
+  Hypervisor hv_;
+};
+
+TEST_F(VnumaTest, HypercallRejectsBadDomainAndDisabledVnuma) {
+  VnumaInfo info;
+  EXPECT_EQ(hv_.HypercallGetVnumaInfo(99, &info), HypercallStatus::kBadDomain);
+
+  DomainConfig dc;
+  dc.num_vcpus = 2;
+  dc.memory_pages = 16;
+  dc.pinned_cpus = {0, 6};
+  const DomainId plain = hv_.CreateDomain(dc);
+  EXPECT_EQ(hv_.HypercallGetVnumaInfo(plain, &info), HypercallStatus::kVnumaDisabled);
+  EXPECT_FALSE(hv_.domain(plain).vnuma_enabled());
+}
+
+TEST_F(VnumaTest, TablesDescribeTheActualPlacement) {
+  const DomainId id = MakeVnumaDomain();
+  VnumaInfo info;
+  ASSERT_EQ(hv_.HypercallGetVnumaInfo(id, &info), HypercallStatus::kOk);
+
+  ASSERT_EQ(info.nr_vnodes, 4);
+  ASSERT_EQ(info.nr_vcpus, 4);
+  EXPECT_EQ(info.generation, 0u);
+
+  // Even 16-page split, contiguous and covering.
+  ASSERT_EQ(info.memranges.size(), 4u);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_EQ(info.memranges[v].start, 16 * v);
+    EXPECT_EQ(info.memranges[v].end, 16 * (v + 1));
+    EXPECT_EQ(info.memranges[v].vnode, v);
+  }
+
+  // Virtual SLIT: 10 on the diagonal, 10 + 10*hops off it, symmetric.
+  const std::vector<NodeId>& homes = hv_.domain(id).home_nodes();
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      const int32_t d = info.distances[a * 4 + b];
+      EXPECT_EQ(d, 10 + 10 * topo_.Distance(homes[a], homes[b]));
+      EXPECT_EQ(d, info.distances[b * 4 + a]);
+    }
+    EXPECT_EQ(info.distances[a * 4 + a], 10);
+  }
+
+  // Pins were one CPU per home node, in order.
+  EXPECT_EQ(info.vcpu_to_vnode, (std::vector<int32_t>{0, 1, 2, 3}));
+}
+
+TEST_F(VnumaTest, FirstFetchActivatesGuestHints) {
+  const DomainId id = MakeVnumaDomain();
+  EXPECT_TRUE(hv_.domain(id).vnuma_enabled());
+  EXPECT_FALSE(hv_.domain(id).vnuma_hints_active());
+
+  VnumaInfo info;
+  ASSERT_EQ(hv_.HypercallGetVnumaInfo(id, &info), HypercallStatus::kOk);
+  EXPECT_TRUE(hv_.domain(id).vnuma_hints_active());
+
+  // Idempotent: a second fetch keeps hints active and the generation still.
+  ASSERT_EQ(hv_.HypercallGetVnumaInfo(id, &info), HypercallStatus::kOk);
+  EXPECT_TRUE(hv_.domain(id).vnuma_hints_active());
+  EXPECT_EQ(info.generation, 0u);
+}
+
+TEST_F(VnumaTest, VcpuMovesBumpTheGenerationAndRetargetTheMap) {
+  const DomainId id = MakeVnumaDomain();
+  VnumaInfo info;
+  ASSERT_EQ(hv_.HypercallGetVnumaInfo(id, &info), HypercallStatus::kOk);
+  EXPECT_EQ(info.generation, 0u);
+
+  // vCPU 0 relocates to a CPU on node 3.
+  hv_.NoteVcpuMoved(id, 0, 18);
+  ASSERT_EQ(hv_.HypercallGetVnumaInfo(id, &info), HypercallStatus::kOk);
+  EXPECT_EQ(info.generation, 1u);
+  EXPECT_EQ(info.vcpu_to_vnode[0], 3);
+
+  // A vCPU parked OFF the home set maps to the hop-nearest home vnode.
+  hv_.NoteVcpuMoved(id, 1, 42);  // node 7
+  ASSERT_EQ(hv_.HypercallGetVnumaInfo(id, &info), HypercallStatus::kOk);
+  EXPECT_EQ(info.generation, 2u);
+  const NodeId parked = topo_.node_of_cpu(42);
+  int best_hops = 1 << 30;
+  int32_t want = 0;
+  const std::vector<NodeId>& homes = hv_.domain(id).home_nodes();
+  for (size_t v = 0; v < homes.size(); ++v) {
+    const int hops = topo_.Distance(parked, homes[v]);
+    if (hops < best_hops) {
+      best_hops = hops;
+      want = static_cast<int32_t>(v);
+    }
+  }
+  EXPECT_EQ(info.vcpu_to_vnode[1], want);
+}
+
+TEST_F(VnumaTest, CrossNodePageMigrationBumpsTheGeneration) {
+  // Round-4K maps every page eagerly, so pfn 0 is migratable right away.
+  const DomainId id = MakeVnumaDomain(StaticPolicy::kRound4k);
+  const uint64_t before = hv_.domain(id).vnuma_generation();
+  ASSERT_TRUE(hv_.backend(id).Migrate(0, hv_.domain(id).home_nodes()[1]));
+  EXPECT_EQ(hv_.domain(id).vnuma_generation(), before + 1);
+}
+
+TEST_F(VnumaTest, NoteVcpuMovedIsANoOpWithoutVnuma) {
+  DomainConfig dc;
+  dc.num_vcpus = 2;
+  dc.memory_pages = 16;
+  dc.pinned_cpus = {0, 6};
+  const DomainId id = hv_.CreateDomain(dc);
+  hv_.NoteVcpuMoved(id, 0, 12);  // must not crash or touch state
+  EXPECT_EQ(hv_.domain(id).vnuma_generation(), 0u);
+}
+
+TEST(VnumaLayoutTest, SplitIsSortedDisjointAndCovering) {
+  for (const int64_t pages : {1ll, 3ll, 10ll, 64ll, 1000ll, 25600ll}) {
+    for (const int vnodes : {1, 2, 3, 4, 7, 8}) {
+      const std::vector<VnodeRange> ranges = VnumaSplit(pages, vnodes);
+      ASSERT_EQ(ranges.size(), static_cast<size_t>(vnodes));
+      Pfn cursor = 0;
+      for (const VnodeRange& r : ranges) {
+        EXPECT_EQ(r.start, cursor);
+        EXPECT_LE(r.start, r.end);
+        cursor = r.end;
+      }
+      EXPECT_EQ(cursor, pages);
+    }
+  }
+}
+
+TEST(VnumaLayoutTest, VnodeOfPfnInvertsTheSplit) {
+  for (const int64_t pages : {1ll, 3ll, 10ll, 64ll, 1001ll}) {
+    for (const int vnodes : {1, 2, 3, 4, 7, 8}) {
+      const std::vector<VnodeRange> ranges = VnumaSplit(pages, vnodes);
+      for (Pfn pfn = 0; pfn < pages; ++pfn) {
+        const int v = VnodeOfPfn(pfn, pages, vnodes);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, vnodes);
+        EXPECT_GE(pfn, ranges[v].start) << "pages " << pages << " vnodes " << vnodes;
+        EXPECT_LT(pfn, ranges[v].end) << "pages " << pages << " vnodes " << vnodes;
+      }
+    }
+  }
+}
+
+class VnumaGuestTest : public VnumaTest {
+ protected:
+  GuestOs MakeGuest(DomainId id) {
+    GuestOs::Options go;
+    go.vnuma = true;
+    return GuestOs(hv_, id, go);
+  }
+};
+
+TEST_F(VnumaGuestTest, BootFetchActivatesTheAllocator) {
+  const DomainId id = MakeVnumaDomain();
+  GuestOs guest = MakeGuest(id);
+  EXPECT_TRUE(guest.vnuma_active());
+  EXPECT_TRUE(hv_.domain(id).vnuma_hints_active());
+  EXPECT_EQ(guest.vnuma_info().nr_vnodes, 4);
+  // The partitioned freelists hold exactly what the single list would.
+  EXPECT_EQ(guest.free_pages(), 64);
+}
+
+TEST_F(VnumaGuestTest, AllocationsAreLocalToTheTouchingVcpusVnode) {
+  const DomainId id = MakeVnumaDomain();
+  GuestOs guest = MakeGuest(id);
+  const int pid = guest.CreateProcess(16);
+
+  // vCPU 2 runs on cpu 12 (node 2): the page must come from vnode 2's
+  // guest-physical partition [32, 48) and be placed on home node 2.
+  const TouchResult r = guest.TouchPage(pid, 0, /*cpu=*/12, /*vcpu=*/2);
+  EXPECT_TRUE(r.guest_alloc);
+  const Pfn pfn = guest.PfnOfVpage(pid, 0);
+  EXPECT_GE(pfn, 32);
+  EXPECT_LT(pfn, 48);
+  EXPECT_EQ(r.node, hv_.domain(id).home_nodes()[2]);
+  EXPECT_EQ(guest.stats().vnuma_local_allocs, 1);
+  EXPECT_EQ(guest.stats().vnuma_remote_allocs, 0);
+}
+
+TEST_F(VnumaGuestTest, ExhaustedVnodeBorrowsByDistanceOrder) {
+  const DomainId id = MakeVnumaDomain();
+  GuestOs guest = MakeGuest(id);
+  const int pid = guest.CreateProcess(32);
+  // Drain vnode 0 (16 pages), then one more: served remotely.
+  for (Vpn v = 0; v < 17; ++v) {
+    guest.TouchPage(pid, v, /*cpu=*/0, /*vcpu=*/0);
+  }
+  EXPECT_EQ(guest.stats().vnuma_local_allocs, 16);
+  EXPECT_EQ(guest.stats().vnuma_remote_allocs, 1);
+  // The 17th page came from some other vnode's partition.
+  const Pfn pfn = guest.PfnOfVpage(pid, 16);
+  EXPECT_GE(pfn, 16);
+}
+
+TEST_F(VnumaGuestTest, ReleaseReturnsPagesToTheOwningVnode) {
+  const DomainId id = MakeVnumaDomain();
+  GuestOs guest = MakeGuest(id);
+  const int pid = guest.CreateProcess(16);
+  guest.TouchPage(pid, 0, /*cpu=*/6, /*vcpu=*/1);
+  const Pfn pfn = guest.PfnOfVpage(pid, 0);
+  guest.ReleasePage(pid, 0);
+  // Reallocating from the same vnode recycles the page LIFO.
+  guest.TouchPage(pid, 1, /*cpu=*/6, /*vcpu=*/1);
+  EXPECT_EQ(guest.PfnOfVpage(pid, 1), pfn);
+}
+
+TEST_F(VnumaGuestTest, StaleMapAfterVcpuMoveUntilRefresh) {
+  const DomainId id = MakeVnumaDomain();
+  GuestOs guest = MakeGuest(id);
+  const int pid = guest.CreateProcess(16);
+
+  // vCPU 2 migrates from node 2 to node 0 — the hypervisor knows, the
+  // guest's boot-time tables don't (mainstream kernels cannot re-read
+  // topology after boot).
+  hv_.NoteVcpuMoved(id, 2, /*cpu=*/1);
+  const TouchResult stale = guest.TouchPage(pid, 0, /*cpu=*/1, /*vcpu=*/2);
+  const Pfn stale_pfn = guest.PfnOfVpage(pid, 0);
+  EXPECT_GE(stale_pfn, 32);  // still vnode 2's partition: a remote page now
+  EXPECT_LT(stale_pfn, 48);
+  EXPECT_EQ(stale.node, hv_.domain(id).home_nodes()[2]);
+
+  // After an explicit re-fetch the map is current again.
+  guest.RefreshVnuma();
+  EXPECT_EQ(guest.vnuma_info().generation, 1u);
+  EXPECT_EQ(guest.vnuma_info().vcpu_to_vnode[2], 0);
+  guest.TouchPage(pid, 1, /*cpu=*/1, /*vcpu=*/2);
+  const Pfn fresh_pfn = guest.PfnOfVpage(pid, 1);
+  EXPECT_LT(fresh_pfn, 16);  // vnode 0's partition
+}
+
+TEST_F(VnumaGuestTest, HybridAddsCarrefourOnTop) {
+  DomainConfig dc;
+  dc.num_vcpus = 4;
+  dc.memory_pages = 64;
+  dc.pinned_cpus = {0, 6, 12, 18};
+  dc.policy = {StaticPolicy::kFirstTouch, /*carrefour=*/true};
+  dc.policy.vnuma = true;
+  dc.vnuma = true;
+  const DomainId id = hv_.CreateDomain(dc);
+  GuestOs guest = MakeGuest(id);
+  const int pid = guest.CreateProcess(8);
+  const TouchResult r = guest.TouchPage(pid, 0, /*cpu=*/0, /*vcpu=*/0);
+  EXPECT_TRUE(r.guest_alloc);
+  EXPECT_EQ(hv_.domain(id).policy_config().carrefour, true);
+  EXPECT_LT(guest.PfnOfVpage(pid, 0), 16);
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -266,16 +266,16 @@ TEST(WorkerProtoTest, CorruptFramesLatchCleanErrors) {
     EXPECT_FALSE(decoder.Next(&frame));
     EXPECT_NE(decoder.error().find("magic"), std::string::npos) << decoder.error();
   }
-  {  // version skew: a frame from a build speaking version 2
+  {  // version skew: a frame from a build speaking a future version
     std::vector<uint8_t> bad = good;
-    bad[4] = 2;  // version u16 little-endian at offset 4
+    bad[4] = static_cast<uint8_t>(kWireVersion + 1);  // version u16 LE at offset 4
     FrameDecoder decoder;
     decoder.Append(bad.data(), bad.size());
     WireFrame frame;
     EXPECT_FALSE(decoder.Next(&frame));
-    EXPECT_NE(decoder.error().find("wire version 2 (this build speaks 1)"),
-              std::string::npos)
-        << decoder.error();
+    const std::string want = "wire version " + std::to_string(kWireVersion + 1) +
+                             " (this build speaks " + std::to_string(kWireVersion) + ")";
+    EXPECT_NE(decoder.error().find(want), std::string::npos) << decoder.error();
   }
   {  // unknown frame type
     std::vector<uint8_t> bad = good;
@@ -397,15 +397,15 @@ TEST(WorkerProtoTest, MaxLengthStringsRoundTripAndOverLongAreRejected) {
 TEST(WorkerProtoTest, OutOfRangeEnumsPoisonTheReader) {
   // StaticPolicy only spans [0, 2]; a payload claiming 7 must be rejected,
   // not cast blindly into the enum. The final_policy placement byte sits a
-  // fixed 30 bytes from the end of a serialized RunOutcome (carrefour bool
-  // + policy_switches i32 + three fault i64s follow it).
+  // fixed 31 bytes from the end of a serialized RunOutcome (carrefour +
+  // vnuma bools + policy_switches i32 + three fault i64s follow it).
   Rand rng(0xE7);
   WireWriter w;
   SerializeRunOutcome(RandomOutcome(rng), &w);
   ASSERT_TRUE(w.ok()) << w.error();
   std::vector<uint8_t> bytes = w.bytes();
-  ASSERT_GE(bytes.size(), 30u);
-  bytes[bytes.size() - 30] = 7;
+  ASSERT_GE(bytes.size(), 31u);
+  bytes[bytes.size() - 31] = 7;
 
   WireReader r(bytes);
   RunOutcome out;

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Doc-lint for MODEL.md section citations: every "MODEL.md §N" (or
+# "MODEL.md#N-anchor" link) in the repo's prose must point at a section
+# heading that actually exists in docs/MODEL.md. Catches the classic rot
+# where a section is renumbered or a citation lands before the section is
+# written. Bare "§N" without MODEL.md context cites the *paper* and is
+# deliberately not checked. Runs as ctest `doc_sections_lint`.
+#
+# Usage: tools/check_doc_sections.sh [repo-root]   (default: script's parent)
+set -euo pipefail
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+MODEL="$ROOT/docs/MODEL.md"
+
+if [[ ! -f "$MODEL" ]]; then
+  echo "FAIL: $MODEL does not exist"
+  exit 1
+fi
+
+# Existing sections: '## N.' headings.
+sections=$(grep -oE '^## [0-9]+' "$MODEL" | awk '{print $2}' | sort -un)
+if [[ -z "$sections" ]]; then
+  echo "FAIL: docs/MODEL.md has no numbered '## N.' sections (lint is miswired?)"
+  exit 1
+fi
+
+exists() {
+  local n="$1"
+  grep -qx "$n" <<< "$sections"
+}
+
+files=()
+for f in "$ROOT"/README.md "$ROOT"/CHANGES.md "$ROOT"/ROADMAP.md \
+         "$ROOT"/EXPERIMENTS.md "$ROOT"/docs/*.md; do
+  [[ -f "$f" ]] && files+=("$f")
+done
+
+missing=0
+total=0
+for f in "${files[@]}"; do
+  # Two citation shapes: "MODEL.md §8" (optionally "§8/§9/§10") and the
+  # markdown anchor "MODEL.md#8-observability".
+  # Each grep pipeline may legitimately match nothing (exit 1); that must
+  # not trip set -e/pipefail, hence the `|| true`.
+  cites=$( { grep -oE 'MODEL\.md §[0-9]+(/§[0-9]+)*' "$f" |
+               grep -oE '§[0-9]+' | tr -d '§' || true;
+             grep -oE 'MODEL\.md#[0-9]+' "$f" | grep -oE '[0-9]+' || true; } |
+           sort -un)
+  if [[ -z "$cites" ]]; then continue; fi
+  while IFS= read -r n; do
+    total=$((total + 1))
+    if ! exists "$n"; then
+      echo "FAIL: ${f#"$ROOT"/} cites MODEL.md §$n but docs/MODEL.md has no '## $n.' section"
+      missing=$((missing + 1))
+    fi
+  done <<< "$cites"
+done
+
+if [[ "$total" -eq 0 ]]; then
+  echo "FAIL: found no MODEL.md section citations anywhere (lint is miswired?)"
+  exit 1
+fi
+if [[ "$missing" -gt 0 ]]; then
+  echo "FAIL: $missing of $total MODEL.md section citations dangle"
+  exit 1
+fi
+echo "OK: all $total MODEL.md section citations resolve"

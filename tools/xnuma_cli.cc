@@ -49,6 +49,10 @@ int Usage() {
                "            results are bit-identical, only p2m.* metrics move)\n"
                "           --ft_superpage (first-touch maps whole aligned\n"
                "            superpage blocks per fault; changes placement)\n"
+               "           --vnuma off|guest|hybrid  (guest-visible topology,\n"
+               "            docs/VNUMA.md; guest boots a NUMA-aware allocator\n"
+               "            over the vNUMA tables, hybrid adds the Carrefour\n"
+               "            override on top; guest-mode stacks only)\n"
                "           --metrics (print metrics: summary) --metrics-json FILE\n"
                "           --trace-json FILE  (Chrome trace_event JSON; open in\n"
                "            chrome://tracing or https://ui.perfetto.dev)\n"
@@ -122,6 +126,27 @@ StackConfig WithP2mOptions(StackConfig stack, const Flags& flags) {
   return stack;
 }
 
+StackConfig WithVnumaOptions(StackConfig stack, const Flags& flags) {
+  const std::string mode = flags.GetString("vnuma", "off");
+  if (mode == "off") {
+    return stack;
+  }
+  if (mode == "guest") {
+    stack.vnuma = VnumaMode::kGuest;
+  } else if (mode == "hybrid") {
+    stack.vnuma = VnumaMode::kHybrid;
+  } else {
+    std::fprintf(stderr, "unknown vnuma mode '%s' (want off, guest or hybrid)\n", mode.c_str());
+    std::exit(2);
+  }
+  if (stack.mode != ExecMode::kGuest) {
+    std::fprintf(stderr, "--vnuma needs a guest-mode stack (native Linux has the real topology)\n");
+    std::exit(2);
+  }
+  stack.label += stack.vnuma == VnumaMode::kHybrid ? "/vNUMA-hybrid" : "/vNUMA";
+  return stack;
+}
+
 void PrintFaultSummary(const Flags& flags, const JobResult& r) {
   if (flags.GetBool("csv", false) || r.faults_injected == 0) {
     return;
@@ -142,15 +167,17 @@ StackConfig LoadStack(const Flags& flags) {
   }
   const bool carrefour = flags.GetBool("carrefour", false);
   if (stack == "linux") {
-    return WithP2mOptions(
-        LinuxStack({policy.empty() ? StaticPolicy::kFirstTouch : placement, carrefour}),
+    return WithVnumaOptions(
+        WithP2mOptions(
+            LinuxStack({policy.empty() ? StaticPolicy::kFirstTouch : placement, carrefour}),
+            flags),
         flags);
   }
   if (stack == "xen") {
-    return WithP2mOptions(XenStack(), flags);
+    return WithVnumaOptions(WithP2mOptions(XenStack(), flags), flags);
   }
   if (stack == "xen+") {
-    return WithP2mOptions(XenPlusStack({placement, carrefour}), flags);
+    return WithVnumaOptions(WithP2mOptions(XenPlusStack({placement, carrefour}), flags), flags);
   }
   std::fprintf(stderr, "unknown stack '%s'\n", stack.c_str());
   std::exit(2);
@@ -227,8 +254,8 @@ int CmdRun(const Flags& flags) {
 int CmdSweep(const Flags& flags) {
   const AppProfile app = LoadApp(flags, "app");
   const std::string stack_name = flags.GetString("stack", "xen+");
-  const StackConfig base =
-      WithP2mOptions(stack_name == "linux" ? LinuxStack() : XenPlusStack(), flags);
+  const StackConfig base = WithVnumaOptions(
+      WithP2mOptions(stack_name == "linux" ? LinuxStack() : XenPlusStack(), flags), flags);
   const auto candidates =
       stack_name == "linux" ? LinuxPolicyCandidates() : XenPolicyCandidates();
   Dispatcher::Options dispatch;
@@ -262,7 +289,8 @@ int CmdPair(const Flags& flags) {
 
 int CmdAuto(const Flags& flags) {
   const AppProfile app = LoadApp(flags, "app");
-  const JobResult r = RunSingleApp(app, WithP2mOptions(XenAutoStack(), flags), LoadOptions(flags));
+  const JobResult r = RunSingleApp(app, WithVnumaOptions(WithP2mOptions(XenAutoStack(), flags), flags),
+                                   LoadOptions(flags));
   PrintResult(flags, "Xen+/auto", r);
   if (!flags.GetBool("csv", false)) {
     std::printf("final policy: %s after %d switches\n", ToString(r.final_policy),
