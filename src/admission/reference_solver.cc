@@ -1,0 +1,67 @@
+#include "src/admission/reference_solver.h"
+
+#include <bit>
+
+#include "src/common/check.h"
+
+namespace xnuma {
+
+AdmissionResult ReferenceSolve(const Topology& topo, const FrameAllocator& frames,
+                               const AdmissionRequest& request,
+                               const std::vector<int>& free_cpus_per_node) {
+  const int n = topo.num_nodes();
+  XNUMA_CHECK(n <= 16);
+  XNUMA_CHECK(static_cast<int>(free_cpus_per_node.size()) == n);
+
+  AdmissionResult result;
+  if (request.memory_pages > frames.total_frames() ||
+      request.num_vcpus > topo.num_cpus()) {
+    result.decision = AdmissionDecision::kReject;
+    return result;
+  }
+
+  std::vector<NodeSpace> spaces(n);
+  for (NodeId node = 0; node < n; ++node) {
+    spaces[node] = RecountNodeSpace(frames, node);
+  }
+
+  bool found = false;
+  std::vector<NodeId> best_nodes;
+  PlacementScore best_score;
+  std::vector<NodeId> candidate;
+  for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+    candidate.clear();
+    int cpu_total = 0;
+    int64_t frame_total = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (uint32_t{1} << i)) {
+        candidate.push_back(i);
+        cpu_total += free_cpus_per_node[i];
+        frame_total += spaces[i].free_frames;
+      }
+    }
+    ++result.candidates_evaluated;
+    if (cpu_total < request.num_vcpus || frame_total < request.memory_pages) {
+      continue;
+    }
+    const PlacementScore score =
+        ScoreCandidate(topo, candidate, spaces, free_cpus_per_node, request.preferred_order);
+    if (!found || Better(score, best_score) ||
+        (score == best_score && candidate < best_nodes)) {
+      best_score = score;
+      best_nodes = candidate;
+      found = true;
+    }
+  }
+
+  if (found) {
+    result.decision = AdmissionDecision::kAdmit;
+    result.nodes = std::move(best_nodes);
+    result.score = best_score;
+  } else {
+    result.decision = AdmissionDecision::kDefer;
+  }
+  return result;
+}
+
+}  // namespace xnuma

@@ -289,4 +289,17 @@ const PolicySweepEntry& BestEntry(const std::vector<PolicySweepEntry>& sweep) {
   return *best;
 }
 
+ChurnReport RunChurnScenario(const ChurnScenarioConfig& config) {
+  const Topology topo =
+      config.amd48 ? Topology::Amd48()
+                   : Topology::Synthetic(config.nodes, config.cpus_per_node,
+                                         config.bytes_per_node);
+  Hypervisor hv(topo);
+  // Before the runner exists, so its instruments register (same ordering
+  // contract as Machine above).
+  hv.set_observability(config.obs);
+  ChurnRunner runner(hv);
+  return runner.Run(GenerateChurnTrace(config.spec), config.domain_template);
+}
+
 }  // namespace xnuma

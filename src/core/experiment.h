@@ -20,9 +20,11 @@
 #include <string>
 #include <vector>
 
+#include "src/admission/churn_runner.h"
 #include "src/common/types.h"
 #include "src/sim/engine.h"
 #include "src/workload/app_profile.h"
+#include "src/workload/churn.h"
 
 namespace xnuma {
 
@@ -151,6 +153,27 @@ const PolicySweepEntry& BestEntry(const std::vector<PolicySweepEntry>& sweep);
 // Total simulated pages the engine will lay out for `app` (used to size the
 // domain's physical memory).
 int64_t SimPagesForApp(const AppProfile& app, int64_t bytes_per_frame, int64_t min_region_pages);
+
+// ---- Multi-tenant churn scenario (docs/MODEL.md §17). ----
+// Assembles a fresh machine and replays a seeded churn trace through the
+// admission solver. Deterministic for a fixed config; what the CLI `churn`
+// subcommand and bench/extra_churn drive.
+struct ChurnScenarioConfig {
+  ChurnSpec spec;
+  // Machine shape: the paper's AMD48 when true, else Synthetic(nodes,
+  // cpus_per_node, bytes_per_node).
+  bool amd48 = true;
+  int nodes = 4;
+  int cpus_per_node = 4;
+  int64_t bytes_per_node = 256ll << 20;
+  // Per-arrival DomainConfig template (policy, ft_superpage, ...); sizes
+  // and admission mode come from the trace.
+  DomainConfig domain_template;
+  // Optional metrics + event tracing (must outlive the call).
+  Observability* obs = nullptr;
+};
+
+ChurnReport RunChurnScenario(const ChurnScenarioConfig& config);
 
 }  // namespace xnuma
 

@@ -77,6 +77,13 @@ class Domain {
   bool is_dom0() const { return is_dom0_; }
   void set_is_dom0(bool v) { is_dom0_ = v; }
 
+  // Set once by Hypervisor::DestroyDomain after every machine frame and
+  // pCPU reservation is released. The Domain object stays addressable (ids
+  // are stable handles) but holds no machine resources; churn bookkeeping
+  // and the scheduler skip destroyed domains.
+  bool destroyed() const { return destroyed_; }
+  void set_destroyed() { destroyed_ = true; }
+
   DomainStats& stats() { return stats_; }
   const DomainStats& stats() const { return stats_; }
 
@@ -159,6 +166,7 @@ class Domain {
   std::unique_ptr<NumaPolicy> policy_;
   bool pci_passthrough_ = false;
   bool is_dom0_ = false;
+  bool destroyed_ = false;
   DomainStats stats_;
   std::unordered_map<Pfn, std::vector<Mfn>> replicas_;
   std::vector<uint32_t> flush_visited_;

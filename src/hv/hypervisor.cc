@@ -1,6 +1,8 @@
 #include "src/hv/hypervisor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
 #include <unordered_set>
 
 #include "src/common/check.h"
@@ -9,7 +11,7 @@
 namespace xnuma {
 
 Hypervisor::Hypervisor(const Topology& topo, int64_t bytes_per_frame)
-    : topo_(&topo), frames_(topo, bytes_per_frame) {
+    : topo_(&topo), frames_(topo, bytes_per_frame), admission_solver_(topo, frames_) {
   // BIOS and I/O holes fragment the edges of every node's memory (§3.3).
   frames_.FragmentEdgeRegions(/*holes_per_edge=*/4);
   cpu_reservations_.assign(topo.num_cpus(), 0);
@@ -29,6 +31,9 @@ void Hypervisor::set_observability(Observability* obs) {
     set_policy_calls_ = queue_flush_calls_ = page_fault_count_ = nullptr;
     vnuma_info_calls_ = nullptr;
     flush_sim_seconds_ = nullptr;
+    admission_requests_ = admission_admitted_ = admission_rejected_ = nullptr;
+    admission_deferred_ = admission_candidates_ = domains_destroyed_ = nullptr;
+    admission_solver_seconds_ = nullptr;
     return;
   }
   MetricsRegistry& m = obs_->metrics();
@@ -44,6 +49,23 @@ void Hypervisor::set_observability(Observability* obs) {
   flush_sim_seconds_ = m.RegisterHistogram(
       "hv.hypercall.flush_sim_seconds", "s",
       "Simulated hypervisor time consumed per page-queue flush");
+  admission_requests_ = m.RegisterCounter("admission.requests", "calls",
+                                          "Placement-solver admission requests");
+  admission_admitted_ = m.RegisterCounter("admission.admitted", "calls",
+                                          "Requests admitted onto a fitting node-set");
+  admission_rejected_ = m.RegisterCounter(
+      "admission.rejected", "calls",
+      "Requests permanently rejected (exceed the machine itself)");
+  admission_deferred_ = m.RegisterCounter(
+      "admission.deferred", "calls",
+      "Requests deferred (no node-set fits until churn frees resources)");
+  admission_candidates_ = m.RegisterCounter(
+      "admission.candidates", "sets", "Candidate node-sets evaluated by the solver");
+  domains_destroyed_ = m.RegisterCounter("hv.domains_destroyed", "domains",
+                                         "Domains torn down by DestroyDomain");
+  admission_solver_seconds_ = m.RegisterHistogram(
+      "admission.solver_seconds", "s",
+      "Wall-clock placement-solver latency per admission request");
 }
 
 Domain& Hypervisor::domain(DomainId id) {
@@ -61,49 +83,108 @@ HvPlacementBackend& Hypervisor::backend(DomainId id) {
   return *backends_[id];
 }
 
-std::vector<NodeId> Hypervisor::PackHomeNodes(int num_vcpus, int64_t memory_pages) const {
-  // Rank nodes by load (reserved pCPUs first, then allocated memory), then
-  // greedily take the least loaded nodes until both the vCPU and the memory
-  // demand fit. This mirrors Xen's "pack on the minimal number of
-  // underloaded NUMA nodes" behaviour (§3.3).
-  struct NodeLoad {
-    NodeId node;
-    int free_cpus;
-    int64_t free_frames;
-  };
-  std::vector<NodeLoad> loads;
+std::vector<int> Hypervisor::FreeCpusPerNode() const {
+  std::vector<int> free_cpus(topo_->num_nodes(), 0);
   for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
-    int free_cpus = 0;
     for (CpuId c : topo_->node(n).cpus) {
       if (cpu_reservations_[c] == 0) {
-        ++free_cpus;
+        ++free_cpus[n];
       }
     }
-    loads.push_back({n, free_cpus, frames_.FreeFrames(n)});
   }
-  std::sort(loads.begin(), loads.end(), [](const NodeLoad& a, const NodeLoad& b) {
-    if (a.free_cpus != b.free_cpus) {
-      return a.free_cpus > b.free_cpus;
-    }
-    if (a.free_frames != b.free_frames) {
-      return a.free_frames > b.free_frames;
-    }
-    return a.node < b.node;
-  });
+  return free_cpus;
+}
 
-  std::vector<NodeId> homes;
-  int cpus = 0;
-  int64_t frames = 0;
-  for (const NodeLoad& load : loads) {
-    homes.push_back(load.node);
-    cpus += load.free_cpus;
-    frames += load.free_frames;
-    if (cpus >= num_vcpus && frames >= memory_pages) {
-      break;
+std::vector<NodeId> Hypervisor::PackHomeNodes(int num_vcpus, int64_t memory_pages) const {
+  // "Pack on the minimal number of underloaded NUMA nodes" (§3.3), solved
+  // exactly: the admission solver scores every minimal-cardinality fitting
+  // node-set by (least loaded, tightest hop diameter, best balance, most
+  // surviving superpage blocks) and returns the best. The score's leading
+  // terms reproduce the legacy greedy's preference, so the packing tests'
+  // pinned expectations hold byte-for-byte (docs/MODEL.md §17).
+  AdmissionRequest request;
+  request.num_vcpus = num_vcpus;
+  request.memory_pages = memory_pages;
+  const AdmissionResult result = admission_solver_.Solve(request, FreeCpusPerNode());
+  if (result.decision == AdmissionDecision::kAdmit) {
+    return result.nodes;
+  }
+  // Legacy overcommit fallback: nothing fits, so every node becomes a home
+  // and the policies' allocation fallbacks absorb the pressure — exactly
+  // what the old greedy returned when it ran out of nodes to add.
+  std::vector<NodeId> homes(topo_->num_nodes());
+  std::iota(homes.begin(), homes.end(), 0);
+  return homes;
+}
+
+const Hypervisor::AdmissionVerdict& Hypervisor::AdmitDomain(const AdmissionRequest& request) {
+  const auto begin = std::chrono::steady_clock::now();
+  last_admission_.result = admission_solver_.Solve(request, FreeCpusPerNode());
+  last_admission_.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  if (admission_requests_ != nullptr) {
+    admission_requests_->Increment();
+    admission_candidates_->Increment(last_admission_.result.candidates_evaluated);
+    admission_solver_seconds_->Observe(last_admission_.solve_seconds);
+    switch (last_admission_.result.decision) {
+      case AdmissionDecision::kAdmit:
+        admission_admitted_->Increment();
+        break;
+      case AdmissionDecision::kReject:
+        admission_rejected_->Increment();
+        break;
+      case AdmissionDecision::kDefer:
+        admission_deferred_->Increment();
+        break;
     }
   }
-  std::sort(homes.begin(), homes.end());
-  return homes;
+  return last_admission_;
+}
+
+void Hypervisor::DestroyDomain(DomainId id) {
+  XNUMA_CHECK(id >= 0 && id < num_domains());
+  Domain& dom = *domains_[id];
+  if (dom.destroyed()) {
+    return;
+  }
+  HvPlacementBackend& be = *backends_[id];
+  // Release every machine frame the domain holds, walking placement runs
+  // rather than pages so large mapped extents cost one lookup each.
+  // Invalidate collapses replicas before unmapping, so replica frames are
+  // returned too.
+  for (Pfn pfn = 0; pfn < dom.memory_pages();) {
+    const HvPlacementBackend::PlacementRun run = be.NodeOfRange(pfn);
+    if (run.mapped) {
+      for (Pfn p = run.first; p < run.first + run.count; ++p) {
+        be.Invalidate(p);
+      }
+    }
+    pfn = run.first + run.count;
+  }
+  for (const VcpuDesc& vcpu : dom.vcpus()) {
+    XNUMA_CHECK(cpu_reservations_[vcpu.pinned_cpu] > 0);
+    --cpu_reservations_[vcpu.pinned_cpu];
+  }
+  dom.mutable_vcpus().clear();
+  dom.set_destroyed();
+  if (domains_destroyed_ != nullptr) {
+    domains_destroyed_->Increment();
+    EmitEvent(obs_, "domain_destroy", "hv");
+  }
+}
+
+bool Hypervisor::DomainAlive(DomainId id) const {
+  return id >= 0 && id < num_domains() && !domains_[id]->destroyed();
+}
+
+int Hypervisor::num_live_domains() const {
+  int live = 0;
+  for (const auto& dom : domains_) {
+    if (!dom->destroyed()) {
+      ++live;
+    }
+  }
+  return live;
 }
 
 DomainId Hypervisor::TryCreateDomain(const DomainConfig& config) {
@@ -132,7 +213,23 @@ DomainId Hypervisor::TryCreateDomain(const DomainConfig& config) {
   std::vector<CpuId> pins = config.pinned_cpus;
   std::vector<NodeId> homes;
   if (pins.empty()) {
-    homes = PackHomeNodes(config.num_vcpus, config.memory_pages);
+    // Route automatic packing through the admission solver so the verdict
+    // (and its latency) is recorded even on the legacy path; strict mode
+    // turns a non-admit verdict into a creation failure instead of the
+    // all-nodes overcommit fallback.
+    AdmissionRequest request;
+    request.num_vcpus = config.num_vcpus;
+    request.memory_pages = config.memory_pages;
+    request.preferred_order = config.p2m_max_order;
+    const AdmissionVerdict& verdict = AdmitDomain(request);
+    if (verdict.result.decision == AdmissionDecision::kAdmit) {
+      homes = verdict.result.nodes;
+    } else if (config.strict_admission) {
+      return kInvalidDomain;
+    } else {
+      homes.resize(topo_->num_nodes());
+      std::iota(homes.begin(), homes.end(), 0);
+    }
     for (NodeId n : homes) {
       for (CpuId c : topo_->node(n).cpus) {
         if (cpu_reservations_[c] == 0 && static_cast<int>(pins.size()) < config.num_vcpus) {

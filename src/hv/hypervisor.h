@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/admission/solver.h"
 #include "src/common/types.h"
 #include "src/fault/fault.h"
 #include "src/hv/costs.h"
@@ -49,6 +50,12 @@ struct DomainConfig {
   // snapshot generation. Off (the default) keeps the paper's stance — the
   // guest sees no topology — and makes the hypercall return kVnumaDisabled.
   bool vnuma = false;
+  // Real admission control (docs/MODEL.md §17): when set, TryCreateDomain
+  // fails unless the admission solver admits the request onto a node-set
+  // that fits it outright. Off (the default) keeps the legacy overcommit
+  // behaviour — an unsatisfiable packing falls back to every node and lets
+  // the policies' allocation fallbacks absorb the pressure.
+  bool strict_admission = false;
 };
 
 enum class HypercallStatus {
@@ -96,6 +103,14 @@ class Hypervisor {
   DomainId CreateDomain(const DomainConfig& config);
   DomainId TryCreateDomain(const DomainConfig& config);  // kInvalidDomain on failure
 
+  // Tears a domain down: collapses replicas, invalidates every P2M entry
+  // (releasing the machine frames), drops the vCPU pCPU reservations and
+  // marks the domain destroyed. Ids are stable handles, so domain(id)
+  // remains addressable; num_domains() never shrinks. Idempotent.
+  void DestroyDomain(DomainId id);
+  bool DomainAlive(DomainId id) const;
+  int num_live_domains() const;
+
   int num_domains() const { return static_cast<int>(domains_.size()); }
   Domain& domain(DomainId id);
   const Domain& domain(DomainId id) const;
@@ -139,13 +154,33 @@ class Hypervisor {
 
   // Home-node packing used when no explicit pinning is given: fewest
   // underloaded nodes that fit both the vCPUs (one reserved pCPU each) and
-  // the memory.
+  // the memory. Since the admission solver landed (docs/MODEL.md §17) this
+  // is a thin wrapper over it — same contract the packing tests pin, with
+  // the legacy all-nodes fallback when nothing fits.
   std::vector<NodeId> PackHomeNodes(int num_vcpus, int64_t memory_pages) const;
+
+  // ---- Admission control (src/admission, docs/MODEL.md §17). ----
+  // Runs the placement solver against live free-extent state and the pCPU
+  // reservation table, records admission.* metrics and the solve latency.
+  // Pure decision — nothing is allocated; TryCreateDomain calls this when
+  // no explicit pinning is given, and churn drivers call it directly.
+  struct AdmissionVerdict {
+    AdmissionResult result;
+    double solve_seconds = 0.0;
+  };
+  const AdmissionVerdict& AdmitDomain(const AdmissionRequest& request);
+  // Verdict of the most recent AdmitDomain call (e.g. the one an enclosing
+  // TryCreateDomain issued); zero-initialized before the first call.
+  const AdmissionVerdict& last_admission() const { return last_admission_; }
+  // Unreserved pCPUs per node — the solver's CPU-side input.
+  std::vector<int> FreeCpusPerNode() const;
 
  private:
   const Topology* topo_;
   FaultInjector faults_;
   FrameAllocator frames_;
+  AdmissionSolver admission_solver_;
+  AdmissionVerdict last_admission_;
   HvCosts costs_;
   std::vector<std::unique_ptr<Domain>> domains_;
   std::vector<std::unique_ptr<HvPlacementBackend>> backends_;
@@ -158,6 +193,13 @@ class Hypervisor {
   Counter* page_fault_count_ = nullptr;
   Counter* vnuma_info_calls_ = nullptr;
   Histogram* flush_sim_seconds_ = nullptr;
+  Counter* admission_requests_ = nullptr;
+  Counter* admission_admitted_ = nullptr;
+  Counter* admission_rejected_ = nullptr;
+  Counter* admission_deferred_ = nullptr;
+  Counter* admission_candidates_ = nullptr;
+  Counter* domains_destroyed_ = nullptr;
+  Histogram* admission_solver_seconds_ = nullptr;
 };
 
 }  // namespace xnuma

@@ -64,6 +64,62 @@ int64_t FrameAllocator::FindFreeBit(int64_t lo, int64_t hi) const {
   return -1;
 }
 
+int64_t FrameAllocator::FindUsedBit(int64_t lo, int64_t hi) const {
+  int64_t i = lo;
+  while (i < hi) {
+    const uint64_t used_bits = used_[i >> 6] >> (i & 63);
+    const int64_t avail = std::min<int64_t>(64 - (i & 63), hi - i);
+    if (used_bits != 0) {
+      const int tz = std::countr_zero(used_bits);
+      if (tz < avail) {
+        return i + tz;
+      }
+    }
+    i += avail;
+  }
+  return -1;
+}
+
+bool FrameAllocator::FreeExtentCursor::Next(FreeExtent* out) {
+  if (pos_ >= hi_) {
+    return false;
+  }
+  const int64_t start = alloc_->FindFreeBit(pos_, hi_);
+  if (start < 0) {
+    pos_ = hi_;
+    return false;
+  }
+  const int64_t end = alloc_->FindUsedBit(start + 1, hi_);
+  out->first = start;
+  out->count = (end < 0 ? hi_ : end) - start;
+  pos_ = start + out->count;
+  return true;
+}
+
+FrameAllocator::FreeExtentCursor FrameAllocator::FreeExtents(NodeId node) const {
+  XNUMA_CHECK(node >= 0 && node < topo_->num_nodes());
+  const int64_t base = node_bases_[node];
+  return FreeExtentCursor(this, base, base + node_sizes_[node]);
+}
+
+int64_t FrameAllocator::RecountFreeFrames(NodeId node) const {
+  XNUMA_CHECK(node >= 0 && node < topo_->num_nodes());
+  const int64_t lo = node_bases_[node];
+  const int64_t hi = lo + node_sizes_[node];
+  int64_t used = 0;
+  int64_t i = lo;
+  while (i < hi) {
+    const int64_t avail = std::min<int64_t>(64 - (i & 63), hi - i);
+    uint64_t word = used_[i >> 6] >> (i & 63);
+    if (avail < 64) {
+      word &= (uint64_t{1} << avail) - 1;
+    }
+    used += std::popcount(word);
+    i += avail;
+  }
+  return node_sizes_[node] - used;
+}
+
 int64_t FrameAllocator::FindFreeRun(int64_t lo, int64_t hi, int64_t count) const {
   int64_t run_start = 0;
   int64_t run_len = 0;

@@ -24,6 +24,13 @@
 
 namespace xnuma {
 
+// One maximal run of free frames, as yielded by FrameAllocator's extent
+// cursor. `first` is a machine frame number; the run is [first, first+count).
+struct FreeExtent {
+  Mfn first = kInvalidMfn;
+  int64_t count = 0;
+};
+
 class FrameAllocator {
  public:
   // `bytes_per_frame` sets the simulation scale (default: one frame per
@@ -63,6 +70,34 @@ class FrameAllocator {
   int64_t FreeFrames(NodeId node) const;
   int64_t TotalFreeFrames() const;
 
+  // Read-only, zero-copy iteration over the free extents of one node, in
+  // ascending machine-frame order. The cursor walks the live allocation
+  // bitmap word-wise (no snapshot is taken): it is exact as long as the
+  // allocator is not mutated between Next() calls, which is the admission
+  // solver's calling convention (docs/MODEL.md §17). Invalidated by any
+  // Alloc*/Free*/FragmentEdgeRegions call.
+  class FreeExtentCursor {
+   public:
+    // Advances to the next maximal free run. Returns false (and leaves
+    // *out untouched) when the node has no further free frames.
+    bool Next(FreeExtent* out);
+
+   private:
+    friend class FrameAllocator;
+    FreeExtentCursor(const FrameAllocator* alloc, int64_t pos, int64_t hi)
+        : alloc_(alloc), pos_(pos), hi_(hi) {}
+    const FrameAllocator* alloc_;
+    int64_t pos_;
+    int64_t hi_;
+  };
+  FreeExtentCursor FreeExtents(NodeId node) const;
+
+  // Audit: recounts the free frames of `node` from the bitmap (popcount over
+  // the node's words). Must always equal FreeFrames(node); the balloon and
+  // chunk-release regression tests pin that the cached per-node counter
+  // never drifts from the bitmap.
+  int64_t RecountFreeFrames(NodeId node) const;
+
   // Reserves scattered frames in the first and last GiB-equivalent of every
   // node, emulating BIOS and I/O holes: "the first and last physical GiBs
   // ... are always fragmented" (§3.3). `holes_per_edge` frames are pinned at
@@ -78,6 +113,9 @@ class FrameAllocator {
   // First free frame in [lo, hi), or -1. Skips fully-used words with one
   // compare each instead of probing per frame.
   int64_t FindFreeBit(int64_t lo, int64_t hi) const;
+  // First *used* frame in [lo, hi), or -1. Dual of FindFreeBit; the extent
+  // cursor uses it to find where a free run ends.
+  int64_t FindUsedBit(int64_t lo, int64_t hi) const;
   // First frame of the leftmost free run of `count` frames in [lo, hi), or
   // -1. Counts free runs by trailing-zero/one scans over whole words, so
   // fully-used and fully-free stretches cost one compare per 64 frames.

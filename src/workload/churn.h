@@ -1,0 +1,68 @@
+// Multi-tenant churn scenario generator (docs/MODEL.md §17).
+//
+// A churn trace is the *only* source of randomness in a churn run: every
+// arrival size, departure victim, balloon delta and migration burst is
+// drawn here from one seeded Rng and baked into the event list. Replaying
+// a trace (src/admission/churn_runner.h) is then fully deterministic —
+// same trace, same machine, same final placement — which is what the churn
+// soak test pins via a placement digest.
+//
+// Domain sizes are heavy-tailed (discrete bounded Pareto): most tenants
+// are small, a few are huge — the regime where free-frame-count admission
+// lies and extent-aware available space (Gudkov et al., PAPERS.md) earns
+// its keep.
+
+#ifndef XENNUMA_SRC_WORKLOAD_CHURN_H_
+#define XENNUMA_SRC_WORKLOAD_CHURN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace xnuma {
+
+struct ChurnSpec {
+  uint64_t seed = 1;
+  int num_events = 1000;
+  // Soft cap on concurrently live tenants: the generator biases towards
+  // arrivals below it and towards departures at it, so the machine hovers
+  // near a target occupancy instead of monotonically filling.
+  int target_live_domains = 24;
+  double arrival_bias = 0.7;  // P(arrival) when below target
+  // Bounded discrete Pareto for arrival memory size, in pages.
+  int64_t min_pages = 8;
+  int64_t max_pages = 2048;
+  double pareto_alpha = 1.2;
+  int max_vcpus = 6;
+  // Fractions of the event stream that are balloon / migration events
+  // (the rest split between arrivals and departures).
+  double balloon_fraction = 0.2;
+  double migrate_fraction = 0.1;
+  // Largest balloon delta / migration burst, as a divisor of max_pages.
+  int64_t max_balloon_pages = 256;
+  int64_t max_migrate_pages = 64;
+  // Arrival preferred order mix: probability that an arrival asks the
+  // solver to preserve 2M contiguity (the rest use 4K).
+  double huge_page_fraction = 0.25;
+};
+
+struct ChurnEvent {
+  enum class Kind { kArrive, kDepart, kBalloonDown, kBalloonUp, kMigrate };
+  Kind kind = Kind::kArrive;
+  // Victim selector for depart/balloon/migrate: the runner resolves
+  // `slot % live_count` to a live domain, so the trace stays valid no
+  // matter how many arrivals were actually admitted.
+  uint32_t slot = 0;
+  // Arrivals: domain shape. Balloon: delta pages. Migrate: burst pages.
+  int num_vcpus = 1;
+  int64_t pages = 0;
+  PageOrder preferred_order = PageOrder::k4K;
+};
+
+// Deterministic: same spec (seed included), same trace.
+std::vector<ChurnEvent> GenerateChurnTrace(const ChurnSpec& spec);
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_WORKLOAD_CHURN_H_

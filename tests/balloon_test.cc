@@ -100,6 +100,34 @@ TEST_F(BalloonTest, QueueTrackedReleaseStaysReallocatable) {
   EXPECT_NE(r.node, kInvalidNode);
 }
 
+TEST_F(BalloonTest, BalloonCycleKeepsAllocatorCountersCoherent) {
+  // Balloon-down coherence audit (docs/MODEL.md §17): inflate/deflate must
+  // leave the allocator's cached per-node free counters exactly equal to an
+  // independent bitmap recount, and the extent cursor must agree with a
+  // per-frame rescan — the admission solver trusts both on every decision.
+  BalloonDriver balloon(*guest_, hv_);
+  balloon.Inflate(24);
+  for (NodeId node = 0; node < topo_.num_nodes(); ++node) {
+    EXPECT_EQ(hv_.frames().RecountFreeFrames(node), hv_.frames().FreeFrames(node))
+        << "after inflate, node " << node;
+  }
+  balloon.Deflate(11);  // partial deflate: mapped/unmapped interleave
+  int64_t cursor_free_total = 0;
+  for (NodeId node = 0; node < topo_.num_nodes(); ++node) {
+    EXPECT_EQ(hv_.frames().RecountFreeFrames(node), hv_.frames().FreeFrames(node))
+        << "after deflate, node " << node;
+    FrameAllocator::FreeExtentCursor cursor = hv_.frames().FreeExtents(node);
+    FreeExtent extent;
+    int64_t cursor_free = 0;
+    while (cursor.Next(&extent)) {
+      cursor_free += extent.count;
+    }
+    EXPECT_EQ(cursor_free, hv_.frames().FreeFrames(node)) << "node " << node;
+    cursor_free_total += cursor_free;
+  }
+  EXPECT_EQ(cursor_free_total, hv_.frames().TotalFreeFrames());
+}
+
 TEST_F(BalloonTest, FirstTouchDomainDeflatesLazily) {
   DomainConfig dc;
   dc.num_vcpus = 2;

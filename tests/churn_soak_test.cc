@@ -1,0 +1,221 @@
+// Churn soak (docs/MODEL.md §17): a 10k-event seeded
+// arrival/departure/balloon/migration trace replayed through the
+// admission solver must be exactly deterministic (same seed, same final
+// placement digest and metrics), leak no machine frames, and leave the
+// allocator's cached counters coherent with its bitmap. Fragmentation
+// accounting is pinned against a hand-computed fixture.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/admission/available_space.h"
+#include "src/admission/churn_runner.h"
+#include "src/hv/hypervisor.h"
+#include "src/numa/topology.h"
+#include "src/obs/obs.h"
+#include "src/workload/churn.h"
+
+namespace xnuma {
+namespace {
+
+ChurnSpec SoakSpec() {
+  ChurnSpec spec;
+  spec.seed = 42;
+  spec.num_events = 10000;
+  spec.target_live_domains = 10;
+  spec.min_pages = 4;
+  spec.max_pages = 96;
+  spec.max_vcpus = 3;
+  spec.max_balloon_pages = 32;
+  spec.max_migrate_pages = 16;
+  return spec;
+}
+
+Topology SoakTopo() {
+  // 4 nodes x 4 CPUs, 64 frames/node at the 4 MiB scale: small enough that
+  // 10k events finish in seconds, full enough that admission really says
+  // no sometimes.
+  return Topology::Synthetic(4, 4, 256ll << 20);
+}
+
+TEST(ChurnSoakTest, TraceGenerationIsDeterministic) {
+  const std::vector<ChurnEvent> a = GenerateChurnTrace(SoakSpec());
+  const std::vector<ChurnEvent> b = GenerateChurnTrace(SoakSpec());
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 10000u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    ASSERT_EQ(a[i].slot, b[i].slot) << "event " << i;
+    ASSERT_EQ(a[i].num_vcpus, b[i].num_vcpus) << "event " << i;
+    ASSERT_EQ(a[i].pages, b[i].pages) << "event " << i;
+    ASSERT_EQ(a[i].preferred_order, b[i].preferred_order) << "event " << i;
+  }
+  // The mix exercises every event kind.
+  int64_t arrivals = 0, departs = 0, balloons = 0, migrates = 0;
+  for (const ChurnEvent& ev : a) {
+    switch (ev.kind) {
+      case ChurnEvent::Kind::kArrive:
+        ++arrivals;
+        break;
+      case ChurnEvent::Kind::kDepart:
+        ++departs;
+        break;
+      case ChurnEvent::Kind::kBalloonDown:
+      case ChurnEvent::Kind::kBalloonUp:
+        ++balloons;
+        break;
+      case ChurnEvent::Kind::kMigrate:
+        ++migrates;
+        break;
+    }
+  }
+  EXPECT_GT(arrivals, 0);
+  EXPECT_GT(departs, 0);
+  EXPECT_GT(balloons, 0);
+  EXPECT_GT(migrates, 0);
+}
+
+TEST(ChurnSoakTest, TenThousandEventsReplayDeterministically) {
+  const std::vector<ChurnEvent> trace = GenerateChurnTrace(SoakSpec());
+  const DomainConfig tmpl;  // round-4K eager placement, no pinning
+
+  ChurnReport reports[2];
+  for (ChurnReport& report : reports) {
+    const Topology topo = SoakTopo();
+    Hypervisor hv(topo);
+    ChurnRunner runner(hv);
+    report = runner.Run(trace, tmpl);
+  }
+
+  // Same seed => same admission outcomes, same final placement, same
+  // fragmentation — bit-for-bit.
+  EXPECT_EQ(reports[0].placement_digest, reports[1].placement_digest);
+  EXPECT_EQ(reports[0].admitted, reports[1].admitted);
+  EXPECT_EQ(reports[0].deferred, reports[1].deferred);
+  EXPECT_EQ(reports[0].rejected, reports[1].rejected);
+  EXPECT_EQ(reports[0].departures, reports[1].departures);
+  EXPECT_EQ(reports[0].balloon_down_pages, reports[1].balloon_down_pages);
+  EXPECT_EQ(reports[0].balloon_up_pages, reports[1].balloon_up_pages);
+  EXPECT_EQ(reports[0].migrated_pages, reports[1].migrated_pages);
+  EXPECT_EQ(reports[0].final_live_domains, reports[1].final_live_domains);
+  EXPECT_DOUBLE_EQ(reports[0].final_fragmentation, reports[1].final_fragmentation);
+
+  // The trace actually exercised the machine.
+  EXPECT_EQ(reports[0].events, 10000);
+  EXPECT_GT(reports[0].admitted, 0);
+  EXPECT_GT(reports[0].departures, 0);
+  EXPECT_EQ(reports[0].arrivals,
+            reports[0].admitted + reports[0].deferred + reports[0].rejected);
+  // Latency percentiles are sane: ordered, and p99 bounded (1 ms is two
+  // orders of magnitude above what the solver needs on this machine size).
+  EXPECT_LE(reports[0].solve_p50_us, reports[0].solve_p99_us);
+  EXPECT_LE(reports[0].solve_p99_us, reports[0].solve_max_us);
+  EXPECT_LT(reports[0].solve_p99_us, 1000.0);
+}
+
+TEST(ChurnSoakTest, SoakLeaksNoFramesAndKeepsCountersCoherent) {
+  const Topology topo = SoakTopo();
+  Hypervisor hv(topo);
+  const int64_t baseline_free = hv.frames().TotalFreeFrames();
+
+  ChurnRunner runner(hv);
+  const ChurnReport report = runner.Run(GenerateChurnTrace(SoakSpec()), DomainConfig{});
+  EXPECT_GT(report.admitted, 0);
+
+  // Cached per-node counters never drift from the bitmap, even after 10k
+  // events of admission, ballooning, migration and teardown.
+  for (NodeId node = 0; node < topo.num_nodes(); ++node) {
+    EXPECT_EQ(hv.frames().RecountFreeFrames(node), hv.frames().FreeFrames(node))
+        << "node " << node;
+    const NodeSpace fast = ComputeNodeSpace(hv.frames(), node);
+    const NodeSpace slow = RecountNodeSpace(hv.frames(), node);
+    EXPECT_EQ(fast.free_frames, slow.free_frames) << "node " << node;
+    EXPECT_EQ(fast.free_extents, slow.free_extents) << "node " << node;
+    EXPECT_EQ(fast.largest_extent, slow.largest_extent) << "node " << node;
+  }
+
+  // Drain: destroying every surviving domain must return the machine to
+  // its pre-churn free-frame level exactly — no leaked frames, no double
+  // frees (asan/ubsan watches the heap side of the same property).
+  for (DomainId id = 0; id < hv.num_domains(); ++id) {
+    if (hv.DomainAlive(id)) {
+      hv.DestroyDomain(id);
+    }
+  }
+  EXPECT_EQ(hv.num_live_domains(), 0);
+  EXPECT_EQ(hv.frames().TotalFreeFrames(), baseline_free);
+  for (NodeId node = 0; node < topo.num_nodes(); ++node) {
+    EXPECT_EQ(hv.frames().RecountFreeFrames(node), hv.frames().FreeFrames(node));
+  }
+}
+
+TEST(ChurnSoakTest, DestroyDomainIsIdempotent) {
+  const Topology topo = SoakTopo();
+  Hypervisor hv(topo);
+  DomainConfig dc;
+  dc.num_vcpus = 2;
+  dc.memory_pages = 32;
+  const DomainId id = hv.CreateDomain(dc);
+  const int64_t free_before = hv.frames().TotalFreeFrames();
+  hv.DestroyDomain(id);
+  const int64_t free_after = hv.frames().TotalFreeFrames();
+  EXPECT_GT(free_after, free_before);
+  EXPECT_FALSE(hv.DomainAlive(id));
+  hv.DestroyDomain(id);  // second teardown is a no-op
+  EXPECT_EQ(hv.frames().TotalFreeFrames(), free_after);
+}
+
+TEST(ChurnSoakTest, FragmentationMatchesHandComputedFixture) {
+  // 2 nodes x 16 frames. Node 0: allocate frames 0..9, free {0,1,2,6,7,8}
+  // => used {3,4,5,9}, free extents [0,3) [6,9) [10,16) of sizes 3, 3, 6 —
+  // 12 free frames, largest run 6. FragIndex(node0) = 1 - 6/12 = 1/2;
+  // node 1 untouched => 0. Machine = mean = 1/4.
+  const Topology topo = Topology::Synthetic(2, 2, 64ll << 20);
+  FrameAllocator frames(topo, 4ll << 20);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(frames.AllocOnNode(0), i);  // next-fit from an empty node
+  }
+  for (const Mfn mfn : {0, 1, 2, 6, 7, 8}) {
+    frames.Free(mfn);
+  }
+  const NodeSpace space = ComputeNodeSpace(frames, 0);
+  EXPECT_EQ(space.free_frames, 12);
+  EXPECT_EQ(space.free_extents, 3);
+  EXPECT_EQ(space.largest_extent, 6);
+  EXPECT_DOUBLE_EQ(FragIndex(space), 0.5);
+  EXPECT_DOUBLE_EQ(FragIndex(ComputeNodeSpace(frames, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(MachineFragmentation(frames), 0.25);
+}
+
+TEST(ChurnSoakTest, ChurnMetricsAreRecorded) {
+  const Topology topo = SoakTopo();
+  Hypervisor hv(topo);
+  Observability obs;
+  hv.set_observability(&obs);
+  ChurnRunner runner(hv);
+  ChurnSpec spec = SoakSpec();
+  spec.num_events = 500;
+  const ChurnReport report = runner.Run(GenerateChurnTrace(spec), DomainConfig{});
+
+  const std::vector<MetricSnapshot> snaps = obs.metrics().Snapshot();
+  auto value_of = [&](const std::string& name) -> int64_t {
+    for (const MetricSnapshot& s : snaps) {
+      if (s.name == name) {
+        return s.count;
+      }
+    }
+    ADD_FAILURE() << "metric not registered: " << name;
+    return -1;
+  };
+  EXPECT_EQ(value_of("churn.events"), 500);
+  EXPECT_EQ(value_of("churn.arrivals"), report.arrivals);
+  EXPECT_EQ(value_of("churn.departures"), report.departures);
+  EXPECT_EQ(value_of("admission.admitted"), report.admitted);
+  EXPECT_EQ(value_of("admission.rejected"), report.rejected);
+  EXPECT_EQ(value_of("admission.deferred"), report.deferred);
+  EXPECT_EQ(value_of("hv.domains_destroyed"), report.departures);
+}
+
+}  // namespace
+}  // namespace xnuma

@@ -143,6 +143,58 @@ TEST(FrameAllocatorBitmapTest, RoverWrapScansAcrossWords) {
   EXPECT_EQ(alloc.AllocOnNode(0), kInvalidMfn);
 }
 
+TEST_F(FrameAllocatorTest, FreeExtentCursorYieldsMaximalRuns) {
+  // Carve node 0 (frames [0,16)) into known holes: used {3,4,5,9}.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(alloc_.AllocOnNode(0), i);
+  }
+  for (const Mfn mfn : {0, 1, 2, 6, 7, 8}) {
+    alloc_.Free(mfn);
+  }
+  FrameAllocator::FreeExtentCursor cursor = alloc_.FreeExtents(0);
+  FreeExtent extent;
+  ASSERT_TRUE(cursor.Next(&extent));
+  EXPECT_EQ(extent.first, 0);
+  EXPECT_EQ(extent.count, 3);
+  ASSERT_TRUE(cursor.Next(&extent));
+  EXPECT_EQ(extent.first, 6);
+  EXPECT_EQ(extent.count, 3);
+  ASSERT_TRUE(cursor.Next(&extent));
+  EXPECT_EQ(extent.first, 10);
+  EXPECT_EQ(extent.count, 6);
+  EXPECT_FALSE(cursor.Next(&extent));
+}
+
+TEST_F(FrameAllocatorTest, FreeExtentCursorIsScopedToItsNode) {
+  // Node 1 fully free: exactly one extent covering [16, 32), regardless of
+  // what neighboring nodes look like.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_NE(alloc_.AllocOnNode(0), kInvalidMfn);
+  }
+  FrameAllocator::FreeExtentCursor cursor = alloc_.FreeExtents(1);
+  FreeExtent extent;
+  ASSERT_TRUE(cursor.Next(&extent));
+  EXPECT_EQ(extent.first, 16);
+  EXPECT_EQ(extent.count, 16);
+  EXPECT_FALSE(cursor.Next(&extent));
+}
+
+TEST(FrameAllocatorRecountTest, RecountTracksCachedCounterAcrossWordBoundaries) {
+  // 100 frames/node: node 1 spans bits [100, 200), exercising unaligned
+  // word edges in the popcount recount.
+  const Topology topo = Topology::Synthetic(2, 2, 400ll << 20);
+  FrameAllocator alloc(topo, 4ll << 20);
+  EXPECT_EQ(alloc.RecountFreeFrames(1), 100);
+  ASSERT_EQ(alloc.AllocContiguous(1, 100), 100);
+  EXPECT_EQ(alloc.RecountFreeFrames(1), 0);
+  for (Mfn mfn = 120; mfn < 170; ++mfn) {
+    alloc.Free(mfn);
+  }
+  EXPECT_EQ(alloc.RecountFreeFrames(1), 50);
+  EXPECT_EQ(alloc.RecountFreeFrames(1), alloc.FreeFrames(1));
+  EXPECT_EQ(alloc.RecountFreeFrames(0), alloc.FreeFrames(0));
+}
+
 TEST(FrameAllocatorEdgeTest, FragmentEdgeRegionsPinsHoles) {
   const Topology topo = Topology::Amd48();
   FrameAllocator alloc(topo, 4ll << 20);

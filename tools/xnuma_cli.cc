@@ -29,11 +29,15 @@ using namespace xnuma;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: xnuma <list|run|sweep|pair|auto> [options]\n"
+               "usage: xnuma <list|run|sweep|pair|auto|churn> [options]\n"
                "  run   --app NAME --stack linux|xen|xen+ [--policy P] [--carrefour]\n"
                "  sweep --app NAME --stack linux|xen+\n"
                "  pair  --a NAME --b NAME [--mode split|consolidated]\n"
                "  auto  --app NAME\n"
+               "  churn --events N --seed N [--tenants N] [--min_pages N]\n"
+               "        [--max_pages N] [--vcpus N] [--nodes N --cpus N\n"
+               "        --node_mb N]  (multi-tenant admission/churn replay,\n"
+               "        docs/MODEL.md §17; AMD48 machine unless --nodes given)\n"
                "  options: --seconds N --threads N --seed N --csv --trace FILE.csv\n"
                "           --jobs N   (sweep: fan the policy matrix across N worker\n"
                "            threads; results are bit-identical to --jobs 1)\n"
@@ -287,6 +291,65 @@ int CmdPair(const Flags& flags) {
   return 0;
 }
 
+int CmdChurn(const Flags& flags) {
+  ChurnScenarioConfig config;
+  config.spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.spec.num_events = static_cast<int>(flags.GetInt("events", 2000));
+  config.spec.target_live_domains = static_cast<int>(flags.GetInt("tenants", 24));
+  config.spec.min_pages = flags.GetInt("min_pages", 8);
+  config.spec.max_pages = flags.GetInt("max_pages", 2048);
+  config.spec.max_vcpus = static_cast<int>(flags.GetInt("vcpus", 6));
+  const int nodes = static_cast<int>(flags.GetInt("nodes", 0));
+  if (nodes > 0) {
+    config.amd48 = false;
+    config.nodes = nodes;
+    config.cpus_per_node = static_cast<int>(flags.GetInt("cpus", 4));
+    config.bytes_per_node = flags.GetInt("node_mb", 256) << 20;
+  }
+  const std::string metrics_json_path = flags.GetString("metrics-json", "");
+  const bool print_metrics = flags.GetBool("metrics", false);
+  Observability obs;
+  if (!metrics_json_path.empty() || print_metrics) {
+    config.obs = &obs;
+  }
+  const ChurnReport r = RunChurnScenario(config);
+  if (flags.GetBool("csv", false)) {
+    std::printf("churn,%lld,%lld,%lld,%lld,%lld,%lld,%.3f,%.3f,%.3f,%.4f,%016llx\n",
+                static_cast<long long>(r.events), static_cast<long long>(r.arrivals),
+                static_cast<long long>(r.admitted), static_cast<long long>(r.deferred),
+                static_cast<long long>(r.rejected), static_cast<long long>(r.departures),
+                r.solve_p50_us, r.solve_p99_us, r.solve_max_us, r.final_fragmentation,
+                static_cast<unsigned long long>(r.placement_digest));
+  } else {
+    std::printf("churn: %lld events (seed %llu)\n", static_cast<long long>(r.events),
+                static_cast<unsigned long long>(config.spec.seed));
+    std::printf("  arrivals %lld  admitted %lld  deferred %lld  rejected %lld\n",
+                static_cast<long long>(r.arrivals), static_cast<long long>(r.admitted),
+                static_cast<long long>(r.deferred), static_cast<long long>(r.rejected));
+    std::printf("  departures %lld  balloon -%lld/+%lld pages  migrated %lld pages\n",
+                static_cast<long long>(r.departures),
+                static_cast<long long>(r.balloon_down_pages),
+                static_cast<long long>(r.balloon_up_pages),
+                static_cast<long long>(r.migrated_pages));
+    std::printf("  solver latency us: p50 %.3f  p99 %.3f  max %.3f\n", r.solve_p50_us,
+                r.solve_p99_us, r.solve_max_us);
+    std::printf("  final: %lld live domains, fragmentation %.4f\n",
+                static_cast<long long>(r.final_live_domains), r.final_fragmentation);
+    std::printf("  placement digest: %016llx\n",
+                static_cast<unsigned long long>(r.placement_digest));
+  }
+  if (print_metrics) {
+    std::printf("metrics:\n%s", obs.metrics().SummaryText().c_str());
+  }
+  if (!metrics_json_path.empty()) {
+    std::ofstream out(metrics_json_path);
+    out << obs.metrics().ToJson();
+    std::fprintf(stderr, "metrics: %zu instruments -> %s\n", obs.metrics().Names().size(),
+                 metrics_json_path.c_str());
+  }
+  return 0;
+}
+
 int CmdAuto(const Flags& flags) {
   const AppProfile app = LoadApp(flags, "app");
   const JobResult r = RunSingleApp(app, WithVnumaOptions(WithP2mOptions(XenAutoStack(), flags), flags),
@@ -326,6 +389,8 @@ int main(int argc, char** argv) {
     status = CmdPair(flags);
   } else if (cmd == "auto") {
     status = CmdAuto(flags);
+  } else if (cmd == "churn") {
+    status = CmdChurn(flags);
   } else {
     return Usage();
   }
