@@ -10,11 +10,26 @@
 //   2. on a synthetic read-mostly workload — the case the heuristic was
 //      designed for — it helps substantially.
 
+// PR 10 grows a second half: the walk-locality ladder for *translation*
+// replication (docs/MODEL.md §18). With page-walks priced, a VM whose vCPUs
+// span four nodes resolves at most its home node's walks locally under any
+// static placement; per-node P2M replicas plus the walk-affinity
+// orchestrator push walk locality above 90%. `--json` emits the ladder as a
+// JSON object for tools/run_bench.sh, which gates and ratchets the ratio.
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/guest/guest_os.h"
+#include "src/hv/hypervisor.h"
+#include "src/numa/latency_model.h"
+#include "src/numa/topology.h"
+#include "src/sim/engine.h"
 
 namespace {
 
@@ -26,10 +41,195 @@ JobResult RunR4kCarrefour(const AppProfile& app, bool replication) {
   return RunSingleApp(app, XenPlusStack({StaticPolicy::kRound4k, true}), opts);
 }
 
+// ---- Walk-locality ladder (docs/MODEL.md §18) ----
+
+// Read-mostly shared table: the page-walk case Mitosis targets. No disk
+// stream (completion must be compute-bound so the walk term is visible) and
+// no release churn (the table itself is stable; invalidations come from
+// Carrefour's own page migrations).
+AppProfile WalkLadderApp() {
+  AppProfile app;
+  app.name = "walk-ladder";
+  app.cpu_cycles_per_access = 150;
+  app.mlp = 3;
+  app.nominal_seconds = 6.0;
+  RegionSpec table;
+  table.name = "table";
+  table.footprint_mb = 2048;
+  table.init = AllocPattern::kMasterInit;
+  table.access_share = 0.85;
+  table.write_fraction = 0.0;
+  table.hot_fraction = 0.25;
+  table.hot_share = 0.8;
+  app.regions.push_back(table);
+  RegionSpec priv;
+  priv.name = "private";
+  priv.footprint_mb = 1024;
+  priv.init = AllocPattern::kOwnerPartitioned;
+  priv.access_share = 0.15;
+  priv.owner_affinity = 0.95;
+  app.regions.push_back(priv);
+  return app;
+}
+
+struct LadderRung {
+  std::string label;
+  double local_ratio = 0.0;
+  long long local_walks = 0;
+  long long remote_walks = 0;
+  double completion_seconds = 0.0;
+};
+
+// One seeded run: 24 vCPUs pinned across nodes 0-3 of the AMD48 (the P2M's
+// home node is 0, so static placement can localize at best 6/24 threads'
+// walks), walk pricing on, vCPU churn swapping pairs across nodes every
+// 250 ms. Carrefour ticks every 250 ms too, so the translation-refresh
+// extension (when on) re-fills replicas promptly after churn invalidates
+// copies.
+LadderRung RunLadderRung(const std::string& label, const AppProfile& app,
+                         StaticPolicy placement, bool carrefour, bool replication,
+                         bool orchestrator) {
+  EngineConfig ec;
+  ec.seed = 1042;
+  ec.max_sim_seconds = 120.0;
+  ec.price_walks = true;
+  ec.carrefour_period_seconds = 0.25;
+  ec.carrefour.replicate_translation = replication;
+
+  Topology topo = Topology::Amd48();
+  Hypervisor hv(topo);
+  LatencyModel latency;
+  DomainConfig cfg;
+  cfg.name = "walk-ladder";
+  cfg.num_vcpus = 24;
+  cfg.memory_pages = 4096;
+  for (int i = 0; i < 24; ++i) {
+    cfg.pinned_cpus.push_back(i);  // nodes 0-3
+  }
+  cfg.policy.placement = placement;
+  cfg.policy.carrefour = carrefour;
+  cfg.p2m_replication = replication;
+  const DomainId dom = hv.CreateDomain(cfg);
+  GuestOs guest(hv, dom);
+  Engine engine(hv, latency, ec);
+  JobSpec spec;
+  spec.app = &app;
+  spec.domain = dom;
+  spec.guest = &guest;
+  spec.threads = 24;
+  spec.vcpu_migration_period_s = 0.25;
+  spec.walk_orchestrator = orchestrator;
+  engine.AddJob(spec);
+  const RunResult r = engine.Run();
+
+  LadderRung rung;
+  rung.label = label;
+  rung.local_walks = static_cast<long long>(r.jobs.back().local_walks);
+  rung.remote_walks = static_cast<long long>(r.jobs.back().remote_walks);
+  const double total =
+      static_cast<double>(rung.local_walks) + static_cast<double>(rung.remote_walks);
+  rung.local_ratio = total > 0.0 ? static_cast<double>(rung.local_walks) / total : 0.0;
+  rung.completion_seconds = r.jobs.back().completion_seconds;
+  return rung;
+}
+
+struct LadderResult {
+  std::vector<LadderRung> statics;
+  LadderRung best_static;
+  LadderRung replicated;
+  LadderRung orchestrated;
+};
+
+LadderResult RunWalkLadder() {
+  const AppProfile app = WalkLadderApp();
+  LadderResult lr;
+  // Rung 1: the best static policy, with and without Carrefour's data-page
+  // machinery — none of them can beat the home-node share of threads.
+  lr.statics.push_back(
+      RunLadderRung("first_touch", app, StaticPolicy::kFirstTouch, false, false, false));
+  lr.statics.push_back(
+      RunLadderRung("round_4k", app, StaticPolicy::kRound4k, false, false, false));
+  lr.statics.push_back(
+      RunLadderRung("round_1g", app, StaticPolicy::kRound1g, false, false, false));
+  lr.statics.push_back(RunLadderRung("first_touch_carrefour", app,
+                                     StaticPolicy::kFirstTouch, true, false, false));
+  lr.best_static = lr.statics.front();
+  for (const LadderRung& rung : lr.statics) {
+    if (rung.local_ratio > lr.best_static.local_ratio) {
+      lr.best_static = rung;
+    }
+  }
+  // Rung 2: per-node replicas kept fresh by the Carrefour translation
+  // extension — remote nodes now walk their own copy.
+  lr.replicated = RunLadderRung("replicated", app, StaticPolicy::kFirstTouch, true,
+                                true, false);
+  // Rung 3: plus the Phoenix-style orchestrator re-pinning stranded vCPUs
+  // toward the replicas they walk.
+  lr.orchestrated = RunLadderRung("orchestrated", app, StaticPolicy::kFirstTouch,
+                                  true, true, true);
+  return lr;
+}
+
+void PrintLadderJson(const LadderResult& lr) {
+  std::printf("{\n");
+  std::printf("  \"bench\": \"extra_replication\",\n");
+  std::printf("  \"machine\": \"amd48\",\n");
+  std::printf("  \"statics\": [\n");
+  for (size_t i = 0; i < lr.statics.size(); ++i) {
+    const LadderRung& rung = lr.statics[i];
+    std::printf("    {\"name\": \"%s\", \"local_ratio\": %.4f, \"local_walks\": %lld,"
+                " \"remote_walks\": %lld}%s\n",
+                rung.label.c_str(), rung.local_ratio, rung.local_walks,
+                rung.remote_walks, i + 1 < lr.statics.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"repl_best_static_local_ratio\": %.4f,\n", lr.best_static.local_ratio);
+  std::printf("  \"repl_replicated_local_ratio\": %.4f,\n", lr.replicated.local_ratio);
+  std::printf("  \"repl_local_walk_ratio\": %.4f,\n", lr.orchestrated.local_ratio);
+  std::printf("  \"orchestrated_local_walks\": %lld,\n", lr.orchestrated.local_walks);
+  std::printf("  \"orchestrated_remote_walks\": %lld\n", lr.orchestrated.remote_walks);
+  std::printf("}\n");
+}
+
+void PrintLadderHuman(const LadderResult& lr) {
+  std::printf("\nWalk-locality ladder (24 vCPUs over 4 nodes, priced walks; MODEL.md §18):\n");
+  std::printf("  %-24s %12s %14s %14s\n", "rung", "local-ratio", "local-walks",
+              "remote-walks");
+  for (const LadderRung& rung : lr.statics) {
+    std::printf("  %-24s %11.1f%% %14lld %14lld\n", rung.label.c_str(),
+                100.0 * rung.local_ratio, rung.local_walks, rung.remote_walks);
+  }
+  std::printf("  %-24s %11.1f%% %14lld %14lld\n", "replicated",
+              100.0 * lr.replicated.local_ratio, lr.replicated.local_walks,
+              lr.replicated.remote_walks);
+  std::printf("  %-24s %11.1f%% %14lld %14lld\n", "replicated+orchestrator",
+              100.0 * lr.orchestrated.local_ratio, lr.orchestrated.local_walks,
+              lr.orchestrated.remote_walks);
+  std::printf("  -> best static %.1f%% (the home node's thread share); replication"
+              " localizes the rest.\n",
+              100.0 * lr.best_static.local_ratio);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  InitBench(argc, argv);
+  // `--json`: run only the walk-locality ladder and emit the JSON object
+  // tools/run_bench.sh splices into BENCH_engine.json. Stripped before
+  // InitBench so the shared flag parser does not warn about it.
+  bool json = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  InitBench(static_cast<int>(args.size()), args.data());
+  if (json) {
+    PrintLadderJson(RunWalkLadder());
+    return 0;
+  }
   PrintBanner("§3.4 ablation", "The replication heuristic (off by default, as in the paper)");
 
   const char* names[] = {"facesim", "streamcluster", "kmeans", "pca", "sp.C", "ep.D"};
@@ -92,5 +292,7 @@ int main(int argc, char** argv) {
               on.avg_latency_cycles, ImprovementPct(off.completion_seconds, on.completion_seconds));
   std::printf("  -> the mechanism works when pages really are read-only; the paper's\n"
               "     workloads simply are not, which is why it was discarded.\n");
+
+  PrintLadderHuman(RunWalkLadder());
   return 0;
 }

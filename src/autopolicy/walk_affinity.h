@@ -1,0 +1,75 @@
+// Phoenix-style walk-affinity orchestration (PAPERS.md): co-place threads
+// with the page-table replica they walk.
+//
+// Per-node P2M replication (docs/MODEL.md §18) makes a page-walk local only
+// when the walking vCPU's node actually holds a current replica. Exogenous
+// vCPU load balancing (§1) keeps stranding vCPUs on nodes with no replica —
+// or a stale one — so their walks cross the interconnect to the master
+// table until the next replication pass catches up. This controller closes
+// that gap from the other side: once per window it inspects where each vCPU
+// of a domain runs, and re-pins the vCPUs with the worst local replica
+// coverage to the covered node with the most spare CPU capacity. It uses
+// only the hypervisor's existing relocation machinery (the same
+// NoteVcpuMoved path the credit scheduler and the engine's migration events
+// take), so vNUMA generations and the P2M's vCPU→node map stay coherent.
+//
+// Without replication the only covered node is the table's home node, so
+// the controller degenerates to pulling walk-heavy vCPUs home — still an
+// improvement over leaving them stranded, and the reason it is usable
+// independently of replication.
+
+#ifndef XENNUMA_SRC_AUTOPOLICY_WALK_AFFINITY_H_
+#define XENNUMA_SRC_AUTOPOLICY_WALK_AFFINITY_H_
+
+#include <map>
+
+#include "src/common/types.h"
+#include "src/hv/hypervisor.h"
+
+namespace xnuma {
+
+struct WalkAffinityConfig {
+  // A vCPU is stranded when its node's replica coverage is below this.
+  double coverage_low = 0.50;
+  // Moving is only worth the migration stall when the target node's
+  // coverage beats the current node's by at least this margin.
+  double coverage_margin = 0.25;
+  // vCPUs re-pinned per window at most (bounds the stall charged by the
+  // engine and keeps the controller from fighting the load balancer).
+  int max_moves_per_window = 4;
+  // Minimum windows between move bursts (hysteresis, like the policy
+  // selector's dwell).
+  int dwell_windows = 1;
+};
+
+struct WalkAffinityStats {
+  int decisions = 0;
+  int vcpu_moves = 0;
+};
+
+class WalkAffinityOrchestrator {
+ public:
+  explicit WalkAffinityOrchestrator(Hypervisor& hv,
+                                    WalkAffinityConfig config = WalkAffinityConfig());
+
+  // One decision window for `domain`. Returns the number of vCPUs
+  // re-pinned so the caller can charge the migration stall and re-sync its
+  // thread→CPU view (the engine does both).
+  int Tick(DomainId domain);
+
+  const WalkAffinityStats& stats(DomainId domain);
+
+ private:
+  struct DomainState {
+    WalkAffinityStats stats;
+    int windows_since_move = 0;
+  };
+
+  Hypervisor* hv_;
+  WalkAffinityConfig config_;
+  std::map<DomainId, DomainState> domains_;
+};
+
+}  // namespace xnuma
+
+#endif  // XENNUMA_SRC_AUTOPOLICY_WALK_AFFINITY_H_

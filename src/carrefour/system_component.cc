@@ -32,6 +32,32 @@ bool CarrefourSystemComponent::ReplicatePage(DomainId domain, Pfn pfn) {
   return false;
 }
 
+int CarrefourSystemComponent::ReplicateTranslation(DomainId domain) {
+  Domain& dom = hv_->domain(domain);
+  if (dom.destroyed() || !dom.p2m().replication_enabled()) {
+    return 0;
+  }
+  const Topology& topo = hv_->topology();
+  // One refresh per node hosting a vCPU; FillReplica skips the home node
+  // (the master is by definition current there).
+  std::vector<char> seen(topo.num_nodes(), 0);
+  int refreshed = 0;
+  for (const VcpuDesc& v : dom.vcpus()) {
+    if (v.pinned_cpu == kInvalidCpu) {
+      continue;
+    }
+    const NodeId n = topo.node_of_cpu(v.pinned_cpu);
+    if (seen[n] || n == dom.p2m().home_node()) {
+      continue;
+    }
+    seen[n] = 1;
+    dom.p2m().FillReplica(n);
+    ++refreshed;
+  }
+  translation_replications_ += refreshed;
+  return refreshed;
+}
+
 bool CarrefourSystemComponent::MigratePage(DomainId domain, Pfn pfn, NodeId node) {
   if (hv_->backend(domain).Migrate(pfn, node)) {
     ++migrations_;

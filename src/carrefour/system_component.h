@@ -43,6 +43,11 @@ class CarrefourSystemComponent {
   // heuristic, optional). Returns false when ineligible or out of memory.
   bool ReplicatePage(DomainId domain, Pfn pfn);
 
+  // Refreshes the per-node P2M replica (docs/MODEL.md §18) of every node
+  // hosting one of `domain`'s vCPUs. Returns the number of replicas
+  // refreshed; 0 when the domain runs without p2m_replication.
+  int ReplicateTranslation(DomainId domain);
+
   int num_nodes() const { return hv_->topology().num_nodes(); }
 
   // Fault layer behind the migration service; lets the user component tell
@@ -51,6 +56,9 @@ class CarrefourSystemComponent {
 
   int64_t migrations_performed() const { return migrations_; }
   int64_t replications_performed() const { return replications_; }
+  int64_t translation_replications_performed() const {
+    return translation_replications_;
+  }
 
  private:
   Hypervisor* hv_;
@@ -58,6 +66,7 @@ class CarrefourSystemComponent {
   PageAccessSource* sampler_;
   int64_t migrations_ = 0;
   int64_t replications_ = 0;
+  int64_t translation_replications_ = 0;
 };
 
 }  // namespace xnuma

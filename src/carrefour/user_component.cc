@@ -12,7 +12,8 @@ void CarrefourUserComponent::set_observability(Observability* obs) {
   obs_ = obs;
   if (obs_ == nullptr) {
     tick_count_ = backoff_skip_count_ = interleave_count_ = locality_count_ = nullptr;
-    replication_count_ = failed_migration_count_ = nullptr;
+    replication_count_ = translation_replication_count_ = nullptr;
+    failed_migration_count_ = nullptr;
     scan_seconds_ = migrate_seconds_ = nullptr;
     return;
   }
@@ -29,6 +30,9 @@ void CarrefourUserComponent::set_observability(Observability* obs) {
   replication_count_ = m.RegisterCounter(
       "carrefour.replications", "pages",
       "Hot read-only pages replicated (opt-in §3.4 extension)");
+  translation_replication_count_ = m.RegisterCounter(
+      "carrefour.translation_replications", "replicas",
+      "Per-node P2M replicas refreshed by the translation extension");
   failed_migration_count_ = m.RegisterCounter(
       "carrefour.failed_migrations", "pages", "Migrations the heuristics could not commit");
   scan_seconds_ = m.RegisterHistogram(
@@ -76,6 +80,7 @@ CarrefourTickStats CarrefourUserComponent::Tick(DomainId domain) {
   stats.interconnect_saturated = metrics.MaxLinkUtilization() >= config_.link_saturation_util;
 
   if (!stats.mc_overloaded && !stats.interconnect_saturated) {
+    RefreshTranslation(domain, &stats);
     return stats;
   }
 
@@ -183,7 +188,25 @@ CarrefourTickStats CarrefourUserComponent::Tick(DomainId domain) {
       backoff.streak = 0;
     }
   }
+  // Last so the copies also mirror this tick's own migrations — a refresh
+  // before them would leave every migrated chunk stale for a full period.
+  RefreshTranslation(domain, &stats);
   return stats;
+}
+
+void CarrefourUserComponent::RefreshTranslation(DomainId domain,
+                                                CarrefourTickStats* stats) {
+  if (!config_.replicate_translation) {
+    return;
+  }
+  // Keep the walkers' translation replicas fresh at monitoring cadence; a
+  // stale replica taxes every walk from its node, so this is not gated on
+  // the saturation signals the page heuristics wait for.
+  stats->translation_replications = system_->ReplicateTranslation(domain);
+  if (translation_replication_count_ != nullptr &&
+      stats->translation_replications > 0) {
+    translation_replication_count_->Increment(stats->translation_replications);
+  }
 }
 
 }  // namespace xnuma

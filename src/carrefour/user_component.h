@@ -45,6 +45,13 @@ struct CarrefourConfig {
   bool enable_replication = false;
   // A page qualifies when no single node exceeds this share of its accesses.
   double replication_max_dominant_share = 0.60;
+  // Generalization of the replication extension to translation structures
+  // (docs/MODEL.md §18): each tick, refresh the per-node P2M replicas of
+  // every node hosting one of the domain's vCPUs. Requires the domain to
+  // run with DomainConfig::p2m_replication; a no-op otherwise. Unlike page
+  // replication this is not gated on interconnect saturation — a stale
+  // translation replica taxes every walk from that node, saturated or not.
+  bool replicate_translation = false;
   // Fault recovery (docs/MODEL.md §10): after a tick in which migrations
   // failed under fault injection, skip the next `base << (streak-1)` ticks
   // for that domain (capped), doubling per consecutive failing tick.
@@ -54,6 +61,7 @@ struct CarrefourConfig {
 
 struct CarrefourTickStats {
   int interleave_migrations = 0;
+  int translation_replications = 0;  // per-node P2M replica refreshes
   int locality_migrations = 0;
   int replications = 0;
   int failed_migrations = 0;
@@ -84,6 +92,11 @@ class CarrefourUserComponent {
   void set_observability(Observability* obs);
 
  private:
+  // Refreshes the domain's per-node P2M replicas (CarrefourConfig::
+  // replicate_translation); called on every Tick exit path after any page
+  // migrations so the copies mirror this tick's own mutations.
+  void RefreshTranslation(DomainId domain, CarrefourTickStats* stats);
+
   // Per-domain capped exponential backoff under injected migration failures.
   struct BackoffState {
     int streak = 0;          // consecutive ticks with failed migrations
@@ -107,6 +120,7 @@ class CarrefourUserComponent {
   Counter* interleave_count_ = nullptr;
   Counter* locality_count_ = nullptr;
   Counter* replication_count_ = nullptr;
+  Counter* translation_replication_count_ = nullptr;
   Counter* failed_migration_count_ = nullptr;
   Histogram* scan_seconds_ = nullptr;
   Histogram* migrate_seconds_ = nullptr;

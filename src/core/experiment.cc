@@ -78,6 +78,7 @@ struct Machine {
     dc.pci_passthrough = passthrough;
     dc.p2m_max_order = stack.p2m_max_order;
     dc.ft_superpage = stack.ft_superpage;
+    dc.p2m_replication = stack.p2m_replication;
     const bool vnuma = stack.vnuma != VnumaMode::kOff && stack.mode == ExecMode::kGuest;
     if (vnuma) {
       dc.vnuma = true;
@@ -109,6 +110,7 @@ struct Machine {
     job.sync = (stack.mcs_for_eligible && app.mcs_eligible) ? SyncPrimitive::kMcsSpin
                                                             : SyncPrimitive::kBlockingFutex;
     job.auto_policy = stack.auto_numa_policy;
+    job.walk_orchestrator = stack.walk_orchestrator;
     engine->AddJob(job);
   }
 };

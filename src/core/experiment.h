@@ -63,6 +63,12 @@ struct StackConfig {
   // stacks; AddAppVm enables the domain's vNUMA tables, the hybrid policy
   // wrapper, and the guest's NUMA-aware allocator when != kOff.
   VnumaMode vnuma = VnumaMode::kOff;
+  // Mitosis-style per-node P2M replication (CLI --p2m_replication;
+  // docs/MODEL.md §18). Off keeps the table bit-identical to today.
+  bool p2m_replication = false;
+  // Phoenix-style walk-affinity orchestration (CLI --walk_orchestrator):
+  // re-pin vCPUs toward the replicas they walk at monitoring cadence.
+  bool walk_orchestrator = false;
 };
 
 // Xen+ with the automatic policy selector driving the NUMA policy.

@@ -339,6 +339,8 @@ void SerializeStack(const StackConfig& stack, WireWriter* w) {
   w->U8(static_cast<uint8_t>(stack.p2m_max_order));
   w->Bool(stack.ft_superpage);
   w->U8(static_cast<uint8_t>(stack.vnuma));
+  w->Bool(stack.p2m_replication);
+  w->Bool(stack.walk_orchestrator);
 }
 
 void DeserializeStack(WireReader* r, StackConfig* stack) {
@@ -353,6 +355,8 @@ void DeserializeStack(WireReader* r, StackConfig* stack) {
   stack->p2m_max_order = ReadEnum<PageOrder>(r, 2, "PageOrder");
   stack->ft_superpage = r->Bool();
   stack->vnuma = ReadEnum<VnumaMode>(r, 2, "VnumaMode");
+  stack->p2m_replication = r->Bool();
+  stack->walk_orchestrator = r->Bool();
 }
 
 void SerializeCarrefourConfig(const CarrefourConfig& c, WireWriter* w) {
@@ -366,6 +370,7 @@ void SerializeCarrefourConfig(const CarrefourConfig& c, WireWriter* w) {
   w->F64(c.replication_max_dominant_share);
   w->I32(c.backoff_base_ticks);
   w->I32(c.backoff_max_ticks);
+  w->Bool(c.replicate_translation);
 }
 
 void DeserializeCarrefourConfig(WireReader* r, CarrefourConfig* c) {
@@ -379,6 +384,7 @@ void DeserializeCarrefourConfig(WireReader* r, CarrefourConfig* c) {
   c->replication_max_dominant_share = r->F64();
   c->backoff_base_ticks = r->I32();
   c->backoff_max_ticks = r->I32();
+  c->replicate_translation = r->Bool();
 }
 
 void SerializeAutoSelectorConfig(const AutoSelectorConfig& c, WireWriter* w) {
@@ -451,6 +457,7 @@ void SerializeEngineConfig(const EngineConfig& ec, WireWriter* w) {
   SerializeCarrefourConfig(ec.carrefour, w);
   SerializeAutoSelectorConfig(ec.auto_selector, w);
   SerializeFaultPlan(ec.fault, w);
+  w->Bool(ec.price_walks);
 }
 
 void DeserializeEngineConfig(WireReader* r, EngineConfig* ec) {
@@ -473,6 +480,7 @@ void DeserializeEngineConfig(WireReader* r, EngineConfig* ec) {
   DeserializeCarrefourConfig(r, &ec->carrefour);
   DeserializeAutoSelectorConfig(r, &ec->auto_selector);
   DeserializeFaultPlan(r, &ec->fault);
+  ec->price_walks = r->Bool();
 }
 
 void SerializeJobResult(const JobResult& result, WireWriter* w) {
@@ -495,6 +503,8 @@ void SerializeJobResult(const JobResult& result, WireWriter* w) {
   w->I64(result.faults_injected);
   w->I64(result.faults_recovered);
   w->I64(result.faults_aborted);
+  w->I64(result.local_walks);
+  w->I64(result.remote_walks);
 }
 
 void DeserializeJobResult(WireReader* r, JobResult* result) {
@@ -517,6 +527,8 @@ void DeserializeJobResult(WireReader* r, JobResult* result) {
   result->faults_injected = r->I64();
   result->faults_recovered = r->I64();
   result->faults_aborted = r->I64();
+  result->local_walks = r->I64();
+  result->remote_walks = r->I64();
 }
 
 }  // namespace

@@ -35,6 +35,17 @@ struct HvCosts {
   // native and 10.9 us from a guest.
   double ipi_native_s = 0.9e-6;
   double ipi_guest_s = 10.9e-6;
+
+  // Page-walk pricing (docs/MODEL.md §18), charged per memory access when
+  // the engine runs with price_walks. Translation-cache misses force a walk
+  // of the P2M on walk_miss_per_access of accesses; a walk is
+  // walk_local_cycles when the walking vCPU's node holds a current replica
+  // (or is the table's home node) and walk_remote_cycles when it must cross
+  // the interconnect to the master table — the ~10x DRAM-vs-remote gap
+  // Mitosis measures for page-table walks.
+  double walk_miss_per_access = 0.05;
+  double walk_local_cycles = 60.0;
+  double walk_remote_cycles = 600.0;
 };
 
 }  // namespace xnuma

@@ -161,6 +161,14 @@ void Hypervisor::DestroyDomain(DomainId id) {
     }
     pfn = run.first + run.count;
   }
+  // Pages released while replicated keep their replica frames in the
+  // domain's replica map (the run walk above only sees mapped runs); free
+  // them through the same collapse path so stats and counters agree.
+  while (!dom.replicas().empty()) {
+    be.CollapseReplicas(dom.replicas().begin()->first);
+  }
+  // And drop the per-node P2M replicas with their stamp arrays.
+  dom.p2m().DisableReplication();
   for (const VcpuDesc& vcpu : dom.vcpus()) {
     XNUMA_CHECK(cpu_reservations_[vcpu.pinned_cpu] > 0);
     --cpu_reservations_[vcpu.pinned_cpu];
@@ -260,11 +268,19 @@ DomainId Hypervisor::TryCreateDomain(const DomainConfig& config) {
     std::sort(homes.begin(), homes.end());
   }
   dom->set_home_nodes(std::move(homes));
+  dom->p2m().SetHomeNode(dom->home_nodes().empty() ? 0 : dom->home_nodes().front());
   for (int v = 0; v < config.num_vcpus; ++v) {
     dom->mutable_vcpus().push_back({v, pins[v]});
     ++cpu_reservations_[pins[v]];
   }
   dom->p2m().ConfigureTlb(config.num_vcpus);
+  if (config.p2m_replication) {
+    dom->p2m().EnableReplication(topo_->num_nodes(),
+                                 dom->p2m().home_node());
+    for (int v = 0; v < config.num_vcpus; ++v) {
+      dom->p2m().SetVcpuNode(v, topo_->node_of_cpu(pins[v]));
+    }
+  }
   dom->p2m().ConfigureOrders(config.p2m_max_order,
                              frames_.FramesPerOrder(PageOrder::k2M),
                              frames_.FramesPerOrder(PageOrder::k1G));
@@ -351,7 +367,9 @@ void Hypervisor::NoteVcpuMoved(DomainId id, VcpuId vcpu, CpuId cpu) {
   if (id < 0 || id >= num_domains()) {
     return;
   }
-  domain(id).NoteVcpuLocation(vcpu, cpu);
+  Domain& dom = domain(id);
+  dom.NoteVcpuLocation(vcpu, cpu);
+  dom.p2m().SetVcpuNode(vcpu, topo_->node_of_cpu(cpu));
 }
 
 double Hypervisor::HypercallPageQueueFlush(DomainId id, std::span<const PageQueueOp> ops) {

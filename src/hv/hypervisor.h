@@ -56,6 +56,12 @@ struct DomainConfig {
   // behaviour — an unsatisfiable packing falls back to every node and lets
   // the policies' allocation fallbacks absorb the pressure.
   bool strict_admission = false;
+  // Opt-in Mitosis-style P2M replication (docs/MODEL.md §18): every node
+  // hosting one of the domain's vCPUs may hold a lazily filled replica of
+  // the translation structure, so page-walks from that node stay local.
+  // Off (the default) keeps walks going to the table's home node and the
+  // table bit-identical to an unreplicated one.
+  bool p2m_replication = false;
 };
 
 enum class HypercallStatus {

@@ -44,6 +44,7 @@ P2mTable::P2mTable(int64_t num_pages) : reference_(g_reference_mode) {
     packed_chunk_count_ = static_cast<int64_t>(chunks_.size());
   }
   tlb_.assign(static_cast<size_t>(tlb_contexts_) * kTlbSets, TlbEntry{});
+  vcpu_nodes_.assign(tlb_contexts_, home_node_);
 }
 
 void P2mTable::ConfigureOrders(PageOrder max_order, int64_t pages_per_2m,
@@ -215,8 +216,11 @@ void P2mTable::RefreshOrderGauges() {
   }
 }
 
-void P2mTable::TouchChunk(Chunk& c) {
+void P2mTable::TouchChunk(int64_t chunk_idx, Chunk& c) {
   ++c.gen;
+  if (repl_enabled_) {
+    InvalidateReplicaChunk(chunk_idx, c.gen);
+  }
   if (extent_gauge_ != nullptr) {
     extent_gauge_->Set(static_cast<double>(extent_count_));
   }
@@ -227,7 +231,177 @@ void P2mTable::TouchChunk(Chunk& c) {
 
 void P2mTable::TouchSp() {
   ++sp_gen_;
+  if (repl_enabled_) {
+    // The superpage layer changed (install/remove/split/promote/protect):
+    // drop its copy from every replica holding a current one, so a split
+    // under replication clips cached superpage runs on all replicas.
+    for (auto& rp : replicas_) {
+      Replica* r = rp.get();
+      if (r == nullptr) {
+        continue;
+      }
+      const uint32_t old = r->sp_stamp.load(std::memory_order_relaxed);
+      if (old + 1 == sp_gen_) {
+        r->sp_stamp.store(kStampEmpty, std::memory_order_relaxed);
+        ++repl_invalidations_;
+        if (repl_invalidation_metric_ != nullptr) {
+          repl_invalidation_metric_->Increment();
+        }
+      }
+    }
+  }
   RefreshOrderGauges();
+}
+
+// ---- Per-node replication (docs/MODEL.md §18) ----------------------------
+
+void P2mTable::InvalidateReplicaChunk(int64_t chunk_idx, uint32_t new_gen) {
+  for (auto& rp : replicas_) {
+    Replica* r = rp.get();
+    if (r == nullptr) {
+      continue;
+    }
+    // Only a copy that was current (stamped with the generation this
+    // mutation just superseded) transitions to invalid; stale and empty
+    // copies were already uncounted, so valid_chunks stays exact.
+    const uint32_t old = r->stamps[chunk_idx].load(std::memory_order_relaxed);
+    if (old == new_gen - 1) {
+      r->stamps[chunk_idx].store(kStampEmpty, std::memory_order_relaxed);
+      r->valid_chunks.fetch_sub(1, std::memory_order_relaxed);
+      ++repl_invalidations_;
+      if (repl_invalidation_metric_ != nullptr) {
+        repl_invalidation_metric_->Increment();
+      }
+    }
+  }
+}
+
+void P2mTable::EnableReplication(int num_nodes, int home_node) {
+  XNUMA_CHECK(num_nodes > 0 && home_node >= 0 && home_node < num_nodes);
+  repl_enabled_ = true;
+  home_node_ = home_node;
+  repl_nodes_ = num_nodes;
+  replicas_.clear();
+  replicas_.resize(num_nodes);
+  repl_epochs_ = std::make_unique<std::atomic<uint32_t>[]>(num_nodes);
+  for (int n = 0; n < num_nodes; ++n) {
+    repl_epochs_[n].store(0, std::memory_order_relaxed);
+  }
+  vcpu_nodes_.assign(tlb_contexts_, home_node_);
+  if (repl_gauge_ != nullptr) {
+    repl_gauge_->Set(0.0);
+  }
+}
+
+void P2mTable::DisableReplication() {
+  repl_enabled_ = false;
+  repl_nodes_ = 0;
+  replicas_.clear();
+  repl_epochs_.reset();
+  if (repl_gauge_ != nullptr) {
+    repl_gauge_->Set(0.0);
+  }
+}
+
+P2mTable::Replica& P2mTable::EnsureReplica(int node) {
+  XNUMA_CHECK(repl_enabled_ && node >= 0 && node < repl_nodes_);
+  std::unique_ptr<Replica>& slot = replicas_[node];
+  if (slot == nullptr) {
+    slot = std::make_unique<Replica>(static_cast<int64_t>(chunks_.size()));
+    for (auto& s : slot->stamps) {
+      s.store(kStampEmpty, std::memory_order_relaxed);
+    }
+    if (repl_gauge_ != nullptr) {
+      repl_gauge_->Set(static_cast<double>(replica_count()));
+    }
+  }
+  return *slot;
+}
+
+void P2mTable::SetVcpuNode(int32_t vcpu, int node) {
+  XNUMA_CHECK(node >= 0);
+  const int ctx = vcpu >= 0 ? static_cast<int>(vcpu % tlb_contexts_) : 0;
+  if (static_cast<size_t>(ctx) >= vcpu_nodes_.size()) {
+    vcpu_nodes_.resize(tlb_contexts_, home_node_);
+  }
+  vcpu_nodes_[ctx] = node;
+  if (repl_enabled_ && node != home_node_ && node < repl_nodes_) {
+    EnsureReplica(node);
+  }
+}
+
+void P2mTable::FillReplica(int node) {
+  if (!repl_enabled_ || node == home_node_ || node < 0 || node >= repl_nodes_) {
+    return;
+  }
+  Replica& r = EnsureReplica(node);
+  const int64_t n = static_cast<int64_t>(chunks_.size());
+  for (int64_t ci = 0; ci < n; ++ci) {
+    const Chunk* c = chunks_[ci].get();
+    r.stamps[ci].store(c != nullptr ? c->gen : 0, std::memory_order_relaxed);
+  }
+  r.sp_stamp.store(sp_gen_, std::memory_order_relaxed);
+  r.valid_chunks.store(n, std::memory_order_relaxed);
+}
+
+void P2mTable::InvalidateReplicas(int node) {
+  if (!repl_enabled_ || node < 0 || node >= repl_nodes_) {
+    return;
+  }
+  Replica* r = replicas_[node].get();
+  if (r != nullptr) {
+    for (auto& s : r->stamps) {
+      s.store(kStampEmpty, std::memory_order_relaxed);
+    }
+    r->sp_stamp.store(kStampEmpty, std::memory_order_relaxed);
+    r->valid_chunks.store(0, std::memory_order_relaxed);
+  }
+  // Release-publish the drop: a walk that acquires the new epoch also
+  // observes the cleared stamps above (docs/MODEL.md §18).
+  repl_epochs_[node].fetch_add(1, std::memory_order_release);
+  ++repl_invalidations_;
+  if (repl_invalidation_metric_ != nullptr) {
+    repl_invalidation_metric_->Increment();
+  }
+}
+
+double P2mTable::ReplicaCoverage(int node) const {
+  if (node == home_node_) {
+    return 1.0;  // the master table is by definition local
+  }
+  if (!repl_enabled_ || node < 0 || node >= repl_nodes_) {
+    return 0.0;
+  }
+  const Replica* r = replicas_[node].get();
+  if (r == nullptr) {
+    return 0.0;
+  }
+  const double denom =
+      static_cast<double>(chunks_.size()) + (sp_enabled_ ? 1.0 : 0.0);
+  double num = static_cast<double>(r->valid_chunks.load(std::memory_order_relaxed));
+  if (sp_enabled_ && r->sp_stamp.load(std::memory_order_relaxed) == sp_gen_) {
+    num += 1.0;
+  }
+  return std::min(1.0, std::max(0.0, num / denom));
+}
+
+void P2mTable::NoteWalks(int64_t local, int64_t remote) {
+  repl_local_walks_ += local;
+  repl_remote_walks_ += remote;
+  if (repl_local_metric_ != nullptr && local > 0) {
+    repl_local_metric_->Increment(local);
+  }
+  if (repl_remote_metric_ != nullptr && remote > 0) {
+    repl_remote_metric_->Increment(remote);
+  }
+}
+
+int64_t P2mTable::replica_count() const {
+  int64_t n = 0;
+  for (const auto& r : replicas_) {
+    n += r != nullptr ? 1 : 0;
+  }
+  return n;
 }
 
 void P2mTable::MaybePack(Chunk& c) {
@@ -407,7 +581,7 @@ void P2mTable::MaterializeSpan(Pfn first, int64_t count, Mfn mfn, bool writable)
     } else {
       InsertExtent(c, off, len, m, writable);
     }
-    TouchChunk(c);
+    TouchChunk(ci, c);
     p += len;
   }
 }
@@ -499,7 +673,8 @@ void P2mTable::Map(Pfn pfn, Mfn mfn) {
   if (sp_enabled_) {
     XNUMA_CHECK(SpEntryAt(pfn) == 0);  // must be invalid, incl. superpages
   }
-  Chunk& c = EnsureChunk(pfn >> kChunkShift);
+  const int64_t ci = pfn >> kChunkShift;
+  Chunk& c = EnsureChunk(ci);
   const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
   if (!c.packed.empty()) {
     XNUMA_CHECK(c.packed[off] == 0);
@@ -508,7 +683,7 @@ void P2mTable::Map(Pfn pfn, Mfn mfn) {
     InsertExtent(c, off, 1, mfn, true);
   }
   ++valid_count_;
-  TouchChunk(c);
+  TouchChunk(ci, c);
 }
 
 void P2mTable::MapRange(Pfn pfn, int64_t count, Mfn mfn) {
@@ -536,7 +711,8 @@ void P2mTable::MapRange(Pfn pfn, int64_t count, Mfn mfn) {
         continue;
       }
     }
-    Chunk& c = EnsureChunk(p >> kChunkShift);
+    const int64_t ci = p >> kChunkShift;
+    Chunk& c = EnsureChunk(ci);
     const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
     int32_t len = static_cast<int32_t>(std::min<int64_t>(kChunkPages - off, end - p));
     if (sp_enabled_) {
@@ -564,7 +740,7 @@ void P2mTable::MapRange(Pfn pfn, int64_t count, Mfn mfn) {
       InsertExtent(c, off, len, m, true);
     }
     valid_count_ += len;
-    TouchChunk(c);
+    TouchChunk(ci, c);
     p += len;
   }
 }
@@ -579,8 +755,9 @@ void P2mTable::Remap(Pfn pfn, Mfn new_mfn) {
       SplitOneLevel(pfn);
     }
   }
-  XNUMA_CHECK(chunks_[pfn >> kChunkShift] != nullptr);
-  Chunk& c = *chunks_[pfn >> kChunkShift];
+  const int64_t ci = pfn >> kChunkShift;
+  XNUMA_CHECK(chunks_[ci] != nullptr);
+  Chunk& c = *chunks_[ci];
   const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
   if (!c.packed.empty()) {
     uint64_t& e = c.packed[off];
@@ -595,7 +772,7 @@ void P2mTable::Remap(Pfn pfn, Mfn new_mfn) {
     TryMergeAt(c, idx);
     MaybePack(c);
   }
-  TouchChunk(c);
+  TouchChunk(ci, c);
 }
 
 void P2mTable::set_observability(Observability* obs) {
@@ -604,6 +781,8 @@ void P2mTable::set_observability(Observability* obs) {
     tlb_hit_metric_ = tlb_miss_metric_ = nullptr;
     extent_gauge_ = nullptr;
     order_gauges_[0] = order_gauges_[1] = order_gauges_[2] = nullptr;
+    repl_gauge_ = nullptr;
+    repl_invalidation_metric_ = repl_local_metric_ = repl_remote_metric_ = nullptr;
     return;
   }
   MetricsRegistry& m = obs->metrics();
@@ -634,6 +813,18 @@ void P2mTable::set_observability(Observability* obs) {
       "tlb.hits", "lookups", "P2M run lookups served from the per-vCPU TLB");
   tlb_miss_metric_ = m.RegisterCounter(
       "tlb.misses", "lookups", "P2M run lookups that walked the extent table");
+  repl_gauge_ = m.RegisterGauge(
+      "p2m.repl.replicas", "replicas",
+      "Live per-node P2M replicas in the last-configured table (home excluded)");
+  repl_invalidation_metric_ = m.RegisterCounter(
+      "p2m.repl.invalidations", "copies",
+      "P2M replica copies dropped by master mutations or wholesale drops");
+  repl_local_metric_ = m.RegisterCounter(
+      "p2m.repl.local_walks", "walks",
+      "Modeled page-walks served by the walking vCPU's local table or replica");
+  repl_remote_metric_ = m.RegisterCounter(
+      "p2m.repl.remote_walks", "walks",
+      "Modeled page-walks that crossed the interconnect to the master table");
 }
 
 bool P2mTable::TryRemap(Pfn pfn, Mfn new_mfn) {
@@ -658,8 +849,9 @@ Mfn P2mTable::Unmap(Pfn pfn) {
       SplitOneLevel(pfn);
     }
   }
-  XNUMA_CHECK(chunks_[pfn >> kChunkShift] != nullptr);
-  Chunk& c = *chunks_[pfn >> kChunkShift];
+  const int64_t ci = pfn >> kChunkShift;
+  XNUMA_CHECK(chunks_[ci] != nullptr);
+  Chunk& c = *chunks_[ci];
   const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
   Mfn old;
   if (!c.packed.empty()) {
@@ -674,7 +866,7 @@ Mfn P2mTable::Unmap(Pfn pfn) {
     RemovePageFromExtent(c, idx, off);
   }
   --valid_count_;
-  TouchChunk(c);
+  TouchChunk(ci, c);
   return old;
 }
 
@@ -752,7 +944,7 @@ void P2mTable::UnmapChunkSpan(int64_t chunk_idx, int32_t off, int32_t len) {
     RemoveSpan(c, off, len);
   }
   valid_count_ -= len;
-  TouchChunk(c);
+  TouchChunk(chunk_idx, c);
 }
 
 void P2mTable::UnmapRange(Pfn pfn, int64_t count) {
@@ -802,8 +994,9 @@ void P2mTable::WriteProtect(Pfn pfn) {
       }
     }
   }
-  XNUMA_CHECK(chunks_[pfn >> kChunkShift] != nullptr);
-  Chunk& c = *chunks_[pfn >> kChunkShift];
+  const int64_t ci = pfn >> kChunkShift;
+  XNUMA_CHECK(chunks_[ci] != nullptr);
+  Chunk& c = *chunks_[ci];
   const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
   if (!c.packed.empty()) {
     uint64_t& e = c.packed[off];
@@ -820,7 +1013,7 @@ void P2mTable::WriteProtect(Pfn pfn) {
     TryMergeAt(c, idx);
     MaybePack(c);
   }
-  TouchChunk(c);
+  TouchChunk(ci, c);
 }
 
 void P2mTable::WriteUnprotect(Pfn pfn) {
@@ -836,8 +1029,9 @@ void P2mTable::WriteUnprotect(Pfn pfn) {
       }
     }
   }
-  XNUMA_CHECK(chunks_[pfn >> kChunkShift] != nullptr);
-  Chunk& c = *chunks_[pfn >> kChunkShift];
+  const int64_t ci = pfn >> kChunkShift;
+  XNUMA_CHECK(chunks_[ci] != nullptr);
+  Chunk& c = *chunks_[ci];
   const int32_t off = static_cast<int32_t>(pfn & (kChunkPages - 1));
   if (!c.packed.empty()) {
     uint64_t& e = c.packed[off];
@@ -854,7 +1048,7 @@ void P2mTable::WriteUnprotect(Pfn pfn) {
     TryMergeAt(c, idx);
     MaybePack(c);
   }
-  TouchChunk(c);
+  TouchChunk(ci, c);
 }
 
 void P2mTable::SetWritableSpan(Chunk& c, int32_t off, int32_t len, bool writable) {
@@ -945,8 +1139,9 @@ void P2mTable::WriteProtectRange(Pfn pfn, int64_t count) {
         continue;
       }
     }
-    XNUMA_CHECK(chunks_[p >> kChunkShift] != nullptr);
-    Chunk& c = *chunks_[p >> kChunkShift];
+    const int64_t ci = p >> kChunkShift;
+    XNUMA_CHECK(chunks_[ci] != nullptr);
+    Chunk& c = *chunks_[ci];
     const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
     int32_t len = static_cast<int32_t>(
         std::min<int64_t>(kChunkPages - off, end - p));
@@ -954,7 +1149,7 @@ void P2mTable::WriteProtectRange(Pfn pfn, int64_t count) {
       len = static_cast<int32_t>(NextSuperpageStart(p, len) - p);
     }
     SetWritableSpan(c, off, len, false);
-    TouchChunk(c);
+    TouchChunk(ci, c);
     p += len;
   }
 }
@@ -982,8 +1177,9 @@ void P2mTable::WriteUnprotectRange(Pfn pfn, int64_t count) {
         continue;
       }
     }
-    XNUMA_CHECK(chunks_[p >> kChunkShift] != nullptr);
-    Chunk& c = *chunks_[p >> kChunkShift];
+    const int64_t ci = p >> kChunkShift;
+    XNUMA_CHECK(chunks_[ci] != nullptr);
+    Chunk& c = *chunks_[ci];
     const int32_t off = static_cast<int32_t>(p & (kChunkPages - 1));
     int32_t len = static_cast<int32_t>(
         std::min<int64_t>(kChunkPages - off, end - p));
@@ -991,7 +1187,7 @@ void P2mTable::WriteUnprotectRange(Pfn pfn, int64_t count) {
       len = static_cast<int32_t>(NextSuperpageStart(p, len) - p);
     }
     SetWritableSpan(c, off, len, true);
-    TouchChunk(c);
+    TouchChunk(ci, c);
     p += len;
   }
 }
@@ -1071,7 +1267,7 @@ bool P2mTable::TryPromote(Pfn first, PageOrder order) {
       } else {
         RemoveSpan(c, off, len);
       }
-      TouchChunk(c);
+      TouchChunk(id, c);
       MaybeShrink(c);
     }
     p = take_end;
@@ -1209,6 +1405,16 @@ P2mTable::Run P2mTable::LookupRun(Pfn pfn, int32_t vcpu) const {
   // configured contexts so co-scheduled lookups still get distinct sets.
   const int ctx = vcpu >= 0 ? static_cast<int>(vcpu % tlb_contexts_) : 0;
   TlbEntry* set_base = &tlb_[static_cast<size_t>(ctx) * kTlbSets];
+  // The node this walk runs from and its replica epoch: a wholesale replica
+  // invalidation bumps the epoch, failing the compares below for exactly
+  // the vCPUs walking from that node. Both stay 0 == 0 while replication is
+  // off, keeping the off path bit-identical.
+  int walk_node = home_node_;
+  uint32_t repl_epoch = 0;
+  if (repl_enabled_) {
+    walk_node = vcpu_nodes_[ctx];
+    repl_epoch = repl_epochs_[walk_node].load(std::memory_order_acquire);
+  }
   if (sp_enabled_) {
     // A superpage run lives in the set its slot index hashes to; probe the
     // candidate set of each enabled order before the chunk set.
@@ -1220,9 +1426,9 @@ P2mTable::Run P2mTable::LookupRun(Pfn pfn, int32_t vcpu) const {
       const int64_t slot = pfn >> s.shift;
       const TlbEntry& t = set_base[slot & (kTlbSets - 1)];
       if (t.kind == l + 1 && t.id == slot && t.gen == sp_gen_ &&
-          t.epoch == tlb_epoch_ && pfn >= t.run.first &&
-          pfn < t.run.first + t.run.count) {
-        ++tlb_hits_;
+          t.epoch == tlb_epoch_ && t.repl_epoch == repl_epoch &&
+          pfn >= t.run.first && pfn < t.run.first + t.run.count) {
+        tlb_hits_.v.fetch_add(1, std::memory_order_relaxed);
         if (tlb_hit_metric_ != nullptr) {
           tlb_hit_metric_->Increment();
         }
@@ -1234,27 +1440,44 @@ P2mTable::Run P2mTable::LookupRun(Pfn pfn, int32_t vcpu) const {
   const uint32_t chunk_gen = c != nullptr ? c->gen : 0;
   TlbEntry& t = set_base[ci & (kTlbSets - 1)];
   if (t.kind == 0 && t.id == ci && t.gen == chunk_gen && t.sp_gen == sp_gen_ &&
-      t.epoch == tlb_epoch_ && pfn >= t.run.first &&
-      pfn < t.run.first + t.run.count) {
-    ++tlb_hits_;
+      t.epoch == tlb_epoch_ && t.repl_epoch == repl_epoch &&
+      pfn >= t.run.first && pfn < t.run.first + t.run.count) {
+    tlb_hits_.v.fetch_add(1, std::memory_order_relaxed);
     if (tlb_hit_metric_ != nullptr) {
       tlb_hit_metric_->Increment();
     }
     return t.run;
   }
-  ++tlb_misses_;
+  tlb_misses_.v.fetch_add(1, std::memory_order_relaxed);
   if (tlb_miss_metric_ != nullptr) {
     tlb_miss_metric_->Increment();
   }
   int8_t kind = 0;
   int64_t id = 0;
   const Run run = ResolveRun(pfn, &kind, &id);
+  if (repl_enabled_ && walk_node != home_node_) {
+    // The miss walked the master table; re-copy what it resolved into the
+    // walking node's replica (Mitosis' walk-driven fill). Only an already-
+    // instantiated replica is stamped — a const lookup never allocates.
+    Replica* r = replicas_[walk_node].get();
+    if (r != nullptr) {
+      if (kind == 0) {
+        if (r->stamps[id].exchange(chunk_gen, std::memory_order_relaxed) !=
+            chunk_gen) {
+          r->valid_chunks.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        r->sp_stamp.store(sp_gen_, std::memory_order_relaxed);
+      }
+    }
+  }
   TlbEntry& victim = set_base[id & (kTlbSets - 1)];
   victim.id = id;
   victim.kind = kind;
   victim.gen = kind == 0 ? chunk_gen : sp_gen_;
   victim.sp_gen = sp_gen_;
   victim.epoch = tlb_epoch_;
+  victim.repl_epoch = repl_epoch;
   victim.run = run;
   return run;
 }
@@ -1262,6 +1485,7 @@ P2mTable::Run P2mTable::LookupRun(Pfn pfn, int32_t vcpu) const {
 void P2mTable::ConfigureTlb(int num_vcpus) {
   tlb_contexts_ = std::max(1, num_vcpus);
   tlb_.assign(static_cast<size_t>(tlb_contexts_) * kTlbSets, TlbEntry{});
+  vcpu_nodes_.assign(tlb_contexts_, home_node_);
 }
 
 void P2mTable::InvalidateTlb() const {
@@ -1287,6 +1511,15 @@ int64_t P2mTable::MemoryBytes() const {
   for (int l = 0; l < kNumSpLevels; ++l) {
     bytes += static_cast<int64_t>(sp_[l].entries.capacity() * sizeof(uint64_t));
   }
+  for (const auto& rp : replicas_) {
+    if (rp == nullptr) {
+      continue;
+    }
+    bytes += static_cast<int64_t>(sizeof(Replica));
+    bytes += static_cast<int64_t>(rp->stamps.capacity() *
+                                  sizeof(std::atomic<uint32_t>));
+  }
+  bytes += static_cast<int64_t>(repl_nodes_) * sizeof(std::atomic<uint32_t>);
   return bytes;
 }
 
@@ -1359,6 +1592,23 @@ void P2mTable::AuditCounters() const {
   XNUMA_CHECK(valid == valid_count_);
   XNUMA_CHECK(extents == extent_count_);
   XNUMA_CHECK(packed_chunks == packed_chunk_count_);
+  // Each replica's transition-maintained valid_chunks must equal a recount
+  // of stamps that match their chunk's current generation.
+  for (const auto& rp : replicas_) {
+    const Replica* r = rp.get();
+    if (r == nullptr) {
+      continue;
+    }
+    int64_t current = 0;
+    for (int64_t ci = 0; ci < static_cast<int64_t>(chunks_.size()); ++ci) {
+      const Chunk* c = chunks_[ci].get();
+      const uint32_t gen = c != nullptr ? c->gen : 0;
+      if (r->stamps[ci].load(std::memory_order_relaxed) == gen) {
+        ++current;
+      }
+    }
+    XNUMA_CHECK(current == r->valid_chunks.load(std::memory_order_relaxed));
+  }
 }
 
 }  // namespace xnuma

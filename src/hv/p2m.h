@@ -44,6 +44,7 @@
 #ifndef XENNUMA_SRC_HV_P2M_H_
 #define XENNUMA_SRC_HV_P2M_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -152,7 +153,8 @@ class P2mTable {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // Optional metrics (p2m.remaps, p2m.remap_races, p2m.extents, p2m.splits,
-  // p2m.promotions, p2m.order_pages_{4k,2m,1g}, tlb.hits, tlb.misses).
+  // p2m.promotions, p2m.order_pages_{4k,2m,1g}, tlb.hits, tlb.misses,
+  // p2m.repl.{replicas,invalidations,local_walks,remote_walks}).
   // nullptr detaches.
   void set_observability(Observability* obs);
 
@@ -188,8 +190,75 @@ class P2mTable {
   // correctness for intra-epoch mutations.
   void InvalidateTlb() const;
 
-  int64_t tlb_hits() const { return tlb_hits_; }
-  int64_t tlb_misses() const { return tlb_misses_; }
+  int64_t tlb_hits() const {
+    return tlb_hits_.v.load(std::memory_order_relaxed);
+  }
+  int64_t tlb_misses() const {
+    return tlb_misses_.v.load(std::memory_order_relaxed);
+  }
+
+  // ---- Per-node replication (docs/MODEL.md §18) ------------------------
+  //
+  // Mitosis-style replication of the translation structure itself: each
+  // node may hold a lazily instantiated replica of the table, so a vCPU
+  // walking from its own node walks locally. A replica is a per-chunk
+  // array of generation stamps — stamp == the chunk's current generation
+  // means the replica holds a current copy of that chunk's translations.
+  // Every master mutator (per-page ops, range ops, splits, promotions)
+  // invalidates the touched chunk's copy on every replica (write-fault-
+  // driven copy invalidation); a walk from a node lazily re-copies the
+  // chunk it resolved (the miss path stamps the walking node's replica).
+  // With replication disabled every query below degenerates to the
+  // single-home answer and the table is bit-identical to a build without
+  // this feature.
+
+  // Declares which node holds the master table. Called at domain creation
+  // regardless of replication so ReplicaCoverage() prices walks correctly
+  // even for unreplicated domains. Default: node 0.
+  void SetHomeNode(int node) { home_node_ = node; }
+  int home_node() const { return home_node_; }
+
+  // Turns replication on for a machine with `num_nodes` nodes. Replicas
+  // are not allocated here — SetVcpuNode/FillReplica instantiate a node's
+  // replica the first time a vCPU actually walks from it.
+  void EnableReplication(int num_nodes, int home_node);
+  // Drops every replica and all replication state (domain teardown).
+  void DisableReplication();
+  bool replication_enabled() const { return repl_enabled_; }
+
+  // Records that `vcpu` now runs on `node`: its TLB context validates
+  // against that node's replica generation from here on, and the node's
+  // replica is instantiated if it does not exist yet.
+  void SetVcpuNode(int32_t vcpu, int node);
+
+  // Copies the whole master table into `node`'s replica (instantiating it
+  // if needed): every chunk stamp becomes current. Models the walk-driven
+  // fill converging; the engine calls it once a thread has walked from a
+  // node for a full epoch. No-op for the home node or when replication is
+  // off.
+  void FillReplica(int node);
+
+  // Invalidates `node`'s replica wholesale and bumps the node's replica
+  // epoch, dropping every cached run of every vCPU walking from that node
+  // (release ordering against concurrent walks; see docs/MODEL.md §18).
+  void InvalidateReplicas(int node);
+
+  // Fraction of the translation structure a walk from `node` finds
+  // locally: 1.0 on the home node, 0.0 when the node holds no replica,
+  // else the share of chunk (and superpage) copies that are current.
+  double ReplicaCoverage(int node) const;
+
+  // Accounts `local` always-local and `remote` cross-node page-walks
+  // (engine epoch accounting; feeds p2m.repl.{local,remote}_walks).
+  void NoteWalks(int64_t local, int64_t remote);
+
+  // Live replicas (home node excluded — the master is not a replica).
+  int64_t replica_count() const;
+  // Replica copy invalidations: per-chunk copies dropped by a master
+  // mutation, superpage-layer drops, and wholesale InvalidateReplicas.
+  int64_t replica_invalidations() const { return repl_invalidations_; }
+  int64_t local_walks() const { return repl_local_walks_; }
+  int64_t remote_walks() const { return repl_remote_walks_; }
 
   // ---- Introspection ---------------------------------------------------
 
@@ -285,8 +354,28 @@ class P2mTable {
     // was touched. Always 0 == 0 while orders are off.
     uint32_t sp_gen = 0;
     uint32_t epoch = 0;
+    // Replica epoch of the node the filling vCPU walked from: invalidating
+    // that node's replica must drop the run even though the master table —
+    // and so every generation above — is unchanged. Always 0 == 0 while
+    // replication is off.
+    uint32_t repl_epoch = 0;
     Run run;
   };
+
+  // Per-node copy of the translation structure. `stamps[ci]` equal to
+  // chunk ci's current generation means this node holds a current copy of
+  // that chunk (kStampEmpty = never copied / invalidated); `sp_stamp`
+  // plays the same role for the superpage layer against sp_gen_. The
+  // counters are atomic because walks re-stamp their node's replica from
+  // a const lookup while InvalidateReplicas may run concurrently (the
+  // repl-tsan race test); the engine itself is single-threaded per table.
+  struct Replica {
+    explicit Replica(int64_t num_chunks) : stamps(num_chunks) {}
+    std::vector<std::atomic<uint32_t>> stamps;
+    std::atomic<uint32_t> sp_stamp{kStampEmpty};
+    std::atomic<int64_t> valid_chunks{0};
+  };
+  static constexpr uint32_t kStampEmpty = 0xFFFFFFFFu;
 
   static uint64_t PackEntry(Mfn mfn, bool writable) {
     return (static_cast<uint64_t>(mfn) << 2) | (writable ? 2u : 0u) | 1u;
@@ -325,10 +414,16 @@ class P2mTable {
   // Releases the heap of a chunk that promotion emptied, so MemoryBytes()
   // stays consistent across split/promote cycles.
   void MaybeShrink(Chunk& c);
-  void TouchChunk(Chunk& c);
+  void TouchChunk(int64_t chunk_idx, Chunk& c);
   // Bumps the superpage generation (invalidating every cached run) and
   // refreshes the order-histogram gauges.
   void TouchSp();
+  // Instantiates `node`'s replica (stamps all-empty) if absent.
+  Replica& EnsureReplica(int node);
+  // Drops the chunk's copy from every replica that holds a current one
+  // (the write-fault-driven invalidation; `new_gen` is the generation the
+  // mutation just installed).
+  void InvalidateReplicaChunk(int64_t chunk_idx, uint32_t new_gen);
   int64_t ChunkPages(int64_t chunk_idx) const;
   Run ComputeChunkRun(int64_t chunk_idx, Pfn pfn) const;
   // Shrinks an invalid chunk run so it does not overlap superpage coverage
@@ -374,13 +469,42 @@ class P2mTable {
   int64_t promotion_count_ = 0;
   int64_t superpage_split_count_ = 0;
 
+  // std::atomic is not movable but the table is (tests build one and
+  // return it by value); moves only happen during single-threaded setup,
+  // so a relaxed transfer of the value is safe.
+  struct MovableCounter {
+    MovableCounter() = default;
+    MovableCounter(MovableCounter&& o) noexcept
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    MovableCounter& operator=(MovableCounter&& o) noexcept {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+    std::atomic<int64_t> v{0};
+  };
+
   // The simulator drives each domain's table from one machine thread, so
-  // the TLB and its stats may be mutable state behind const lookups.
+  // the TLB and its stats may be mutable state behind const lookups. The
+  // hit/miss totals are atomic because the repl race test shares one table
+  // between reader threads (each on its own TLB context).
   mutable std::vector<TlbEntry> tlb_;
   mutable uint32_t tlb_epoch_ = 0;
   int tlb_contexts_ = 1;
-  mutable int64_t tlb_hits_ = 0;
-  mutable int64_t tlb_misses_ = 0;
+  mutable MovableCounter tlb_hits_;
+  mutable MovableCounter tlb_misses_;
+
+  // Replication state (all inert while repl_enabled_ is false). replicas_
+  // is mutable for the same reason as the TLB: a const walk re-stamps the
+  // walking node's replica.
+  bool repl_enabled_ = false;
+  int home_node_ = 0;
+  int repl_nodes_ = 0;
+  mutable std::vector<std::unique_ptr<Replica>> replicas_;
+  std::unique_ptr<std::atomic<uint32_t>[]> repl_epochs_;  // one per node
+  std::vector<int> vcpu_nodes_;
+  int64_t repl_invalidations_ = 0;
+  int64_t repl_local_walks_ = 0;
+  int64_t repl_remote_walks_ = 0;
 
   FaultInjector* injector_ = nullptr;
   Counter* remap_count_ = nullptr;
@@ -391,6 +515,10 @@ class P2mTable {
   Gauge* order_gauges_[3] = {nullptr, nullptr, nullptr};  // 4K, 2M, 1G pages
   mutable Counter* tlb_hit_metric_ = nullptr;
   mutable Counter* tlb_miss_metric_ = nullptr;
+  Gauge* repl_gauge_ = nullptr;
+  Counter* repl_invalidation_metric_ = nullptr;
+  Counter* repl_local_metric_ = nullptr;
+  Counter* repl_remote_metric_ = nullptr;
 };
 
 }  // namespace xnuma

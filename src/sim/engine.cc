@@ -148,6 +148,9 @@ struct Engine::ThreadState {
   double latency_weighted = 0.0;
   double latency_weight = 0.0;
   double last_latency_cycles = 0.0;
+  // Fraction of this thread's page-walks served by a local (replica or
+  // home) P2M, refreshed once per epoch (EngineConfig::price_walks).
+  double walk_coverage = 1.0;
 };
 
 struct Engine::JobState {
@@ -179,6 +182,12 @@ struct Engine::JobState {
   double max_mc_integral = 0.0;
   int64_t carrefour_migrations = 0;
   double last_vcpu_migration = 0.0;
+  // Modeled page-walk totals under price_walks (fractional walks pending
+  // the next integer report to the P2M's observability counters).
+  double local_walks_acc = 0.0;
+  double remote_walks_acc = 0.0;
+  int64_t local_walks_reported = 0;
+  int64_t remote_walks_reported = 0;
   // Machine-wide fault counters snapshotted when the job finished.
   int64_t faults_injected_at_finish = 0;
   int64_t faults_recovered_at_finish = 0;
@@ -274,6 +283,7 @@ Engine::Engine(Hypervisor& hv, const LatencyModel& latency, EngineConfig config)
       std::make_unique<CarrefourUserComponent>(*carrefour_system_, config_.carrefour, config.seed);
   auto_selector_ =
       std::make_unique<AutoPolicySelector>(hv, *carrefour_system_, config_.auto_selector);
+  walk_orchestrator_ = std::make_unique<WalkAffinityOrchestrator>(hv);
 
   // Observability rides the hypervisor attachment (experiment.cc attaches it
   // before the engine exists); a null context keeps every hook free.
@@ -713,12 +723,16 @@ bool Engine::DebugVerifyPlacementCache() {
 
 void Engine::ComputeAccessDistributions(JobState& job) {
   const int nodes = hv_->topology().num_nodes();
+  const P2mTable& p2m = hv_->domain(job.spec.domain).p2m();
   for (int t = 0; t < job.spec.threads; ++t) {
     ThreadState& th = job.threads[t];
     std::fill(th.p_node.begin(), th.p_node.end(), 0.0);
     if (th.done) {
       continue;
     }
+    // Frozen for the epoch so the walk term stays constant across Picard
+    // iterations of the bandwidth fixed point.
+    th.walk_coverage = config_.price_walks ? p2m.ReplicaCoverage(th.node) : 1.0;
     for (const RegionState& region : job.regions) {
       const double share = region.spec->access_share;
       const double denom = region.total_mass + region.replicated_mass;
@@ -849,8 +863,17 @@ void Engine::SolveUtilizationFixedPoint(double dt) {
         th.last_latency_cycles = lat;
         // Memory-level parallelism overlaps part of the DRAM latency with
         // other outstanding accesses; the visible stall per access shrinks.
-        const double service_cycles =
+        double service_cycles =
             job.spec.app->cpu_cycles_per_access + lat / job.spec.app->mlp;
+        if (config_.price_walks) {
+          // Page-walks stall the pipeline (no MLP overlap): local walks hit
+          // the node-local table or replica, remote ones cross to the
+          // master (docs/MODEL.md §18).
+          const HvCosts& costs = hv_->costs();
+          service_cycles += costs.walk_miss_per_access *
+                            (th.walk_coverage * costs.walk_local_cycles +
+                             (1.0 - th.walk_coverage) * costs.walk_remote_cycles);
+        }
         const double share = CpuShare(th.cpu);
         th.rate = share * topo.cpu_hz() / service_cycles;
       }
@@ -981,6 +1004,12 @@ void Engine::AdvanceProgress(JobState& job, double dt, double now) {
     for (NodeId n = 0; n < nodes; ++n) {
       job.cum_node_accesses[n] += progress_rate * th.p_node[n] * eff;
     }
+    if (config_.price_walks) {
+      const double walks =
+          progress_rate * eff * hv_->costs().walk_miss_per_access;
+      job.local_walks_acc += walks * th.walk_coverage;
+      job.remote_walks_acc += walks * (1.0 - th.walk_coverage);
+    }
     if (th.work_remaining <= 0.0) {
       th.done = true;
       const double used = progress_rate > 0.0 ? work_before / progress_rate : 0.0;
@@ -1012,6 +1041,19 @@ void Engine::AdvanceProgress(JobState& job, double dt, double now) {
   job.max_link_integral += std::min(max_link, 1.0) * dt;
   job.max_mc_integral += std::min(max_mc, 1.0) * dt;
   job.running_seconds += dt;
+  if (config_.price_walks) {
+    // Report whole walks to the P2M's locality counters; the fractional
+    // remainder stays in the accumulators for the next epoch.
+    const int64_t lw = static_cast<int64_t>(job.local_walks_acc);
+    const int64_t rw = static_cast<int64_t>(job.remote_walks_acc);
+    if (lw > job.local_walks_reported || rw > job.remote_walks_reported) {
+      hv_->domain(job.spec.domain)
+          .p2m()
+          .NoteWalks(lw - job.local_walks_reported, rw - job.remote_walks_reported);
+      job.local_walks_reported = lw;
+      job.remote_walks_reported = rw;
+    }
+  }
 
   if (const char* dbg = getenv("XNUMA_DEBUG_EPOCH"); dbg != nullptr) {
     double rem = 0.0;
@@ -1187,6 +1229,24 @@ void Engine::TickCarrefour(double now) {
     if (job.spec.auto_policy) {
       auto_selector_->Tick(job.spec.domain);
     }
+    if (job.spec.walk_orchestrator) {
+      const int moves = walk_orchestrator_->Tick(job.spec.domain);
+      if (moves > 0) {
+        // Re-sync the thread→CPU view from the re-pinned vCPUs and charge
+        // the same refill stall as any other vCPU relocation.
+        const Domain& dom = hv_->domain(job.spec.domain);
+        const Topology& topo = hv_->topology();
+        for (int t = 0; t < job.spec.threads; ++t) {
+          ThreadState& th = job.threads[t];
+          const CpuId cpu = dom.vcpus()[t].pinned_cpu;
+          if (th.cpu != cpu) {
+            th.cpu = cpu;
+            th.node = topo.node_of_cpu(cpu);
+          }
+        }
+        job.pending_stall_seconds += 50e-6 * moves / job.spec.threads;
+      }
+    }
     if (!hv_->domain(job.spec.domain).policy_config().carrefour) {
       continue;
     }
@@ -1313,6 +1373,9 @@ void Engine::TickScheduler(double now) {
       if (th.cpu != cpu) {
         th.cpu = cpu;
         th.node = topo.node_of_cpu(cpu);
+        // The credit scheduler re-pins through Domain directly; forward the
+        // move to the P2M so replica walks price from the right node.
+        hv_->domain(job.spec.domain).p2m().SetVcpuNode(t, th.node);
         moved = true;
       }
     }
@@ -1522,6 +1585,8 @@ RunResult Engine::Run() {
     if (job.spec.auto_policy) {
       jr.policy_switches = auto_selector_->stats(job.spec.domain).policy_switches;
     }
+    jr.local_walks = job.local_walks_reported;
+    jr.remote_walks = job.remote_walks_reported;
     if (job.finished) {
       jr.faults_injected = job.faults_injected_at_finish;
       jr.faults_recovered = job.faults_recovered_at_finish;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/autopolicy/auto_selector.h"
+#include "src/autopolicy/walk_affinity.h"
 #include "src/carrefour/system_component.h"
 #include "src/carrefour/user_component.h"
 #include "src/common/rng.h"
@@ -96,6 +97,14 @@ struct EngineConfig {
   bool p2m_promote = false;
   int p2m_promote_slots = 32;
 
+  // Price page-walks into epoch latency (docs/MODEL.md §18): each access
+  // pays HvCosts::walk_miss_per_access walks at walk_local_cycles or
+  // walk_remote_cycles, split by the walking thread's replica coverage.
+  // Off by default — walks are free and results are bit-identical to a
+  // build without the walk model, which is what the repl differential
+  // test pins down.
+  bool price_walks = false;
+
   CarrefourConfig carrefour;
   AutoSelectorConfig auto_selector;
   // Deterministic fault injection (disabled by default); installed into the
@@ -129,6 +138,10 @@ struct JobSpec {
   // and placement follows the *current* allocation decision — guest-side
   // for a vNUMA domain, hypervisor-side otherwise (docs/VNUMA.md §6).
   double churn_reuse_delay_s = 0.0;
+  // Run the Phoenix-style walk-affinity orchestrator on this domain: at the
+  // Carrefour cadence it re-pins vCPUs stranded on nodes with poor replica
+  // coverage next to the replica (or master table) they walk.
+  bool walk_orchestrator = false;
 };
 
 struct JobResult {
@@ -156,6 +169,10 @@ struct JobResult {
   int64_t faults_injected = 0;
   int64_t faults_recovered = 0;
   int64_t faults_aborted = 0;
+  // Modeled page-walks split by locality (both zero unless the engine ran
+  // with price_walks; docs/MODEL.md §18).
+  int64_t local_walks = 0;
+  int64_t remote_walks = 0;
 };
 
 struct RunResult {
@@ -279,6 +296,7 @@ class Engine : public PageAccessSource {
   std::unique_ptr<CarrefourSystemComponent> carrefour_system_;
   std::unique_ptr<CarrefourUserComponent> carrefour_user_;
   std::unique_ptr<AutoPolicySelector> auto_selector_;
+  std::unique_ptr<WalkAffinityOrchestrator> walk_orchestrator_;
   std::unique_ptr<PromotionDaemon> promotion_;
 
   std::vector<std::unique_ptr<JobState>> jobs_;

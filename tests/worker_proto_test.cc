@@ -76,6 +76,8 @@ RunSpec RandomSpec(Rand& rng) {
   spec.stack.queue_batch = rng.Int(1, 4096);
   spec.stack.p2m_max_order = static_cast<PageOrder>(rng.Int(0, 2));
   spec.stack.ft_superpage = rng.Bool();
+  spec.stack.p2m_replication = rng.Bool();
+  spec.stack.walk_orchestrator = rng.Bool();
   spec.options.threads = rng.Int(1, 48);
   spec.options.seed = rng.Next();
   spec.options.engine.epoch_seconds = rng.Finite();
@@ -89,6 +91,8 @@ RunSpec RandomSpec(Rand& rng) {
   spec.options.engine.fault.hypercall_delay_seconds = rng.Finite();
   spec.options.engine.carrefour.hot_pages_per_tick = rng.Int(1, 64);
   spec.options.engine.carrefour.mc_overload_util = rng.Finite();
+  spec.options.engine.carrefour.replicate_translation = rng.Bool();
+  spec.options.engine.price_walks = rng.Bool();
   spec.options.engine.auto_selector.sample_pages = rng.Int(1, 4096);
   spec.options.engine.auto_selector.dwell_windows = rng.Int(1, 16);
   return spec;
@@ -118,6 +122,8 @@ RunOutcome RandomOutcome(Rand& rng) {
   out.result.faults_injected = rng.Int(0, 1000);
   out.result.faults_recovered = rng.Int(0, 1000);
   out.result.faults_aborted = rng.Int(0, 1000);
+  out.result.local_walks = rng.Int(0, 1000000);
+  out.result.remote_walks = rng.Int(0, 1000000);
   return out;
 }
 
@@ -397,15 +403,16 @@ TEST(WorkerProtoTest, MaxLengthStringsRoundTripAndOverLongAreRejected) {
 TEST(WorkerProtoTest, OutOfRangeEnumsPoisonTheReader) {
   // StaticPolicy only spans [0, 2]; a payload claiming 7 must be rejected,
   // not cast blindly into the enum. The final_policy placement byte sits a
-  // fixed 31 bytes from the end of a serialized RunOutcome (carrefour +
-  // vnuma bools + policy_switches i32 + three fault i64s follow it).
+  // fixed 47 bytes from the end of a serialized RunOutcome (carrefour +
+  // vnuma bools + policy_switches i32 + five i64s — three fault counters
+  // and the two walk totals — follow it).
   Rand rng(0xE7);
   WireWriter w;
   SerializeRunOutcome(RandomOutcome(rng), &w);
   ASSERT_TRUE(w.ok()) << w.error();
   std::vector<uint8_t> bytes = w.bytes();
-  ASSERT_GE(bytes.size(), 31u);
-  bytes[bytes.size() - 31] = 7;
+  ASSERT_GE(bytes.size(), 47u);
+  bytes[bytes.size() - 47] = 7;
 
   WireReader r(bytes);
   RunOutcome out;

@@ -11,18 +11,30 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
-cmake --build "$BUILD" -j --target micro_engine_epoch extra_churn xnuma >/dev/null
+cmake --build "$BUILD" -j --target micro_engine_epoch extra_churn extra_replication xnuma >/dev/null
 
 "$BUILD/bench/micro_engine_epoch" | tee "$ROOT/BENCH_engine.json"
 
 # Multi-tenant admission soak (docs/MODEL.md §17): splice the churn object
 # into BENCH_engine.json so one file carries the whole perf record.
 CHURN_JSON="$(mktemp)"
-trap 'rm -f "$CHURN_JSON"' EXIT
+REPL_JSON="$(mktemp)"
+trap 'rm -f "$CHURN_JSON" "$REPL_JSON"' EXIT
 "$BUILD/bench/extra_churn" | tee "$CHURN_JSON"
 { head -n -1 "$ROOT/BENCH_engine.json"
   printf '  ,"churn": '
   cat "$CHURN_JSON"
+  printf '}\n'
+} > "$ROOT/BENCH_engine.json.tmp"
+mv "$ROOT/BENCH_engine.json.tmp" "$ROOT/BENCH_engine.json"
+
+# Walk-locality ladder (docs/MODEL.md §18): per-node P2M replication plus
+# the walk-affinity orchestrator versus the best static placement, spliced
+# into the same record.
+"$BUILD/bench/extra_replication" --json | tee "$REPL_JSON"
+{ head -n -1 "$ROOT/BENCH_engine.json"
+  printf '  ,"replication": '
+  cat "$REPL_JSON"
   printf '}\n'
 } > "$ROOT/BENCH_engine.json.tmp"
 mv "$ROOT/BENCH_engine.json.tmp" "$ROOT/BENCH_engine.json"
@@ -136,6 +148,39 @@ END {
   }
   printf "OK: p2m order-1G ladder cuts misses %.1fx and memory %.1fx vs 4K (gate: >= 5x; ratchet %.1fx/%.1fx)\n", \
          miss, mem, base_miss, base_mem
+}
+' "$ROOT/tools/bench_ratchet.json" "$ROOT/BENCH_engine.json"
+
+# Walk-locality ladder (docs/MODEL.md §18): with page-walks priced, the
+# best static placement must leave most walks remote (< 50% local — the
+# home node can only cover its own thread share), while per-node P2M
+# replication plus the walk-affinity orchestrator must localize >= 90%.
+# The counts are deterministic, so the replicated ratio also ratchets
+# against tools/bench_ratchet.json (10% band, floor only moves up).
+awk -F': ' '
+FNR == NR {
+  if ($1 ~ /"repl_local_walk_ratio"/) { gsub(/[,} ]/, "", $2); base = $2 + 0 }
+  next
+}
+/"repl_best_static_local_ratio"/ { gsub(/[,}]/, "", $2); stat = $2 + 0; have_static = 1 }
+/"repl_local_walk_ratio"/        { gsub(/[,}]/, "", $2); repl = $2 + 0; have_repl = 1 }
+END {
+  if (!have_static || !have_repl) { print "FAIL: replication ladder missing from bench output"; exit 1 }
+  if (!base) { print "FAIL: repl_local_walk_ratio missing from tools/bench_ratchet.json"; exit 1 }
+  if (stat >= 0.5) {
+    printf "FAIL: best static policy localizes %.1f%% of walks (expected < 50%%)\n", stat * 100
+    exit 1
+  }
+  if (repl < 0.9) {
+    printf "FAIL: replication+orchestrator localizes %.1f%% of walks (gate: >= 90%%)\n", repl * 100
+    exit 1
+  }
+  if (repl < base * 0.9) {
+    printf "FAIL: replicated walk locality %.3f regressed >10%% below ratchet %.3f\n", repl, base
+    exit 1
+  }
+  printf "OK: walk locality %.1f%% replicated+orchestrated vs %.1f%% best static (gate: >= 90%% / < 50%%; ratchet %.3f)\n", \
+         repl * 100, stat * 100, base
 }
 ' "$ROOT/tools/bench_ratchet.json" "$ROOT/BENCH_engine.json"
 

@@ -53,6 +53,12 @@ int Usage() {
                "            results are bit-identical, only p2m.* metrics move)\n"
                "           --ft_superpage (first-touch maps whole aligned\n"
                "            superpage blocks per fault; changes placement)\n"
+               "           --p2m_replication  (per-node P2M replicas,\n"
+               "            docs/MODEL.md §18; placement is unchanged)\n"
+               "           --walk_orchestrator  (re-pin vCPUs toward the\n"
+               "            replicas they walk, at monitoring cadence)\n"
+               "           --price_walks  (charge local/remote page-walk\n"
+               "            cycles in the latency model)\n"
                "           --vnuma off|guest|hybrid  (guest-visible topology,\n"
                "            docs/VNUMA.md; guest boots a NUMA-aware allocator\n"
                "            over the vNUMA tables, hybrid adds the Carrefour\n"
@@ -104,6 +110,7 @@ RunOptions LoadOptions(const Flags& flags) {
     opts.engine.fault = FaultPlan::Uniform(fault_seed, fault_rate);
   }
   opts.engine.p2m_promote = flags.GetBool("p2m_promote", false);
+  opts.engine.price_walks = flags.GetBool("price_walks", false);
   return opts;
 }
 
@@ -127,6 +134,8 @@ StackConfig WithP2mOptions(StackConfig stack, const Flags& flags) {
     std::exit(2);
   }
   stack.ft_superpage = flags.GetBool("ft_superpage", false);
+  stack.p2m_replication = flags.GetBool("p2m_replication", false);
+  stack.walk_orchestrator = flags.GetBool("walk_orchestrator", false);
   return stack;
 }
 
